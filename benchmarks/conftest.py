@@ -1,0 +1,22 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Each benchmark runs one experiment from ``repro.bench.figures`` exactly
+once under pytest-benchmark (wall-clock of the whole harness), prints the
+paper-style table, records the simulated rows in ``extra_info`` and
+asserts the figure's shape checks (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Run a figure experiment under pytest-benchmark and check shapes."""
+    result = benchmark.pedantic(
+        lambda: figure_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info.update(result.as_dict())
+    print()
+    print(result.render())
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{result.figure} shape checks failed: {failed}"
+    return result

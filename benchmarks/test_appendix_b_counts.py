@@ -1,0 +1,9 @@
+"""Appendix B / Theorem 4.3: DFS vs BFS maintained-dataset counts."""
+
+from repro.bench import appendix_b_counts
+
+from conftest import run_figure
+
+
+def test_appendix_b_counts(benchmark):
+    run_figure(benchmark, appendix_b_counts)

@@ -1,0 +1,9 @@
+"""§5 claim: master-side selection throughput (choose invocations/s)."""
+
+from repro.bench import choose_throughput
+
+from conftest import run_figure
+
+
+def test_choose_throughput(benchmark):
+    run_figure(benchmark, choose_throughput)

@@ -1,0 +1,14 @@
+"""Fig. 5: deep-learning job completion times across exploration modes.
+
+Reproduces the four bar groups: weights-only, hyper-parameters-only,
+exhaustive W x R x M, and the early-choose pattern, each under
+sequential / 4-parallel / 8-parallel / MDF execution.
+"""
+
+from repro.bench import fig5_deep_learning
+
+from conftest import run_figure
+
+
+def test_fig05_deep_learning(benchmark):
+    run_figure(benchmark, fig5_deep_learning)

@@ -1,0 +1,9 @@
+"""Fig. 6: data-profiling (KDE) completion time vs input dataset size."""
+
+from repro.bench import fig6_data_profiling
+
+from conftest import run_figure
+
+
+def test_fig06_data_profiling(benchmark):
+    run_figure(benchmark, fig6_data_profiling)

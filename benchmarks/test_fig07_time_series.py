@@ -1,0 +1,9 @@
+"""Fig. 7: time-series analysis completion time vs number of branches."""
+
+from repro.bench import fig7_time_series
+
+from conftest import run_figure
+
+
+def test_fig07_time_series(benchmark):
+    run_figure(benchmark, fig7_time_series)

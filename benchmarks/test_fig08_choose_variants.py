@@ -1,0 +1,14 @@
+"""Fig. 8: choose-function variants and scheduling hints.
+
+Compares executing all branches against top-4 selection, first-4 threshold
+selection (non-exhaustive pruning), random branch order (12 runs,
+min/avg/max) and sorted scheduling hints.
+"""
+
+from repro.bench import fig8_choose_variants
+
+from conftest import run_figure
+
+
+def test_fig08_choose_variants(benchmark):
+    run_figure(benchmark, fig8_choose_variants)

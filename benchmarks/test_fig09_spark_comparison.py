@@ -1,0 +1,13 @@
+"""Fig. 9: synthetic job against Spark-like baselines.
+
+Spark (sequential), Spark (YARN), Spark (cache), SEEP (BFS) and SEEP (MDF)
+as the nested branching factor grows (|B1| = |B2|).
+"""
+
+from repro.bench import fig9_spark_comparison
+
+from conftest import run_figure
+
+
+def test_fig09_spark_comparison(benchmark):
+    run_figure(benchmark, fig9_spark_comparison)

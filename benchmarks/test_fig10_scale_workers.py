@@ -1,0 +1,9 @@
+"""Figs. 10 + 13: processing rate and memory-hit ratio vs worker count."""
+
+from repro.bench import fig10_13_scale_workers
+
+from conftest import run_figure
+
+
+def test_fig10_13_scale_workers(benchmark):
+    run_figure(benchmark, fig10_13_scale_workers)

@@ -1,0 +1,9 @@
+"""Figs. 11 + 14: completion time and hit ratio vs per-worker data size."""
+
+from repro.bench import fig11_14_scale_data
+
+from conftest import run_figure
+
+
+def test_fig11_14_scale_data(benchmark):
+    run_figure(benchmark, fig11_14_scale_data)

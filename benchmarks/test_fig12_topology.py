@@ -1,0 +1,9 @@
+"""Figs. 12 + 15: the impact of MDF topology (120 branches, B1 x B2)."""
+
+from repro.bench import fig12_15_topology
+
+from conftest import run_figure
+
+
+def test_fig12_15_topology(benchmark):
+    run_figure(benchmark, fig12_15_topology)

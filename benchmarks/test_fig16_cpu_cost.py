@@ -1,0 +1,9 @@
+"""Fig. 16: relative completion time vs branch processing cost."""
+
+from repro.bench import fig16_cpu_cost
+
+from conftest import run_figure
+
+
+def test_fig16_cpu_cost(benchmark):
+    run_figure(benchmark, fig16_cpu_cost)

@@ -1,0 +1,9 @@
+"""Figs. 17 + 18: normalised completion time and hit ratio vs memory."""
+
+from repro.bench import fig17_18_memory
+
+from conftest import run_figure
+
+
+def test_fig17_18_memory(benchmark):
+    run_figure(benchmark, fig17_18_memory)

@@ -1,0 +1,9 @@
+"""Supplementary: five-explorable time-series job with chained scopes."""
+
+from repro.bench import supplementary_full_time_series
+
+from conftest import run_figure
+
+
+def test_supplementary_full_time_series(benchmark):
+    run_figure(benchmark, supplementary_full_time_series)

@@ -1,0 +1,9 @@
+"""Table 1: the optimisation matrix for choose evaluator/selection pairs."""
+
+from repro.bench import table1_optimizations
+
+from conftest import run_figure
+
+
+def test_table1_optimizations(benchmark):
+    run_figure(benchmark, table1_optimizations)

@@ -1,0 +1,56 @@
+"""Static cost planning: size the cluster before submitting an MDF.
+
+§4.1 observes that a schedule's true cost is only known in retrospect —
+but the MDF's structure plus the nominal size model admit useful *bounds*
+computed before anything runs: an all-memory optimistic bound, an
+all-disk pessimistic bound, and the peak working set.  This example sizes
+worker memory for the synthetic nested job and then checks the real run
+lands inside the predicted bracket.
+
+Run:  python examples/cost_planning.py
+"""
+
+from repro import Cluster, GB, run_mdf
+from repro.engine import EngineConfig, estimate_mdf
+from repro.workloads import string_int_pairs, synthetic_mdf
+
+
+def main() -> None:
+    pairs = string_int_pairs(2_000)
+    nominal = 8 * GB
+    workers = 8
+    mdf = synthetic_mdf(pairs, b1=4, b2=4, nominal_bytes=nominal)
+
+    estimate = estimate_mdf(mdf, workers=workers)
+    print("== static estimate (before running anything) ==")
+    print(f"stages           : {estimate.num_stages}")
+    print(f"branches         : {estimate.num_branches}")
+    print(f"total compute    : {estimate.total_compute_units / GB:.1f} GB-units")
+    print(f"peak working set : {estimate.peak_live_bytes / GB:.1f} GB")
+    print(f"optimistic bound : {estimate.optimistic_seconds:8.1f} s  (all memory)")
+    print(f"pessimistic bound: {estimate.pessimistic_seconds:8.1f} s  (all disk)")
+
+    for mem_gb in (2, 4, 8):
+        fits = estimate.fits_in_memory(workers, mem_gb * GB)
+        print(f"  {workers} x {mem_gb:2d} GB workers: "
+              f"{'working set fits' if fits else 'expect spills'}")
+
+    print("\n== actual runs (no pruning, to match the estimate's assumption) ==")
+    config = EngineConfig(incremental_choose=False, pruning=False)
+    for mem_gb in (2, 8):
+        cluster = Cluster(workers, mem_gb * GB)
+        job = run_mdf(mdf, cluster, config=config)
+        inside = (
+            estimate.optimistic_seconds * 0.95
+            <= job.completion_time
+            <= estimate.pessimistic_seconds * 1.5
+        )
+        print(
+            f"  {mem_gb:2d} GB/worker: {job.completion_time:8.1f} s  "
+            f"hit ratio {job.memory_hit_ratio:.2f}  "
+            f"({'within bracket' if inside else 'OUTSIDE bracket'})"
+        )
+
+
+if __name__ == "__main__":
+    main()

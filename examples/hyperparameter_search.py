@@ -1,0 +1,78 @@
+"""Hyper-parameter search for a neural classifier (paper §6.1 job 1).
+
+The deep-learning MDF explores eight weight-initialisation strategies,
+four learning rates and four momentum values.  Exhaustive exploration
+trains |W x R x M| = 128 models; the *early-choose* pattern first explores
+the initialisations, keeps the most accurate one, and only then explores
+the hyper-parameters — |W| + |R x M| = 24 trainings for (near) the same
+final quality, inside a single MDF submission.
+
+Run:  python examples/hyperparameter_search.py
+"""
+
+from repro import Cluster, GB, MB
+from repro.baselines import run_sequential, seep_mdf
+from repro.workloads import (
+    MLPTrainer,
+    cifar_like,
+    deep_learning_combinations,
+    deep_learning_job,
+    deep_learning_mdf,
+)
+
+NOMINAL = 1 * GB
+
+
+def main() -> None:
+    data = cifar_like(n_samples=1200, features=128, seed=3)
+    trainer = MLPTrainer(hidden=24, epochs=2, seed=1)
+    cluster = Cluster(num_workers=8, mem_per_worker=4 * GB)
+
+    print("training data: 1200 CIFAR-shaped samples, 10 classes\n")
+
+    # exhaustive: all 128 combinations -------------------------------------
+    exhaustive = seep_mdf(
+        deep_learning_mdf(
+            data, mode="exhaustive", trainer=trainer, nominal_bytes=NOMINAL
+        ),
+        cluster,
+    )
+    model_ex = exhaustive.output[0]
+
+    # early choose: winners of W feed the R x M exploration ------------------
+    early = seep_mdf(
+        deep_learning_mdf(
+            data, mode="early_choose", trainer=trainer, nominal_bytes=NOMINAL
+        ),
+        cluster,
+    )
+    model_early = early.output[0]
+
+    # what a user without MDFs would do: submit 128 separate jobs -----------
+    jobs = [
+        deep_learning_job(data, p, trainer=trainer, nominal_bytes=NOMINAL)
+        for p in deep_learning_combinations("exhaustive")
+    ]
+    sequential = run_sequential(jobs, cluster)
+
+    print(f"{'sequential (128 jobs)':24s} {sequential.completion_time:9.1f} s")
+    print(
+        f"{'MDF exhaustive':24s} {exhaustive.completion_time:9.1f} s   "
+        f"acc={model_ex.accuracy:.3f}  init={model_ex.init}  "
+        f"lr={model_ex.learning_rate}  m={model_ex.momentum}"
+    )
+    print(
+        f"{'MDF early-choose':24s} {early.completion_time:9.1f} s   "
+        f"acc={model_early.accuracy:.3f}  init={model_early.init}  "
+        f"lr={model_early.learning_rate}  m={model_early.momentum}"
+    )
+    saved = 100 * (1 - early.completion_time / exhaustive.completion_time)
+    print(f"\nearly-choose saves {saved:.0f}% of the exhaustive MDF's time")
+    print(
+        f"accuracy gap vs exhaustive: "
+        f"{model_ex.accuracy - model_early.accuracy:+.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

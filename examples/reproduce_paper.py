@@ -1,0 +1,58 @@
+"""Regenerate every table and figure of the paper's evaluation (§6).
+
+Runs all experiments of ``repro.bench`` at laptop scale, prints the
+paper-style tables, and reports each figure's shape checks (who wins, by
+roughly what factor — the criteria EXPERIMENTS.md records).
+
+Run:  python examples/reproduce_paper.py                 # all figures
+      python examples/reproduce_paper.py fig7 fig9       # a subset
+      python examples/reproduce_paper.py --json out.json # machine-readable
+"""
+
+import json
+import sys
+import time
+
+from repro.bench import ALL_FIGURES
+
+
+def main(argv=None) -> int:
+    argv = list(argv or [])
+    json_path = None
+    if "--json" in argv:
+        i = argv.index("--json")
+        try:
+            json_path = argv[i + 1]
+        except IndexError:
+            print("--json requires a path")
+            return 2
+        del argv[i : i + 2]
+    names = argv or list(ALL_FIGURES)
+    failures = []
+    dumped = {}
+    total_start = time.time()
+    for name in names:
+        if name not in ALL_FIGURES:
+            print(f"unknown figure {name!r}; options: {', '.join(ALL_FIGURES)}")
+            return 2
+        start = time.time()
+        result = ALL_FIGURES[name]()
+        print(result.render())
+        print(f"[{name}: {time.time() - start:.1f}s wall]\n")
+        dumped[name] = result.as_dict()
+        if not result.all_checks_pass:
+            failures.append(name)
+    print(f"total wall time: {time.time() - total_start:.1f}s")
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(dumped, handle, indent=2, default=str)
+        print(f"results written to {json_path}")
+    if failures:
+        print(f"SHAPE CHECK FAILURES: {failures}")
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

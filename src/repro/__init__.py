@@ -1,0 +1,178 @@
+"""repro — a reproduction of *Meta-Dataflows: Efficient Exploratory
+Dataflow Jobs* (SIGMOD 2018).
+
+Meta-dataflows (MDFs) express a whole *family* of related dataflow jobs as
+one job: an ``explore`` operator fans the dataflow into branches (one per
+algorithm/parameter choice) and a ``choose`` operator scores branches and
+keeps only the best.  The engine executes MDFs with branch-aware
+scheduling (Algorithm 1) and anticipatory memory management (Algorithm 2)
+on a simulated cluster, against sequential / k-parallel / Spark-like
+baselines.
+
+Quickstart::
+
+    from repro import MDFBuilder, Cluster, run_mdf, GB
+    from repro import CallableEvaluator, Min
+
+    b = MDFBuilder("quickstart")
+    src = b.read_data(list(range(1000)), nominal_bytes=64 * 1024 * 1024)
+    result = src.explore(
+        {"threshold": [10, 100, 500]},
+        lambda pipe, p: pipe.transform(
+            lambda xs, t=p["threshold"]: [x for x in xs if x < t],
+            name=f"filter-{p['threshold']}",
+        ),
+    ).choose(CallableEvaluator(len), Min())
+    result.write()
+    mdf = b.build()
+
+    cluster = Cluster(num_workers=4, mem_per_worker=GB)
+    job = run_mdf(mdf, cluster, scheduler="bas", memory="amm")
+    print(job.completion_time, job.output)
+"""
+
+from .cluster import (
+    AMMPolicy,
+    CheckpointConfig,
+    ChooseScoreStore,
+    Cluster,
+    CostModel,
+    FailureInjector,
+    GB,
+    LRUPolicy,
+    MB,
+    Metrics,
+    SpeculationConfig,
+    StragglerProfile,
+    make_policy,
+)
+from .core import (
+    Aggregate,
+    CallableEvaluator,
+    ChooseOperator,
+    CollapsedMDF,
+    DataflowGraph,
+    Dataset,
+    Evaluator,
+    ExploreOperator,
+    Filter,
+    FlatMap,
+    GroupBy,
+    Identity,
+    Interval,
+    Join,
+    KInterval,
+    KThreshold,
+    MDF,
+    MDFBuilder,
+    MDFError,
+    Map,
+    Max,
+    MetadataEvaluator,
+    Min,
+    Mode,
+    Operator,
+    ParameterGrid,
+    Partition,
+    Pipe,
+    RatioEvaluator,
+    SelectionFunction,
+    Sink,
+    SizeEvaluator,
+    Source,
+    StageGraph,
+    Threshold,
+    TopK,
+    Transform,
+    plan_optimizations,
+)
+from .patterns import (
+    cross_validation_mdf,
+    fold_splits,
+    iterative_explore_mdf,
+)
+from .engine import (
+    BFSScheduler,
+    BranchAwareScheduler,
+    CostEstimate,
+    EngineConfig,
+    JobResult,
+    Master,
+    ModelBasedHint,
+    PriorityHint,
+    RandomHint,
+    SortedHint,
+    estimate_mdf,
+    run_mdf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMMPolicy",
+    "Aggregate",
+    "BFSScheduler",
+    "BranchAwareScheduler",
+    "CallableEvaluator",
+    "CheckpointConfig",
+    "CostEstimate",
+    "ChooseOperator",
+    "ChooseScoreStore",
+    "Cluster",
+    "CollapsedMDF",
+    "CostModel",
+    "DataflowGraph",
+    "Dataset",
+    "EngineConfig",
+    "Evaluator",
+    "ExploreOperator",
+    "FailureInjector",
+    "Filter",
+    "FlatMap",
+    "GB",
+    "GroupBy",
+    "Identity",
+    "Interval",
+    "JobResult",
+    "Join",
+    "KInterval",
+    "KThreshold",
+    "LRUPolicy",
+    "MB",
+    "MDF",
+    "MDFBuilder",
+    "MDFError",
+    "Map",
+    "Master",
+    "Max",
+    "MetadataEvaluator",
+    "Metrics",
+    "Min",
+    "Mode",
+    "ModelBasedHint",
+    "Operator",
+    "ParameterGrid",
+    "Partition",
+    "Pipe",
+    "PriorityHint",
+    "RandomHint",
+    "RatioEvaluator",
+    "SelectionFunction",
+    "Sink",
+    "SizeEvaluator",
+    "SortedHint",
+    "Source",
+    "SpeculationConfig",
+    "StageGraph",
+    "StragglerProfile",
+    "Threshold",
+    "TopK",
+    "Transform",
+    "cross_validation_mdf",
+    "estimate_mdf",
+    "fold_splits",
+    "iterative_explore_mdf",
+    "make_policy",
+    "plan_optimizations",
+    "run_mdf",
+]

@@ -1,0 +1,26 @@
+"""Baseline execution strategies the paper compares MDFs against (§6.1)."""
+
+from .parallel import run_parallel
+from .results import BaselineResult, pick_best
+from .sequential import run_sequential
+from .sparklike import (
+    cache_points,
+    seep_bfs,
+    seep_mdf,
+    spark_cache,
+    spark_sequential,
+    spark_yarn,
+)
+
+__all__ = [
+    "BaselineResult",
+    "cache_points",
+    "pick_best",
+    "run_parallel",
+    "run_sequential",
+    "seep_bfs",
+    "seep_mdf",
+    "spark_cache",
+    "spark_sequential",
+    "spark_yarn",
+]

@@ -1,0 +1,49 @@
+"""Result containers for baseline executions (§6.1 comparison approaches)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List
+
+from ..cluster.metrics import Metrics
+from ..engine.job import JobResult
+
+
+@dataclass
+class BaselineResult:
+    """Aggregate outcome of running a family of jobs as a baseline would.
+
+    ``completion_time`` is the end-to-end simulated time for the whole
+    exploratory workflow (all submitted jobs); ``jobs`` holds the
+    individual job results in submission order.
+    """
+
+    name: str
+    completion_time: float
+    metrics: Metrics
+    jobs: List[JobResult] = field(default_factory=list)
+
+    @property
+    def memory_hit_ratio(self) -> float:
+        return self.metrics.memory_hit_ratio
+
+    def outputs(self) -> List[Any]:
+        return [job.output for job in self.jobs]
+
+
+def pick_best(
+    result: BaselineResult,
+    score_fn: Callable[[Any], float],
+    maximize: bool = True,
+) -> Any:
+    """The manual post-hoc comparison a user performs across separate jobs.
+
+    Baselines execute every configuration to completion; only afterwards can
+    the user score each job's output and pick the winner — exactly the
+    workflow §1 describes (and the inefficiency MDFs remove).
+    """
+    outputs = [o for o in result.outputs() if o is not None]
+    if not outputs:
+        return None
+    key = score_fn
+    return max(outputs, key=key) if maximize else min(outputs, key=key)

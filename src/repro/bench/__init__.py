@@ -1,0 +1,43 @@
+"""Benchmark harness regenerating every table and figure of §6."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    appendix_b_counts,
+    choose_throughput,
+    fig5_deep_learning,
+    fig6_data_profiling,
+    fig7_time_series,
+    fig8_choose_variants,
+    fig9_spark_comparison,
+    fig10_13_scale_workers,
+    fig11_14_scale_data,
+    fig12_15_topology,
+    fig16_cpu_cost,
+    fig17_18_memory,
+    supplementary_full_time_series,
+    table1_optimizations,
+)
+from .report import improvement, render_table, rows_to_dict
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "appendix_b_counts",
+    "choose_throughput",
+    "fig5_deep_learning",
+    "fig6_data_profiling",
+    "fig7_time_series",
+    "fig8_choose_variants",
+    "fig9_spark_comparison",
+    "fig10_13_scale_workers",
+    "fig11_14_scale_data",
+    "fig12_15_topology",
+    "fig16_cpu_cost",
+    "fig17_18_memory",
+    "improvement",
+    "render_table",
+    "rows_to_dict",
+    "supplementary_full_time_series",
+    "table1_optimizations",
+]

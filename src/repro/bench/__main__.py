@@ -1,0 +1,34 @@
+"""Command-line entry: ``python -m repro.bench [figure ...]``.
+
+Regenerates the requested tables/figures (all of them by default),
+printing the paper-style rows and the shape-check verdicts.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .figures import ALL_FIGURES
+
+
+def main(argv) -> int:
+    names = argv or list(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}")
+        print(f"available: {', '.join(ALL_FIGURES)}")
+        return 2
+    failed = []
+    for name in names:
+        result = ALL_FIGURES[name]()
+        print(result.render())
+        if not result.all_checks_pass:
+            failed.append(name)
+    if failed:
+        print(f"shape-check failures: {failed}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,54 @@
+"""Text rendering for benchmark tables (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned text table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(columns[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(columns[i]))
+        for i in range(len(columns))
+    ]
+    lines = []
+    lines.append("=" * max(len(title), sum(widths) + 2 * len(widths)))
+    lines.append(title)
+    lines.append("-" * max(len(title), sum(widths) + 2 * len(widths)))
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(columns, widths)))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def improvement(base: float, new: float) -> float:
+    """Relative improvement of ``new`` over ``base`` in percent."""
+    if base <= 0:
+        return 0.0
+    return 100.0 * (1.0 - new / base)
+
+
+def rows_to_dict(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Rows as dictionaries, for pytest-benchmark ``extra_info``."""
+    return [dict(zip(columns, row)) for row in rows]

@@ -1,0 +1,56 @@
+"""Simulated distributed substrate: nodes, memory, costs, faults.
+
+Replaces the paper's SEEP cluster with a deterministic simulation that
+executes real operator functions while accounting for partition placement,
+memory pressure, evictions and access costs (see DESIGN.md §2 for why this
+substitution preserves the paper's behaviour).
+"""
+
+from .clock import SimClock
+from .cluster import Cluster, DatasetRecord
+from .costmodel import GB, MB, CostModel
+from .fault import (
+    CheckpointConfig,
+    ChooseScoreStore,
+    FailureEvent,
+    FailureInjector,
+    recover_partitions,
+)
+from .memory import (
+    AccessOnlyPolicy,
+    AMMPolicy,
+    LRUPolicy,
+    MemoryPolicy,
+    SizeOnlyPolicy,
+    make_policy,
+)
+from .metrics import Metrics
+from .node import Node, PartitionKey, Slot
+from .stragglers import SpeculationConfig, StragglerProfile, apply_stragglers
+
+__all__ = [
+    "AMMPolicy",
+    "AccessOnlyPolicy",
+    "CheckpointConfig",
+    "ChooseScoreStore",
+    "Cluster",
+    "CostModel",
+    "DatasetRecord",
+    "FailureEvent",
+    "FailureInjector",
+    "GB",
+    "LRUPolicy",
+    "MB",
+    "MemoryPolicy",
+    "Metrics",
+    "Node",
+    "PartitionKey",
+    "SimClock",
+    "SizeOnlyPolicy",
+    "Slot",
+    "SpeculationConfig",
+    "StragglerProfile",
+    "apply_stragglers",
+    "make_policy",
+    "recover_partitions",
+]

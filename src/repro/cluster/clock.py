@@ -1,0 +1,33 @@
+"""Deterministic simulated clock.
+
+All completion times reported by the engine are simulated seconds advanced
+through this clock, never wall-clock time.  This keeps every benchmark
+deterministic and lets laptop-scale runs reproduce the *shape* of the
+paper's cluster-scale results.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonically advancing simulated time in seconds."""
+
+    def __init__(self):
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SimClock(t={self._now:.3f}s)"

@@ -1,0 +1,316 @@
+"""The simulated cluster: nodes, partition placement, cost accounting.
+
+This is the substrate that replaces SEEP's physical cluster.  It owns the
+nodes, the registry of live datasets, the memory policy, the simulated
+clock and the metrics.  Operator functions still execute for real — the
+cluster only *accounts* for where partitions live and what each access
+costs, which is all the paper's scheduling and eviction decisions depend
+on.
+
+Partition placement is round-robin: partition ``i`` of every dataset lives
+on node ``i mod N``, so datasets derived from one another stay co-located
+and narrow stages never shuffle.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.datasets import Dataset, Partition
+from ..core.state import ExecutionState
+from .clock import SimClock
+from .costmodel import CostModel, GB
+from .memory import LRUPolicy, MemoryPolicy
+from .metrics import Metrics
+from .node import Node, PartitionKey
+
+
+@dataclass
+class DatasetRecord:
+    """Bookkeeping for one live dataset.
+
+    ``partition_keys`` are the node-store keys backing each partition.  For
+    ordinary datasets they are ``(dataset_id, i)``; for *composite*
+    datasets (a choose keeping several branches, Definition 3.3's ``⊕``)
+    they point at the member datasets' partitions — concatenation is pure
+    metadata at the master, no bytes move.
+    """
+
+    dataset_id: str
+    producer: Optional[str]
+    partition_nodes: List[str]  # node id per partition index
+    partition_bytes: List[int]
+    pinned: bool = False
+    partition_keys: Optional[List[PartitionKey]] = None
+
+    def __post_init__(self):
+        if self.partition_keys is None:
+            self.partition_keys = [
+                (self.dataset_id, i) for i in range(len(self.partition_nodes))
+            ]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partition_nodes)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(self.partition_bytes)
+
+
+class Cluster:
+    """A set of worker nodes with a shared cost model and memory policy."""
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        mem_per_worker: int = 1 * GB,
+        cost_model: Optional[CostModel] = None,
+        policy: Optional[MemoryPolicy] = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.cost_model = cost_model or CostModel()
+        self.policy = policy or LRUPolicy()
+        self.clock = SimClock()
+        self.metrics = Metrics()
+        self.nodes: List[Node] = [
+            Node(f"worker-{i}", mem_per_worker) for i in range(num_workers)
+        ]
+        self._records: Dict[str, DatasetRecord] = {}
+
+    # ------------------------------------------------------------ topology
+    @property
+    def num_workers(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: str) -> Node:
+        for node in self.nodes:
+            if node.id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    def node_for_partition(self, index: int) -> Node:
+        return self.nodes[index % len(self.nodes)]
+
+    # ------------------------------------------------------------ datasets
+    def dataset_ids(self) -> List[str]:
+        return list(self._records)
+
+    def has_dataset(self, dataset_id: str) -> bool:
+        return dataset_id in self._records
+
+    def record(self, dataset_id: str) -> DatasetRecord:
+        return self._records[dataset_id]
+
+    def live_dataset_count(self) -> int:
+        return len(self._records)
+
+    def register_dataset(self, dataset: Dataset) -> Dict[str, float]:
+        """Place a dataset's partitions round-robin; returns per-node seconds.
+
+        Storing charges memory-write time (or disk-write time when the
+        partition cannot fit in memory at all) on the receiving node.
+        """
+        per_node: Dict[str, float] = {}
+        nodes: List[str] = []
+        for partition in dataset.partitions:
+            node = self.node_for_partition(partition.index)
+            seconds = self._store(node, partition)
+            per_node[node.id] = per_node.get(node.id, 0.0) + seconds
+            nodes.append(node.id)
+        self._records[dataset.id] = DatasetRecord(
+            dataset.id, dataset.producer, nodes, [p.nominal_bytes for p in dataset.partitions]
+        )
+        self.metrics.peak_datasets_stored = max(
+            self.metrics.peak_datasets_stored, len(self._records)
+        )
+        return per_node
+
+    def _store(self, node: Node, partition: Partition) -> float:
+        nbytes = partition.nominal_bytes
+        key = partition.key
+        seconds = 0.0
+        if nbytes > node.mem_capacity:
+            node.put(key, partition.data, nbytes, self.clock.now, in_memory=False)
+            self.metrics.bytes_written_disk += nbytes
+            return self.cost_model.disk_write_time(nbytes)
+        seconds += self._ensure_space(node, nbytes)
+        node.put(key, partition.data, nbytes, self.clock.now, in_memory=True)
+        self.metrics.bytes_written_memory += nbytes
+        seconds += self.cost_model.mem_write_time(nbytes)
+        return seconds
+
+    def register_composite(
+        self, dataset_id: str, member_ids: List[str], producer: Optional[str] = None
+    ) -> None:
+        """Fuse member datasets into one logical dataset (zero-copy ``⊕``).
+
+        The members' records are absorbed: the composite's partitions point
+        at the members' node slots, so no data moves and memory accounting
+        is unchanged.  This is how a choose keeping several branches hands
+        their datasets downstream.
+        """
+        keys: List[PartitionKey] = []
+        nodes: List[str] = []
+        sizes: List[int] = []
+        for member_id in member_ids:
+            record = self._records.pop(member_id)
+            keys.extend(record.partition_keys)
+            nodes.extend(record.partition_nodes)
+            sizes.extend(record.partition_bytes)
+        self._records[dataset_id] = DatasetRecord(
+            dataset_id, producer, nodes, sizes, partition_keys=keys
+        )
+        self.metrics.peak_datasets_stored = max(
+            self.metrics.peak_datasets_stored, len(self._records)
+        )
+
+    def load_partition(self, dataset_id: str, index: int) -> Tuple[Any, float, str]:
+        """Read one partition; returns ``(payload, seconds, node_id)``.
+
+        A memory-resident partition is a *hit* (memory-read time); a
+        disk-resident one is a *miss* (streamed from disk at disk-read
+        time).
+        """
+        record = self._records[dataset_id]
+        node = self.node(record.partition_nodes[index])
+        key: PartitionKey = record.partition_keys[index]
+        slot = node.slot(key)
+        nbytes = slot.nbytes
+        if slot.in_memory:
+            node.touch(key, self.clock.now)
+            self.metrics.partition_hits += 1
+            self.metrics.bytes_read_memory += nbytes
+            return slot.payload, self.cost_model.mem_read_time(nbytes), node.id
+        # miss: stream the partition from disk.  It is *not* promoted back
+        # into memory — tasks stream spilled inputs (as Spark does); data
+        # only re-enters memory as part of newly produced outputs.  An
+        # eviction of still-needed data therefore costs one disk read per
+        # future access, which is exactly what AMM's preference weighs.
+        self.metrics.partition_misses += 1
+        self.metrics.bytes_read_disk += nbytes
+        node.touch(key, self.clock.now)
+        seconds = self.cost_model.disk_read_time(nbytes)
+        return slot.payload, seconds, node.id
+
+    def peek_payloads(self, dataset_id: str) -> List[Any]:
+        """Read payloads without cost accounting (test/debug helper)."""
+        record = self._records[dataset_id]
+        out = []
+        for key, node_id in zip(record.partition_keys, record.partition_nodes):
+            out.append(self.node(node_id).slot(key).payload)
+        return out
+
+    def materialize(self, dataset_id: str, producer: Optional[str] = None) -> Dataset:
+        """Rebuild a :class:`Dataset` view over a registered dataset.
+
+        Does not charge access costs — callers that model reads (the choose
+        evaluator, the sink) account for them explicitly.
+        """
+        record = self._records[dataset_id]
+        parts = []
+        for index, (key, node_id) in enumerate(
+            zip(record.partition_keys, record.partition_nodes)
+        ):
+            slot = self.node(node_id).slot(key)
+            parts.append(Partition(dataset_id, index, slot.payload, slot.nbytes))
+        return Dataset(parts, dataset_id=dataset_id, producer=producer or record.producer)
+
+    def discard_dataset(self, dataset_id: str) -> None:
+        """Free a dataset everywhere (memory and disk) at zero cost (R3)."""
+        record = self._records.pop(dataset_id, None)
+        if record is None:
+            return
+        for key, node_id in zip(record.partition_keys, record.partition_nodes):
+            self.node(node_id).remove(key)
+        self.metrics.datasets_discarded += 1
+
+    def pin_dataset(self, dataset_id: str) -> None:
+        """Mark every partition as pinned (Spark ``cache()`` emulation)."""
+        record = self._records[dataset_id]
+        record.pinned = True
+        for key, node_id in zip(record.partition_keys, record.partition_nodes):
+            self.node(node_id).slot(key).pinned = True
+
+    # -------------------------------------------------------------- memory
+    def _ensure_space(self, node: Node, nbytes: int) -> float:
+        """Evict until ``nbytes`` fit in memory; returns spill seconds."""
+        seconds = 0.0
+        while node.free_memory() < nbytes:
+            candidates = node.eviction_candidates()
+            if not candidates:
+                # Nothing evictable: the caller's partition goes to disk via
+                # the capacity check; protected slots stay resident.
+                break
+            victim = self.policy.select_victim(node, candidates)
+            node.demote(victim.key)
+            self.metrics.evictions += 1
+            if self.policy.should_spill(victim):
+                self.metrics.bytes_written_disk += victim.nbytes
+                seconds += self.cost_model.disk_write_time(victim.nbytes)
+            # else: the policy knows the data is dead — dropped for free
+        return seconds
+
+    @contextlib.contextmanager
+    def protect(self, dataset_ids: Iterable[str]):
+        """Shield the given datasets' partitions from eviction for the
+        duration (inputs of the currently executing stage)."""
+        grouped: Dict[str, List[PartitionKey]] = {}
+        for dataset_id in dataset_ids:
+            record = self._records.get(dataset_id)
+            if record is None:
+                continue
+            for key, node_id in zip(record.partition_keys, record.partition_nodes):
+                grouped.setdefault(node_id, []).append(key)
+        for node_id, node_keys in grouped.items():
+            self.node(node_id).protected.update(node_keys)
+        try:
+            yield
+        finally:
+            for node_id, node_keys in grouped.items():
+                self.node(node_id).protected.difference_update(node_keys)
+
+    # -------------------------------------------------------------- faults
+    def fail_node(self, node_id: str) -> List[PartitionKey]:
+        """Crash a node: its memory contents are lost, disk survives."""
+        return self.node(node_id).drop_memory_contents()
+
+    # ------------------------------------------------------------ snapshot
+    def snapshot_state(self) -> ExecutionState:
+        """The Appendix A state ``(D, δ, μ)`` at this instant."""
+        sizes: Dict[Tuple[str, str], int] = {}
+        in_memory: Dict[str, frozenset] = {}
+        for node in self.nodes:
+            mem_ids = set()
+            for slot in node.slots.values():
+                sizes[(node.id, slot.dataset_id)] = (
+                    sizes.get((node.id, slot.dataset_id), 0) + slot.nbytes
+                )
+                if slot.in_memory:
+                    mem_ids.add(slot.dataset_id)
+            in_memory[node.id] = frozenset(mem_ids)
+        return ExecutionState(
+            datasets=frozenset(self._records),
+            sizes=sizes,
+            in_memory=in_memory,
+            memory_limits={n.id: n.mem_capacity for n in self.nodes},
+        )
+
+    def reset(self) -> None:
+        """Clear all datasets, metrics and the clock (cold start)."""
+        for node in self.nodes:
+            node.slots.clear()
+            node.mem_used = 0
+            node.protected.clear()
+        self._records.clear()
+        self.clock.reset()
+        self.metrics = Metrics()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Cluster(workers={self.num_workers}, "
+            f"policy={self.policy.name}, datasets={len(self._records)})"
+        )

@@ -1,0 +1,90 @@
+"""Hardware cost model for the simulated cluster.
+
+The paper's AMM policy takes a hardware-specific ratio ``α = (w_d · r_m) /
+(w_m · r_d)`` of the per-byte times to write to disk (``w_d``), read from
+memory (``r_m``), write to memory (``w_m``), and read from disk (``r_d``).
+This module expresses those four quantities as bandwidths plus a compute
+rate, and derives α, IO times and compute times from them.
+
+Defaults approximate the paper's testbed class (SATA-disk workers with
+DDR3 memory): memory ~10 GB/s, disk read 200 MB/s, disk write 100 MB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+GB = 1024**3
+MB = 1024**2
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Bandwidths (bytes/s), compute rate (cost-units/s) and network.
+
+    ``compute_rate`` converts operator cost units (by default one unit per
+    input byte) into simulated seconds.  ``network_bandwidth`` is charged
+    for wide (shuffle) dependencies.
+    """
+
+    mem_read_bw: float = 10 * GB
+    mem_write_bw: float = 10 * GB
+    disk_read_bw: float = 200 * MB
+    disk_write_bw: float = 100 * MB
+    compute_rate: float = 500 * MB
+    network_bandwidth: float = 125 * MB  # 1 Gbps
+
+    def __post_init__(self):
+        for name in (
+            "mem_read_bw",
+            "mem_write_bw",
+            "disk_read_bw",
+            "disk_write_bw",
+            "compute_rate",
+            "network_bandwidth",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    # -------------------------------------------------------------- alpha
+    @property
+    def alpha(self) -> float:
+        """``α = w_d · r_m / (w_m · r_d)`` with times per byte (Alg. 2)."""
+        w_d = 1.0 / self.disk_write_bw
+        r_m = 1.0 / self.mem_read_bw
+        w_m = 1.0 / self.mem_write_bw
+        r_d = 1.0 / self.disk_read_bw
+        return (w_d * r_m) / (w_m * r_d)
+
+    # ---------------------------------------------------------------- time
+    def mem_read_time(self, nbytes: int) -> float:
+        return nbytes / self.mem_read_bw
+
+    def mem_write_time(self, nbytes: int) -> float:
+        return nbytes / self.mem_write_bw
+
+    def disk_read_time(self, nbytes: int) -> float:
+        return nbytes / self.disk_read_bw
+
+    def disk_write_time(self, nbytes: int) -> float:
+        return nbytes / self.disk_write_bw
+
+    def compute_time(self, cost_units: float) -> float:
+        return cost_units / self.compute_rate
+
+    def network_time(self, nbytes: int) -> float:
+        return nbytes / self.network_bandwidth
+
+    def scaled(self, **overrides) -> "CostModel":
+        """Return a copy with some bandwidths/rates replaced."""
+        current = {
+            "mem_read_bw": self.mem_read_bw,
+            "mem_write_bw": self.mem_write_bw,
+            "disk_read_bw": self.disk_read_bw,
+            "disk_write_bw": self.disk_write_bw,
+            "compute_rate": self.compute_rate,
+            "network_bandwidth": self.network_bandwidth,
+        }
+        current.update(overrides)
+        return CostModel(**current)

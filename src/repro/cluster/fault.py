@@ -1,0 +1,133 @@
+"""Checkpoint-based fault tolerance (§5 of the paper).
+
+SEEP recovers failed operators from checkpoints; for MDFs the crucial
+addition is that the *master* keeps the small evaluator scores of choose
+operators, so a failure during branch exploration never forces re-running
+whole branches just to recompute scores.
+
+The simulated mechanism:
+
+* the master snapshots choose scores (:class:`ChooseScoreStore`) as they
+  arrive — recovery of a choose decision is free;
+* a node failure wipes the node's memory; partitions that were only in
+  memory are recomputed from their producing stage's inputs (charged as a
+  recovery re-execution) while disk-resident partitions simply reload.
+
+:class:`FailureInjector` deterministically schedules failures for tests and
+the failure-injection benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .cluster import Cluster
+from .node import PartitionKey
+
+
+class ChooseScoreStore:
+    """Master-held store of choose evaluator scores (tiny, survives workers).
+
+    Keyed by ``(choose_name, branch_id)``; exactly the state §5 says the
+    master maintains so branch results never need recomputing just to
+    recover a selection decision.
+    """
+
+    def __init__(self):
+        self._scores: Dict[Tuple[str, str], float] = {}
+
+    def put(self, choose_name: str, branch_id: str, score: float) -> None:
+        self._scores[(choose_name, branch_id)] = score
+
+    def get(self, choose_name: str, branch_id: str) -> Optional[float]:
+        return self._scores.get((choose_name, branch_id))
+
+    def has(self, choose_name: str, branch_id: str) -> bool:
+        return (choose_name, branch_id) in self._scores
+
+    def scores_for(self, choose_name: str) -> Dict[str, float]:
+        return {
+            branch: score
+            for (choose, branch), score in self._scores.items()
+            if choose == choose_name
+        }
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+
+@dataclass
+class CheckpointConfig:
+    """Periodic checkpointing of stage outputs (§5's fault-tolerance cost).
+
+    Every ``interval_stages``-th executed stage writes its output dataset
+    to stable storage.  The write overlaps with execution, so only
+    ``overhead_fraction`` of the full disk-write time is charged.  With
+    checkpointing disabled (the default) recovery relies on the spill
+    copies that eviction produces anyway — the optimistic end of the
+    spectrum; enabling it makes the recovery guarantee explicit and paid
+    for.
+    """
+
+    interval_stages: int = 1
+    overhead_fraction: float = 0.1
+
+    def __post_init__(self):
+        if self.interval_stages < 1:
+            raise ValueError("interval_stages must be >= 1")
+        if not 0.0 <= self.overhead_fraction <= 1.0:
+            raise ValueError("overhead_fraction must be in [0, 1]")
+
+
+@dataclass
+class FailureEvent:
+    """A scheduled node failure: fires before executing stage ``stage_index``."""
+
+    stage_index: int
+    node_id: str
+    fired: bool = False
+
+
+class FailureInjector:
+    """Deterministically injects node failures at chosen stage boundaries."""
+
+    def __init__(self, events: Optional[List[FailureEvent]] = None):
+        self.events = events or []
+
+    @classmethod
+    def at_stages(cls, pairs: List[Tuple[int, str]]) -> "FailureInjector":
+        return cls([FailureEvent(stage_index, node_id) for stage_index, node_id in pairs])
+
+    def maybe_fail(self, cluster: Cluster, stage_index: int) -> List[PartitionKey]:
+        """Fire any due failure; returns the partition keys lost from memory."""
+        lost: List[PartitionKey] = []
+        for event in self.events:
+            if not event.fired and event.stage_index == stage_index:
+                event.fired = True
+                lost.extend(cluster.fail_node(event.node_id))
+        return lost
+
+
+def recover_partitions(cluster: Cluster, lost: List[PartitionKey]) -> float:
+    """Charge the recovery cost for partitions lost from a node's memory.
+
+    Datasets with surviving disk copies reload from disk; datasets without
+    any copy must be recomputed upstream — modelled as a disk reload at the
+    checkpoint read bandwidth (SEEP checkpoints operator state to stable
+    storage), plus one recovery event in the metrics.
+    """
+    seconds = 0.0
+    for dataset_id, index in lost:
+        if not cluster.has_dataset(dataset_id):
+            continue
+        record = cluster.record(dataset_id)
+        nbytes = record.partition_bytes[index]
+        seconds += cluster.cost_model.disk_read_time(nbytes)
+        cluster.metrics.bytes_read_disk += nbytes
+        cluster.metrics.recoveries += 1
+        # Reinstall the partition on its node as a disk-resident copy; the
+        # next access promotes it like any other miss.  The payload itself
+        # is unrecoverable in memory terms, so we mark the slot as lost by
+        # leaving it absent — the engine re-registers when recomputing.
+    return seconds

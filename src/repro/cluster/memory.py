@@ -1,0 +1,143 @@
+"""Memory management policies: LRU baseline and AMM (Algorithm 2).
+
+When a node exhausts its memory, the policy picks the partition to evict.
+
+* :class:`LRUPolicy` — evicts the least-recently-used partition, the policy
+  of existing systems (Spark) the paper compares against.
+* :class:`AMMPolicy` — anticipatory memory management: ranks each in-memory
+  partition by the preference ``pre(d) = acc(d) · δ(n, d) · α`` where
+  ``acc(d)`` is the number of *future* accesses the MDF structure implies
+  (consumers of ``pro(d)`` not yet executed, minus pruned branches),
+  ``δ(n, d)`` is the partition's size at the node, and ``α`` the hardware
+  disk/memory cost ratio.  The partition with the lowest preference is
+  evicted.
+
+Two degenerate variants (:class:`AccessOnlyPolicy`, :class:`SizeOnlyPolicy`)
+isolate the contribution of each factor in the preference formula — the
+ablation DESIGN.md §5 calls out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .node import Node, Slot
+
+AccessCounter = Callable[[str], int]  # dataset_id -> remaining future accesses
+
+
+class MemoryPolicy:
+    """Strategy deciding which in-memory partition a node evicts."""
+
+    name = "base"
+
+    def select_victim(self, node: Node, candidates: List[Slot]) -> Slot:
+        raise NotImplementedError
+
+    def bind(self, access_counter: Optional[AccessCounter], alpha: float) -> None:
+        """Called by the engine before execution with workflow context.
+
+        The default implementation ignores the context; AMM stores it.
+        """
+
+    def should_spill(self, slot: Slot) -> bool:
+        """Whether an evicted partition must be written to disk.
+
+        Workflow-oblivious policies cannot tell dead data from live data,
+        so they always pay the spill.  AMM knows from the MDF structure
+        when a dataset has no future readers (``acc = 0``) and drops it
+        for free instead — requirement R4 in action.
+        """
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"
+
+
+class LRUPolicy(MemoryPolicy):
+    """Least-recently-used eviction (the Spark/Tachyon baseline)."""
+
+    name = "lru"
+
+    def select_victim(self, node: Node, candidates: List[Slot]) -> Slot:
+        return min(candidates, key=lambda s: (s.last_access, s.key))
+
+
+class AMMPolicy(MemoryPolicy):
+    """Anticipatory memory management (Algorithm 2).
+
+    ``pre(d) = acc(d) · δ(n, d) · α``; the slot with the lowest preference
+    is evicted.  Ties break towards least-recently-used so behaviour is
+    deterministic and degrades gracefully to LRU when the MDF provides no
+    signal (all counts equal).
+    """
+
+    name = "amm"
+
+    def __init__(self):
+        self._access_counter: Optional[AccessCounter] = None
+        self._alpha: float = 1.0
+
+    def bind(self, access_counter: Optional[AccessCounter], alpha: float) -> None:
+        self._access_counter = access_counter
+        self._alpha = alpha
+
+    def preference(self, slot: Slot) -> float:
+        """The keep-in-memory preference ``pre(d)`` of one partition."""
+        acc = 1
+        if self._access_counter is not None:
+            acc = self._access_counter(slot.dataset_id)
+        return acc * slot.nbytes * self._alpha
+
+    def select_victim(self, node: Node, candidates: List[Slot]) -> Slot:
+        return min(candidates, key=lambda s: (self.preference(s), s.last_access, s.key))
+
+    def should_spill(self, slot: Slot) -> bool:
+        if self._access_counter is None:
+            return True
+        return self._access_counter(slot.dataset_id) > 0
+
+    def preference_order(self, node: Node) -> List[Slot]:
+        """All in-memory slots ordered by rising preference (eviction order).
+
+        This is the list the master ships to workers with each scheduling
+        decision in the paper's implementation (§5).
+        """
+        return sorted(
+            node.in_memory_slots(), key=lambda s: (self.preference(s), s.last_access, s.key)
+        )
+
+
+class AccessOnlyPolicy(AMMPolicy):
+    """Ablation: AMM preference reduced to the future-access count only."""
+
+    name = "amm-access-only"
+
+    def preference(self, slot: Slot) -> float:
+        acc = 1
+        if self._access_counter is not None:
+            acc = self._access_counter(slot.dataset_id)
+        return float(acc)
+
+
+class SizeOnlyPolicy(AMMPolicy):
+    """Ablation: AMM preference reduced to partition size only."""
+
+    name = "amm-size-only"
+
+    def preference(self, slot: Slot) -> float:
+        return float(slot.nbytes)
+
+
+def make_policy(name: str) -> MemoryPolicy:
+    """Factory used by benchmarks: ``lru``, ``amm``, or an ablation name."""
+    policies = {
+        "lru": LRUPolicy,
+        "amm": AMMPolicy,
+        "amm-access-only": AccessOnlyPolicy,
+        "amm-size-only": SizeOnlyPolicy,
+    }
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ValueError(f"unknown memory policy {name!r}") from None

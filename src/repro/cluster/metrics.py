@@ -1,0 +1,83 @@
+"""Execution metrics collected by the simulated cluster.
+
+The paper's evaluation reports completion times and the *memory hit ratio*:
+the fraction of data accesses that read data residing in memory (§6.2).
+This module tracks both, plus eviction counts, byte volumes, per-category
+time breakdowns, and pruning statistics, so every figure of §6.2–§6.4 can
+be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated over one job execution."""
+
+    bytes_read_memory: int = 0
+    bytes_read_disk: int = 0
+    bytes_written_memory: int = 0
+    bytes_written_disk: int = 0
+    partition_hits: int = 0
+    partition_misses: int = 0
+    evictions: int = 0
+    datasets_discarded: int = 0
+    branches_pruned: int = 0
+    branches_executed: int = 0
+    stages_executed: int = 0
+    tasks_executed: int = 0
+    choose_evaluations: int = 0
+    time_compute: float = 0.0
+    time_io: float = 0.0
+    time_network: float = 0.0
+    peak_datasets_stored: int = 0
+    recoveries: int = 0
+    speculative_tasks: int = 0
+
+    @property
+    def memory_hit_ratio(self) -> float:
+        """Fraction of read bytes served from memory (1.0 when nothing read)."""
+        total = self.bytes_read_memory + self.bytes_read_disk
+        if total == 0:
+            return 1.0
+        return self.bytes_read_memory / total
+
+    @property
+    def total_time(self) -> float:
+        return self.time_compute + self.time_io + self.time_network
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Element-wise sum of two metric sets (peaks take the maximum)."""
+        merged = Metrics()
+        for name in (
+            "bytes_read_memory",
+            "bytes_read_disk",
+            "bytes_written_memory",
+            "bytes_written_disk",
+            "partition_hits",
+            "partition_misses",
+            "evictions",
+            "datasets_discarded",
+            "branches_pruned",
+            "branches_executed",
+            "stages_executed",
+            "tasks_executed",
+            "choose_evaluations",
+            "recoveries",
+            "speculative_tasks",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        for name in ("time_compute", "time_io", "time_network"):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.peak_datasets_stored = max(self.peak_datasets_stored, other.peak_datasets_stored)
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reporting."""
+        data = dict(self.__dict__)
+        data["memory_hit_ratio"] = self.memory_hit_ratio
+        data["total_time"] = self.total_time
+        return data

@@ -1,0 +1,109 @@
+"""Core meta-dataflow model: graphs, operators, explore/choose, stages.
+
+This package implements §3 and Appendices A/B of the paper: the dataflow
+and data models, the MDF extension with explore and choose operators, the
+Table 1 optimisation matrix, stage derivation, execution states, and the
+collapsed-MDF analysis behind Theorem 4.3.
+"""
+
+from .builder import MDFBuilder, Pipe
+from .choose import ChooseOperator
+from .collapse import CollapsedMDF, compare_strategies
+from .dataflow import DataflowGraph
+from .datasets import Dataset, Partition
+from .errors import (
+    ExecutionError,
+    GraphError,
+    MDFError,
+    SchedulingError,
+    ValidationError,
+)
+from .evaluators import (
+    CallableEvaluator,
+    Evaluator,
+    MetadataEvaluator,
+    RatioEvaluator,
+    SizeEvaluator,
+)
+from .explore import Branch, ExploreOperator, ParameterGrid
+from .mdf import MDF, Scope
+from .operators import (
+    Aggregate,
+    Filter,
+    FlatMap,
+    GroupBy,
+    Identity,
+    Join,
+    Map,
+    Operator,
+    Sink,
+    Source,
+    Transform,
+)
+from .optimizations import OptimizationPlan, make_pruner, plan_optimizations
+from .selection import (
+    Interval,
+    KInterval,
+    KThreshold,
+    Max,
+    Min,
+    Mode,
+    SelectionFunction,
+    Threshold,
+    TopK,
+)
+from .stages import Stage, StageGraph
+from .state import ExecutionState, still_needed_datasets
+
+__all__ = [
+    "Aggregate",
+    "Branch",
+    "CallableEvaluator",
+    "ChooseOperator",
+    "CollapsedMDF",
+    "DataflowGraph",
+    "Dataset",
+    "Evaluator",
+    "ExecutionError",
+    "ExecutionState",
+    "ExploreOperator",
+    "Filter",
+    "FlatMap",
+    "GraphError",
+    "GroupBy",
+    "Identity",
+    "Interval",
+    "Join",
+    "KInterval",
+    "KThreshold",
+    "MDF",
+    "MDFBuilder",
+    "MDFError",
+    "Map",
+    "Max",
+    "MetadataEvaluator",
+    "Min",
+    "Mode",
+    "Operator",
+    "OptimizationPlan",
+    "ParameterGrid",
+    "Partition",
+    "Pipe",
+    "RatioEvaluator",
+    "SchedulingError",
+    "Scope",
+    "SelectionFunction",
+    "Sink",
+    "SizeEvaluator",
+    "Source",
+    "Stage",
+    "StageGraph",
+    "Threshold",
+    "TopK",
+    "Transform",
+    "ValidationError",
+    "compare_strategies",
+    "make_pruner",
+    "plan_optimizations",
+    "still_needed_datasets",
+]

@@ -1,0 +1,220 @@
+"""Fluent construction API for meta-dataflows.
+
+Mirrors the paper's Scala listings (Figs. 3b, 21–23)::
+
+    val result = EXPLORE(t=seq(1.5, 2), k=seq("gaussian", "top-hat"), {
+        val filtered  = Outlier.filter(src, t)
+        val estimated = KDE.estimate(filtered, k, 0.2)
+    }).CHOOSE(mise(estimated), min)
+
+becomes::
+
+    b = MDFBuilder("kde")
+    src = b.read(Source.from_data(values))
+    result = src.explore(
+        {"t": [1.5, 2.0], "k": ["gaussian", "top-hat"]},
+        lambda pipe, p: (pipe
+            .transform(outlier_filter(p["t"]), name=f"outlier-{p['t']}")
+            .transform(kde_estimate(p["k"], 0.2), name=f"kde-{p['k']}")),
+    ).choose(CallableEvaluator(mise), Min())
+    result.write()
+    mdf = b.build()
+
+Branch bodies are plain callables ``(pipe, params) -> pipe``; they may nest
+further ``explore(...).choose(...)`` calls, producing hierarchically nested
+scopes exactly as Definition 3.1 allows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .choose import ChooseOperator
+from .errors import ValidationError
+from .evaluators import Evaluator
+from .explore import ExploreOperator, ParameterGrid, format_params
+from .mdf import MDF
+from .operators import (
+    Aggregate,
+    Filter,
+    FlatMap,
+    GroupBy,
+    Identity,
+    Join,
+    Map,
+    Operator,
+    Sink,
+    Source,
+    Transform,
+)
+from .selection import SelectionFunction
+
+BranchBody = Callable[["Pipe", Dict[str, Any]], "Pipe"]
+
+
+class MDFBuilder:
+    """Builds an :class:`~repro.core.mdf.MDF` through a fluent pipe API."""
+
+    def __init__(self, name: str = "mdf"):
+        self.mdf = MDF(name)
+        self._sources: List[Source] = []
+        self._recorders: List[List[Operator]] = []
+
+    # ------------------------------------------------------------- plumbing
+    def _record(self, op: Operator) -> None:
+        for recorder in self._recorders:
+            recorder.append(op)
+
+    def read(self, source: Source) -> "Pipe":
+        """Register a source operator and return a pipe rooted at it."""
+        self.mdf.add_operator(source)
+        self._sources.append(source)
+        self._record(source)
+        return Pipe(self, source)
+
+    def read_data(
+        self, data: Any, name: Optional[str] = None, nominal_bytes: Optional[int] = None
+    ) -> "Pipe":
+        """Convenience: wrap an in-memory payload as a source."""
+        return self.read(Source.from_data(data, name=name, nominal_bytes=nominal_bytes))
+
+    def build(self) -> MDF:
+        """Validate and return the constructed MDF.
+
+        A choose operator that ends up as a graph sink gets a pass-through
+        sink appended so the Definition 3.1 out-degree constraint holds.
+        """
+        for op in list(self.mdf.sinks()):
+            if isinstance(op, ChooseOperator):
+                sink = Sink(name=f"{op.name}-sink")
+                self.mdf.add_edge(op, sink)
+        self.mdf.validate()
+        return self.mdf
+
+
+class Pipe:
+    """A position in the dataflow under construction (the last operator)."""
+
+    def __init__(self, builder: MDFBuilder, op: Operator):
+        self.builder = builder
+        self.op = op
+
+    # -------------------------------------------------------- chaining ops
+    def apply(self, op: Operator) -> "Pipe":
+        """Append an arbitrary operator after the current position."""
+        self.builder.mdf.add_edge(self.op, op)
+        self.builder._record(op)
+        return Pipe(self.builder, op)
+
+    def map(self, fn: Callable[[Any], Any], name: Optional[str] = None, **kwargs) -> "Pipe":
+        return self.apply(Map(fn, name=name, **kwargs))
+
+    def filter(
+        self, predicate: Callable[[Any], bool], name: Optional[str] = None, **kwargs
+    ) -> "Pipe":
+        return self.apply(Filter(predicate, name=name, **kwargs))
+
+    def flat_map(
+        self, fn: Callable[[Any], List[Any]], name: Optional[str] = None, **kwargs
+    ) -> "Pipe":
+        return self.apply(FlatMap(fn, name=name, **kwargs))
+
+    def transform(
+        self, fn: Callable[[Any], Any], name: Optional[str] = None, **kwargs
+    ) -> "Pipe":
+        """Whole-partition transformation (narrow)."""
+        return self.apply(Transform(fn, name=name, **kwargs))
+
+    def aggregate(
+        self, fn: Callable[[Any], Any], name: Optional[str] = None, **kwargs
+    ) -> "Pipe":
+        """Whole-dataset transformation (wide: shuffles all partitions)."""
+        return self.apply(Aggregate(fn, name=name, **kwargs))
+
+    def group_by(
+        self, key_fn: Callable[[Any], Any], name: Optional[str] = None, **kwargs
+    ) -> "Pipe":
+        return self.apply(GroupBy(key_fn, name=name, **kwargs))
+
+    def identity(self, name: Optional[str] = None) -> "Pipe":
+        return self.apply(Identity(name=name))
+
+    def join(
+        self,
+        other: "Pipe",
+        fn: Callable[[Any, Any], Any],
+        name: Optional[str] = None,
+        **kwargs,
+    ) -> "Pipe":
+        """Two-input join: ``fn(self_payload, other_payload)`` (wide)."""
+        op = Join(fn, name=name, **kwargs)
+        op.input_names = [self.op.name, other.op.name]
+        self.builder.mdf.add_edge(self.op, op)
+        self.builder.mdf.add_edge(other.op, op)
+        self.builder._record(op)
+        return Pipe(self.builder, op)
+
+    def write(
+        self, fn: Optional[Callable[[Any], Any]] = None, name: Optional[str] = None
+    ) -> "Pipe":
+        """Terminate the pipeline with a sink operator."""
+        return self.apply(Sink(fn, name=name))
+
+    # -------------------------------------------------------------- explore
+    def explore(
+        self,
+        params: Mapping[str, Sequence[Any]],
+        body: BranchBody,
+        name: Optional[str] = None,
+    ) -> "ExploredPipe":
+        """Open an exploration scope over the cartesian parameter grid.
+
+        ``body(pipe, combo)`` is invoked once per parameter combination with
+        a pipe rooted at the explore operator; it must return the pipe at the
+        branch's tail.  The matching :meth:`ExploredPipe.choose` call closes
+        the scope.
+        """
+        grid = ParameterGrid.from_mapping(params)
+        explore = ExploreOperator(grid, name=name)
+        mdf = self.builder.mdf
+        mdf.open_scope(explore, self.op)
+        self.builder._record(explore)
+
+        tails: List[Operator] = []
+        for combo in explore.branch_params:
+            recorder: List[Operator] = []
+            self.builder._recorders.append(recorder)
+            try:
+                tail_pipe = body(Pipe(self.builder, explore), dict(combo))
+            finally:
+                self.builder._recorders.pop()
+            if tail_pipe is None or tail_pipe.op is explore:
+                raise ValidationError(
+                    f"branch body for {format_params(combo)} must add at least "
+                    "one operator and return the resulting pipe"
+                )
+            ops = [op for op in recorder if op is not tail_pipe.op] + [tail_pipe.op]
+            mdf.add_branch(explore, ops)
+            tails.append(tail_pipe.op)
+        return ExploredPipe(self.builder, explore, tails)
+
+
+class ExploredPipe:
+    """An open exploration scope awaiting its :meth:`choose`."""
+
+    def __init__(self, builder: MDFBuilder, explore: ExploreOperator, tails: List[Operator]):
+        self.builder = builder
+        self.explore = explore
+        self.tails = tails
+
+    def choose(
+        self,
+        evaluator: Evaluator,
+        selection: SelectionFunction,
+        name: Optional[str] = None,
+    ) -> Pipe:
+        """Close the scope with a choose operator and return its pipe."""
+        choose = ChooseOperator(evaluator, selection, name=name)
+        self.builder.mdf.close_scope(self.explore, choose)
+        self.builder._record(choose)
+        return Pipe(self.builder, choose)

@@ -1,0 +1,61 @@
+"""Choose operators (Definition 3.3) closing an exploration scope.
+
+A choose operator has ``i > 1`` inputs (one per branch) and one output.  Its
+operator function is the composition of a worker-side *evaluator* ``φ_v``
+(scores one branch's dataset) and a master-side *selection* ``ρ_v`` (picks a
+subset of branches by score and concatenates their datasets).  The split
+between worker and master is the paper's §4.2/§5 design and what enables
+incremental evaluation under branch-aware scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from .datasets import Dataset
+from .evaluators import Evaluator
+from .operators import Operator
+from .optimizations import OptimizationPlan, plan_optimizations
+from .selection import SelectionFunction
+
+
+class ChooseOperator(Operator):
+    """Closes an exploration scope (``|•v| > 1``, ``|v•| = 1``)."""
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        selection: SelectionFunction,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name, cost_factor=0.0)
+        self.evaluator = evaluator
+        self.selection = selection
+
+    @property
+    def optimization_plan(self) -> OptimizationPlan:
+        """The Table 1 optimisations this choose enables."""
+        return plan_optimizations(self.evaluator, self.selection)
+
+    # The full operator function f_v(d_1, ..., d_i) of Definition 3.3,
+    # used when choose runs as an ordinary (non-incremental) barrier.
+    def apply(self, branch_datasets: Sequence[Tuple[str, Dataset]]) -> Dataset:
+        """Score every branch, select, and concatenate the kept datasets."""
+        scored = [(branch_id, self.evaluator.score(ds)) for branch_id, ds in branch_datasets]
+        kept_ids = set(self.selection.select(scored))
+        kept = [ds for branch_id, ds in branch_datasets if branch_id in kept_ids]
+        if not kept:
+            # An empty selection still produces a (degenerate) dataset so the
+            # downstream pipeline can observe "nothing survived".
+            return Dataset.from_data([], producer=self.name)
+        result = kept[0]
+        for ds in kept[1:]:
+            result = result.concat(ds)
+        result.producer = self.name
+        return result
+
+    def apply_partition(self, data: Any) -> Any:  # pragma: no cover - engine bypasses
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Choose({self.name}, {self.evaluator!r}, {self.selection!r})"

@@ -1,0 +1,203 @@
+"""Collapsed MDFs and the Appendix B dataset-count analysis.
+
+Appendix B proves that depth-first traversal (the order branch-aware
+scheduling uses) never maintains more datasets than breadth-first traversal
+(Theorem 4.3).  This module provides both sides of that argument:
+
+* the paper's closed-form counts — Eq. 1 (depth-first), Eq. 2
+  (breadth-first) and Eq. 5 (breadth-first after a choose) — for a
+  *collapsed* MDF with uniform branching factor ``B`` and nesting depth
+  ``d``, and
+* an exact discrete simulation of a uniform collapsed MDF
+  (:class:`CollapsedMDF`) that replays a depth-first or breadth-first
+  schedule and counts the datasets alive after every step, which the tests
+  and the Appendix B benchmark use to validate the theorem empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Tuple
+
+Strategy = Literal["dfs", "bfs"]
+
+
+# ------------------------------------------------------------ closed forms
+
+
+def eq1_depth_first(b: int, d: int, B: int) -> int:
+    """Eq. 1: datasets maintained after stage ``(b, d)`` under depth-first.
+
+    ``b`` is the 1-based execution order of the stage within its depth
+    (``1 <= b <= B**d``), ``d`` the nesting depth, ``B >= 2`` the uniform
+    branching factor.  Assumes the worst case of no early/incremental choose.
+    """
+    _check_stage(b, d, B)
+    total = 1
+    for x in range(1, d + 1):
+        block = (b - 1) - ((b - 1) // B**x) * B**x
+        completed_siblings = block // B ** (x - 1)
+        last_child = ((b - 1) - ((b - 1) // B**x) * B**x) // int((1 - 1 / B) * B**x)
+        total += completed_siblings + 1 - last_child
+    return total
+
+
+def eq2_breadth_first(b: int, d: int, B: int) -> int:
+    """Eq. 2: datasets maintained after stage ``(b, d)`` under breadth-first.
+
+    ``B**(d-1) - floor(b / B) + b``: the unexplored parents from the previous
+    depth plus the already-explored stages of the current depth.
+    """
+    _check_stage(b, d, B)
+    return B ** (d - 1) - b // B + b
+
+
+def eq5_choose_breadth_first(b: int, d: int, B: int) -> int:
+    """Eq. 5: datasets maintained after a breadth-first choose stage.
+
+    The choose closes the scope whose explore stage is denoted ``(b, d)``;
+    ``b`` must be a multiple of ``B`` (a choose reads ``B`` inputs at once).
+    """
+    _check_stage(b, d, B)
+    return B ** (d + 1) - B * b + b
+
+
+def _check_stage(b: int, d: int, B: int) -> None:
+    if B < 2:
+        raise ValueError("branching factor B must be >= 2")
+    if d < 1:
+        raise ValueError("depth d must be >= 1 for the closed forms")
+    if not 1 <= b <= B**d:
+        raise ValueError(f"stage index b={b} out of range for depth {d} (max {B ** d})")
+
+
+# ----------------------------------------------------------- exact simulator
+
+
+@dataclass
+class TraceEntry:
+    """One step of a collapsed-MDF schedule replay."""
+
+    step: int
+    kind: str  # "work" or "choose"
+    depth: int
+    index: int
+    alive_datasets: int
+
+
+class CollapsedMDF:
+    """A uniform collapsed MDF: perfect ``B``-ary explore tree of depth ``D``.
+
+    The root (depth 0) is the source stage.  Every node above the leaf depth
+    has ``B`` children (the branch stages of one explore); each internal node
+    owns a choose that consumes its children's results.  Dataset lifecycle
+    follows Appendix B:
+
+    * executing a work stage creates one dataset;
+    * an internal node's dataset is read by all ``B`` children and is
+      discarded once the last child has executed;
+    * a choose consumes (and discards) its ``B`` input results and produces
+      one result dataset.
+
+    The worst case of no incremental choose is modelled: all ``B`` inputs of
+    a choose must be alive simultaneously.
+    """
+
+    def __init__(self, branching: int, depth: int):
+        if branching < 2:
+            raise ValueError("branching factor must be >= 2")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.B = branching
+        self.depth = depth
+
+    # node identifiers: (depth, index) with index in [0, B**depth)
+    def children(self, node: Tuple[int, int]) -> List[Tuple[int, int]]:
+        d, i = node
+        if d >= self.depth:
+            return []
+        return [(d + 1, i * self.B + j) for j in range(self.B)]
+
+    def simulate(self, strategy: Strategy) -> List[TraceEntry]:
+        """Replay a schedule and record alive-dataset counts per step."""
+        if strategy == "dfs":
+            schedule = self._dfs_schedule()
+        elif strategy == "bfs":
+            schedule = self._bfs_schedule()
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return self._replay(schedule)
+
+    def _dfs_schedule(self) -> List[Tuple[str, Tuple[int, int]]]:
+        """Depth-first: finish a whole subtree (incl. its choose) first."""
+        schedule: List[Tuple[str, Tuple[int, int]]] = []
+
+        def visit(node: Tuple[int, int]) -> None:
+            schedule.append(("work", node))
+            kids = self.children(node)
+            if kids:
+                for kid in kids:
+                    visit(kid)
+                schedule.append(("choose", node))
+
+        visit((0, 0))
+        return schedule
+
+    def _bfs_schedule(self) -> List[Tuple[str, Tuple[int, int]]]:
+        """Breadth-first: all work stages level by level, chooses bottom-up."""
+        schedule: List[Tuple[str, Tuple[int, int]]] = []
+        for d in range(self.depth + 1):
+            for i in range(self.B**d):
+                schedule.append(("work", (d, i)))
+        for d in range(self.depth - 1, -1, -1):
+            for i in range(self.B**d):
+                schedule.append(("choose", (d, i)))
+        return schedule
+
+    def _replay(self, schedule: List[Tuple[str, Tuple[int, int]]]) -> List[TraceEntry]:
+        # alive datasets: work outputs and choose results, keyed by node
+        alive_work: Dict[Tuple[int, int], int] = {}  # node -> unread child count
+        alive_result: Dict[Tuple[int, int], bool] = {}
+        trace: List[TraceEntry] = []
+        for step, (kind, node) in enumerate(schedule):
+            d, i = node
+            if kind == "work":
+                kids = self.children(node)
+                if kids:
+                    alive_work[node] = len(kids)
+                else:
+                    alive_work[node] = 0  # leaf: consumed by its choose
+                if d > 0:
+                    parent = (d - 1, i // self.B)
+                    alive_work[parent] -= 1
+                    if alive_work[parent] == 0 and self.children(parent):
+                        del alive_work[parent]
+            else:  # choose of `node`'s scope
+                for kid in self.children(node):
+                    if self.children(kid):
+                        alive_result.pop(kid, None)
+                    else:
+                        alive_work.pop(kid, None)
+                alive_result[node] = True
+            count = len(alive_work) + len(alive_result)
+            trace.append(TraceEntry(step, kind, d, i, count))
+        return trace
+
+    def peak_datasets(self, strategy: Strategy) -> int:
+        """Maximum number of simultaneously maintained datasets."""
+        return max(entry.alive_datasets for entry in self.simulate(strategy))
+
+    def total_dataset_steps(self, strategy: Strategy) -> int:
+        """Sum of alive-dataset counts over all steps (memory-time product)."""
+        return sum(entry.alive_datasets for entry in self.simulate(strategy))
+
+
+def compare_strategies(branching: int, depth: int) -> Dict[str, int]:
+    """Peak maintained datasets for DFS vs BFS on a uniform collapsed MDF."""
+    mdf = CollapsedMDF(branching, depth)
+    return {
+        "dfs_peak": mdf.peak_datasets("dfs"),
+        "bfs_peak": mdf.peak_datasets("bfs"),
+        "dfs_total": mdf.total_dataset_steps("dfs"),
+        "bfs_total": mdf.total_dataset_steps("bfs"),
+    }

@@ -1,0 +1,254 @@
+"""Dataflow graphs (Appendix A of the paper).
+
+A dataflow graph is a connected directed acyclic graph ``G = (V, E)`` whose
+vertices are :class:`~repro.core.operators.Operator` instances and whose
+edges are data dependencies.  This module provides construction, pre/post
+sets (``•v`` and ``v•``), path queries, validation, and topological ordering
+— everything the MDF model, stage derivation, and the schedulers build on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .errors import GraphError
+from .operators import Operator
+
+
+class DataflowGraph:
+    """A directed acyclic graph of operators with data-dependency edges."""
+
+    def __init__(self):
+        self._operators: Dict[str, Operator] = {}
+        self._succ: Dict[str, Set[str]] = {}
+        self._pred: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------ structure
+    def add_operator(self, op: Operator) -> Operator:
+        """Register an operator as a vertex; returns it for chaining."""
+        if op.name in self._operators:
+            if self._operators[op.name] is op:
+                return op
+            raise GraphError(f"duplicate operator name {op.name!r}")
+        self._operators[op.name] = op
+        self._succ[op.name] = set()
+        self._pred[op.name] = set()
+        return op
+
+    def add_edge(self, src: Operator, dst: Operator) -> None:
+        """Add a data dependency ``src -> dst`` (vertices added on demand)."""
+        self.add_operator(src)
+        self.add_operator(dst)
+        if src.name == dst.name:
+            raise GraphError(f"self-loop on operator {src.name!r}")
+        self._succ[src.name].add(dst.name)
+        self._pred[dst.name].add(src.name)
+
+    def chain(self, *ops: Operator) -> Operator:
+        """Add edges along a linear chain of operators; returns the last one."""
+        for a, b in zip(ops, ops[1:]):
+            self.add_edge(a, b)
+        return ops[-1]
+
+    # -------------------------------------------------------------- queries
+    @property
+    def operators(self) -> List[Operator]:
+        return list(self._operators.values())
+
+    def operator(self, name: str) -> Operator:
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise GraphError(f"unknown operator {name!r}") from None
+
+    def __contains__(self, op: Operator) -> bool:
+        return getattr(op, "name", None) in self._operators
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def pre(self, op: Operator) -> Set[Operator]:
+        """Pre-set ``•v``: operators with an edge into ``op``."""
+        return {self._operators[n] for n in self._pred[op.name]}
+
+    def post(self, op: Operator) -> Set[Operator]:
+        """Post-set ``v•``: operators ``op`` has an edge to."""
+        return {self._operators[n] for n in self._succ[op.name]}
+
+    def in_degree(self, op: Operator) -> int:
+        return len(self._pred[op.name])
+
+    def out_degree(self, op: Operator) -> int:
+        return len(self._succ[op.name])
+
+    def sources(self) -> List[Operator]:
+        """Operators with an empty pre-set."""
+        return [op for op in self.operators if not self._pred[op.name]]
+
+    def sinks(self) -> List[Operator]:
+        """Operators with an empty post-set."""
+        return [op for op in self.operators if not self._succ[op.name]]
+
+    def has_path(self, src: Operator, dst: Operator) -> bool:
+        """True if a directed path ``π(src, dst)`` exists."""
+        if src.name == dst.name:
+            return False
+        seen = {src.name}
+        queue = deque([src.name])
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._succ[cur]:
+                if nxt == dst.name:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    def descendants(self, op: Operator) -> Set[Operator]:
+        """All operators reachable from ``op`` (excluding ``op`` itself)."""
+        seen: Set[str] = set()
+        queue = deque(self._succ[op.name])
+        while queue:
+            cur = queue.popleft()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            queue.extend(self._succ[cur])
+        return {self._operators[n] for n in seen}
+
+    def ancestors(self, op: Operator) -> Set[Operator]:
+        """All operators from which ``op`` is reachable."""
+        seen: Set[str] = set()
+        queue = deque(self._pred[op.name])
+        while queue:
+            cur = queue.popleft()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            queue.extend(self._pred[cur])
+        return {self._operators[n] for n in seen}
+
+    def paths(self, src: Operator, dst: Operator) -> List[List[Operator]]:
+        """All simple directed paths from ``src`` to ``dst`` (inclusive)."""
+        results: List[List[Operator]] = []
+        stack: List[List[str]] = [[src.name]]
+        while stack:
+            path = stack.pop()
+            last = path[-1]
+            if last == dst.name:
+                results.append([self._operators[n] for n in path])
+                continue
+            for nxt in sorted(self._succ[last]):
+                if nxt not in path:
+                    stack.append(path + [nxt])
+        return results
+
+    # ----------------------------------------------------------- validation
+    def topological_order(self) -> List[Operator]:
+        """Kahn topological sort; raises :class:`GraphError` on cycles."""
+        indeg = {name: len(preds) for name, preds in self._pred.items()}
+        queue = deque(sorted(n for n, d in indeg.items() if d == 0))
+        order: List[str] = []
+        while queue:
+            cur = queue.popleft()
+            order.append(cur)
+            for nxt in sorted(self._succ[cur]):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        if len(order) != len(self._operators):
+            raise GraphError("dataflow graph contains a cycle")
+        return [self._operators[n] for n in order]
+
+    def is_connected(self) -> bool:
+        """True if the underlying undirected graph is connected."""
+        if not self._operators:
+            return True
+        start = next(iter(self._operators))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            cur = queue.popleft()
+            for nxt in self._succ[cur] | self._pred[cur]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return len(seen) == len(self._operators)
+
+    def validate(self) -> None:
+        """Check the Appendix A structural invariants: connected DAG."""
+        if not self._operators:
+            raise GraphError("empty dataflow graph")
+        self.topological_order()
+        if not self.is_connected():
+            raise GraphError("dataflow graph is not connected")
+        if not self.sources():
+            raise GraphError("dataflow graph has no source operator")
+        if not self.sinks():
+            raise GraphError("dataflow graph has no sink operator")
+
+    # -------------------------------------------------------------- utility
+    def subgraph(self, ops: Iterable[Operator]) -> "DataflowGraph":
+        """Induced subgraph over ``ops`` (edges restricted to the subset)."""
+        names = {op.name for op in ops}
+        sub = DataflowGraph()
+        for name in names:
+            sub.add_operator(self._operators[name])
+        for name in names:
+            for nxt in self._succ[name]:
+                if nxt in names:
+                    sub.add_edge(self._operators[name], self._operators[nxt])
+        return sub
+
+    def copy(self) -> "DataflowGraph":
+        """Shallow copy sharing operator instances but not edge sets."""
+        dup = DataflowGraph()
+        for op in self.operators:
+            dup.add_operator(op)
+        for name, succs in self._succ.items():
+            for nxt in succs:
+                dup.add_edge(self._operators[name], self._operators[nxt])
+        return dup
+
+    def remove_operators(self, ops: Sequence[Operator]) -> None:
+        """Remove operators and their incident edges (dynamic rewriting)."""
+        for op in ops:
+            name = op.name
+            if name not in self._operators:
+                continue
+            for nxt in self._succ.pop(name, set()):
+                self._pred[nxt].discard(name)
+            for prv in self._pred.pop(name, set()):
+                self._succ[prv].discard(name)
+            del self._operators[name]
+
+    def to_dot(self, name: str = "dataflow") -> str:
+        """Render the graph in Graphviz DOT format.
+
+        Explore operators are drawn as triangles, chooses as inverted
+        triangles, wide operators as boxes, everything else as ellipses —
+        handy for inspecting generated MDFs (``dot -Tpng``).
+        """
+        lines = [f'digraph "{name}" {{', "  rankdir=LR;"]
+        for op in self.operators:
+            kind = type(op).__name__
+            if kind == "ExploreOperator":
+                shape = "triangle"
+            elif kind == "ChooseOperator":
+                shape = "invtriangle"
+            elif not op.narrow:
+                shape = "box"
+            else:
+                shape = "ellipse"
+            lines.append(f'  "{op.name}" [shape={shape}];')
+        for src_name, succs in sorted(self._succ.items()):
+            for dst in sorted(succs):
+                lines.append(f'  "{src_name}" -> "{dst}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = sum(len(s) for s in self._succ.values())
+        return f"DataflowGraph(|V|={len(self._operators)}, |E|={edges})"

@@ -1,0 +1,221 @@
+"""Datasets and partitions: the data model of Appendix A.
+
+The paper models processed data as finite datasets from a domain ``D`` that
+support concatenation (``d ⊕ d'``) and are split into *partitions* that live
+on different cluster nodes.  A partition carries two notions of size:
+
+* the *real* payload, a Python object (list, numpy array, dict, ...) that
+  operator functions actually transform, and
+* a *nominal* byte size used by the simulated cluster for memory accounting.
+
+Decoupling the two lets the benchmarks exercise paper-scale memory pressure
+(gigabytes per worker) while the in-process payloads stay laptop-sized.  The
+nominal size defaults to an estimate of the payload's real footprint scaled
+by a per-dataset factor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from typing import Any, Iterable, List, Optional
+
+import numpy as np
+
+_dataset_counter = itertools.count()
+
+
+def estimate_payload_bytes(data: Any) -> int:
+    """Estimate the in-memory footprint of a partition payload in bytes.
+
+    numpy arrays report their exact buffer size; lists and tuples are
+    estimated from a sample of their elements; everything else falls back to
+    :func:`sys.getsizeof`.
+    """
+    if data is None:
+        return 0
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    if isinstance(data, (list, tuple)):
+        n = len(data)
+        if n == 0:
+            return sys.getsizeof(data)
+        sample = data[: min(n, 16)]
+        per_item = sum(estimate_payload_bytes(x) for x in sample) / len(sample)
+        return int(sys.getsizeof(data) + per_item * n)
+    if isinstance(data, dict):
+        n = len(data)
+        if n == 0:
+            return sys.getsizeof(data)
+        items = list(itertools.islice(data.items(), 16))
+        per_item = sum(
+            estimate_payload_bytes(k) + estimate_payload_bytes(v) for k, v in items
+        ) / len(items)
+        return int(sys.getsizeof(data) + per_item * n)
+    return int(sys.getsizeof(data))
+
+
+class Partition:
+    """One horizontal slice of a dataset, assigned to a single cluster node.
+
+    Attributes
+    ----------
+    dataset_id:
+        Identifier of the owning :class:`Dataset`.
+    index:
+        Position of this partition within the dataset (``0..n-1``).
+    data:
+        The real payload transformed by operator functions.
+    nominal_bytes:
+        Size used for memory accounting in the simulated cluster.
+    """
+
+    __slots__ = ("dataset_id", "index", "data", "nominal_bytes")
+
+    def __init__(self, dataset_id: str, index: int, data: Any, nominal_bytes: Optional[int] = None):
+        self.dataset_id = dataset_id
+        self.index = index
+        self.data = data
+        if nominal_bytes is None:
+            nominal_bytes = estimate_payload_bytes(data)
+        self.nominal_bytes = int(nominal_bytes)
+
+    @property
+    def key(self) -> tuple:
+        """Unique key ``(dataset_id, index)`` used by node partition stores."""
+        return (self.dataset_id, self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Partition({self.dataset_id}[{self.index}], {self.nominal_bytes}B)"
+
+
+class Dataset:
+    """A partitioned dataset (domain ``D`` of Appendix A).
+
+    Datasets are produced by operators during execution.  ``producer`` is the
+    name of the operator that created the dataset, which anticipatory memory
+    management uses to derive future access counts (``pro(d)`` in Alg. 2).
+    """
+
+    def __init__(
+        self,
+        partitions: List[Partition],
+        dataset_id: Optional[str] = None,
+        producer: Optional[str] = None,
+    ):
+        if dataset_id is None:
+            dataset_id = f"ds-{next(_dataset_counter)}"
+        self.id = dataset_id
+        self.partitions = partitions
+        self.producer = producer
+        for p in partitions:
+            p.dataset_id = dataset_id
+
+    @classmethod
+    def from_data(
+        cls,
+        data: Any,
+        num_partitions: int = 1,
+        dataset_id: Optional[str] = None,
+        producer: Optional[str] = None,
+        nominal_bytes: Optional[int] = None,
+    ) -> "Dataset":
+        """Build a dataset by splitting ``data`` into ``num_partitions`` slices.
+
+        Lists and numpy arrays are split contiguously; any other payload is
+        replicated into a single partition.  ``nominal_bytes``, when given, is
+        the *total* nominal size, divided evenly across partitions.
+        """
+        chunks = split_payload(data, num_partitions)
+        per_part = None if nominal_bytes is None else max(1, nominal_bytes // len(chunks))
+        ds_id = dataset_id if dataset_id is not None else f"ds-{next(_dataset_counter)}"
+        parts = [Partition(ds_id, i, chunk, per_part) for i, chunk in enumerate(chunks)]
+        return cls(parts, dataset_id=ds_id, producer=producer)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def nominal_bytes(self) -> int:
+        """Total nominal size across all partitions."""
+        return sum(p.nominal_bytes for p in self.partitions)
+
+    def collect(self) -> Any:
+        """Materialise the full payload by concatenating all partitions.
+
+        numpy partitions concatenate along axis 0; list partitions extend;
+        a single partition returns its payload unchanged.
+        """
+        payloads = [p.data for p in self.partitions]
+        return concat_payloads(payloads)
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Dataset concatenation ``d ⊕ d'`` (Appendix A)."""
+        parts = []
+        for i, p in enumerate(self.partitions + other.partitions):
+            parts.append(Partition("", i, p.data, p.nominal_bytes))
+        return Dataset(parts, producer=self.producer)
+
+    def __add__(self, other: "Dataset") -> "Dataset":
+        return self.concat(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset({self.id}, parts={self.num_partitions}, {self.nominal_bytes}B)"
+
+
+def split_payload(data: Any, num_partitions: int) -> List[Any]:
+    """Split a payload into roughly equal contiguous chunks.
+
+    numpy arrays use :func:`numpy.array_split`; sequences are sliced; any
+    other payload yields a single chunk.  At least one chunk is always
+    returned, and empty datasets produce ``num_partitions`` empty chunks so
+    partition placement stays aligned with the cluster.
+    """
+    if num_partitions <= 1:
+        return [data]
+    if hasattr(data, "split_into"):
+        # payload-defined partitioning protocol (e.g. labelled datasets)
+        return list(data.split_into(num_partitions))
+    if isinstance(data, np.ndarray):
+        return [chunk for chunk in np.array_split(data, num_partitions)]
+    if isinstance(data, (list, tuple)):
+        n = len(data)
+        chunks = []
+        base, extra = divmod(n, num_partitions)
+        start = 0
+        for i in range(num_partitions):
+            size = base + (1 if i < extra else 0)
+            chunks.append(list(data[start : start + size]))
+            start += size
+        return chunks
+    return [data]
+
+
+def concat_payloads(payloads: Iterable[Any]) -> Any:
+    """Concatenate partition payloads back into a single payload (``⊕``)."""
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    if len(payloads) == 1:
+        return payloads[0]
+    first = payloads[0]
+    if hasattr(first, "concat_with"):
+        # payload-defined concatenation protocol (dual of ``split_into``)
+        merged = first
+        for p in payloads[1:]:
+            merged = merged.concat_with(p)
+        return merged
+    if isinstance(first, np.ndarray):
+        return np.concatenate(payloads, axis=0)
+    if isinstance(first, list):
+        out: List[Any] = []
+        for p in payloads:
+            out.extend(p)
+        return out
+    if isinstance(first, dict):
+        merged: dict = {}
+        for p in payloads:
+            merged.update(p)
+        return merged
+    return payloads

@@ -1,0 +1,136 @@
+"""Evaluator functions for choose operators (Definition 3.3).
+
+An evaluator ``φ_v : D -> R`` scores the result dataset of one branch.  The
+paper exploits two properties of evaluators *over the ordered choices of an
+explorable* (Table 1):
+
+* ``monotone`` — scores only improve (or only worsen) as the explorable's
+  choice moves through its ordered domain, so once scores start losing the
+  remaining branches can be skipped;
+* ``convex`` — scores have a single optimum over the ordered domain, so a
+  directional/binary search finds it without visiting every branch.
+
+These are declared properties: the library trusts the user-supplied flags,
+exactly as the paper requires users to provide them for domain-specific
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .datasets import Dataset
+
+
+class Evaluator:
+    """Base class scoring one branch's result dataset.
+
+    Subclasses implement :meth:`score_payload`, which receives the fully
+    concatenated payload of the branch dataset.  The engine executes
+    evaluators on worker nodes (the paper splits choose into a worker-side
+    evaluator and a master-side selection), charging ``cost_factor`` compute
+    units per input byte.
+    """
+
+    def __init__(
+        self,
+        monotone: bool = False,
+        convex: bool = False,
+        cost_factor: float = 0.01,
+        name: Optional[str] = None,
+    ):
+        self.monotone = monotone
+        self.convex = convex
+        self.cost_factor = cost_factor
+        self.name = name or type(self).__name__
+
+    def score(self, dataset: Dataset) -> float:
+        """Score a branch dataset; higher is not implied — selection decides."""
+        return float(self.score_payload(dataset.collect()))
+
+    def score_payload(self, payload: Any) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        flags = []
+        if self.monotone:
+            flags.append("monotone")
+        if self.convex:
+            flags.append("convex")
+        return f"{self.name}({', '.join(flags) or 'none'})"
+
+
+class SizeEvaluator(Evaluator):
+    """Scores a dataset by its cardinality (``φ_v(d) = |d|``).
+
+    The paper's example evaluator, e.g. to detect overly aggressive
+    filtering.  Cardinality is monotone over a widening filter threshold,
+    so ``monotone=True`` by default.
+    """
+
+    def __init__(self, monotone: bool = True, **kwargs):
+        super().__init__(monotone=monotone, cost_factor=kwargs.pop("cost_factor", 0.0), **kwargs)
+
+    def score(self, dataset: Dataset) -> float:
+        return float(sum(_payload_len(p.data) for p in dataset.partitions))
+
+    def score_payload(self, payload: Any) -> float:
+        return float(_payload_len(payload))
+
+
+class RatioEvaluator(Evaluator):
+    """Scores a dataset by its cardinality relative to a reference count.
+
+    Used by the time-series job: the ratio of surviving (non-masked) points
+    must not fall below a threshold.
+    """
+
+    def __init__(self, reference_count: int, **kwargs):
+        super().__init__(cost_factor=kwargs.pop("cost_factor", 0.0), **kwargs)
+        self.reference_count = max(1, int(reference_count))
+
+    def score(self, dataset: Dataset) -> float:
+        total = sum(_payload_len(p.data) for p in dataset.partitions)
+        return total / self.reference_count
+
+    def score_payload(self, payload: Any) -> float:
+        return _payload_len(payload) / self.reference_count
+
+
+class CallableEvaluator(Evaluator):
+    """Wraps an arbitrary ``fn(payload) -> float`` as an evaluator.
+
+    Property flags must be supplied by the user for domain-specific
+    functions, mirroring the paper's requirement.
+    """
+
+    def __init__(self, fn: Callable[[Any], float], name: Optional[str] = None, **kwargs):
+        super().__init__(name=name or getattr(fn, "__name__", "callable"), **kwargs)
+        self.fn = fn
+
+    def score_payload(self, payload: Any) -> float:
+        return float(self.fn(payload))
+
+
+class MetadataEvaluator(Evaluator):
+    """Scores a dataset from metadata only (nominal size in bytes).
+
+    Runs at zero compute cost: it never touches the payload, modelling
+    evaluators that operate on dataset metadata.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(cost_factor=0.0, **kwargs)
+
+    def score(self, dataset: Dataset) -> float:
+        return float(dataset.nominal_bytes)
+
+    def score_payload(self, payload: Any) -> float:  # pragma: no cover - unused
+        return 0.0
+
+
+def _payload_len(payload: Any) -> int:
+    try:
+        return len(payload)
+    except TypeError:
+        return 1

@@ -1,0 +1,147 @@
+"""Table 1 of the paper: which optimisations apply to a choose operator.
+
+The two optimisations are:
+
+* *incremental discard* — datasets of losing branches are freed the moment
+  the selection rules them out, possible iff the selection function is
+  associative;
+* *superfluous-branch pruning* — branches that have not executed yet are
+  skipped entirely, possible iff the selection is associative **and** at
+  least one of (a) the evaluator is monotone over the explorable's ordered
+  choices, (b) the evaluator is convex over them, or (c) the selection is
+  non-exhaustive (e.g. first-k-above-threshold).
+
+This module encodes exactly that matrix plus the directional reasoning a
+scheduler applies when a monotone or convex evaluator lets it conclude that
+remaining branches are inferior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .evaluators import Evaluator
+from .selection import SelectionFunction, TopK
+
+
+@dataclass(frozen=True)
+class OptimizationPlan:
+    """The optimisations enabled for one choose operator (one Table 1 row)."""
+
+    discard_incrementally: bool
+    prune_superfluous: bool
+
+    def __str__(self) -> str:  # pragma: no cover
+        flags = []
+        if self.discard_incrementally:
+            flags.append("incremental-discard")
+        if self.prune_superfluous:
+            flags.append("superfluous-prune")
+        return "+".join(flags) or "none"
+
+
+def plan_optimizations(evaluator: Evaluator, selection: SelectionFunction) -> OptimizationPlan:
+    """Derive the Table 1 optimisation row for an evaluator/selection pair."""
+    incremental = selection.associative
+    prune = selection.associative and (
+        evaluator.monotone or evaluator.convex or selection.non_exhaustive
+    )
+    return OptimizationPlan(discard_incrementally=incremental, prune_superfluous=prune)
+
+
+class MonotonePruner:
+    """Early termination for monotone evaluators over ordered branches.
+
+    When branches are executed in the order of the explorable's domain and
+    the evaluator is monotone, the scheduler can stop as soon as scores start
+    losing: for a best-score selection (top-k / max / min) every later branch
+    is provably worse once the trend moves away from the optimum.
+
+    The pruner watches the score sequence.  For a ``largest=True`` top-k,
+    once ``k`` scores have been collected and the trend is strictly
+    decreasing below the current k-th best, the remaining branches cannot
+    enter the top-k and are superfluous.
+    """
+
+    def __init__(self, selection: SelectionFunction, patience: int = 1):
+        self.patience = max(1, patience)
+        self._scores: List[float] = []
+        self._worsening = 0
+        if isinstance(selection, TopK):
+            self._k = selection.k
+            self._largest = selection.largest
+        else:
+            self._k = 1
+            self._largest = True
+
+    def observe(self, score: float) -> bool:
+        """Record a score; returns True when remaining branches can be skipped."""
+        self._scores.append(score)
+        if len(self._scores) < 2:
+            return False
+        prev, cur = self._scores[-2], self._scores[-1]
+        moved_away = cur < prev if self._largest else cur > prev
+        self._worsening = self._worsening + 1 if moved_away else 0
+        if len(self._scores) < self._k:
+            return False
+        kth_best = sorted(self._scores, reverse=self._largest)[self._k - 1]
+        losing = cur < kth_best if self._largest else cur > kth_best
+        return self._worsening >= self.patience and losing
+
+
+class ConvexPruner:
+    """Early termination for convex evaluators over ordered branches.
+
+    A convex score curve over the ordered explorable domain has a single
+    optimum; once the scores pass it and start worsening, the remaining
+    branches on the same side are provably inferior.  This mirrors the
+    paper's observation that convexity permits identifying the selected
+    branch via directional (binary-search-like) probing.
+    """
+
+    def __init__(self, selection: SelectionFunction, patience: int = 2):
+        self.patience = max(1, patience)
+        self._scores: List[float] = []
+        self._worsening = 0
+        self._largest = getattr(selection, "largest", True)
+
+    def observe(self, score: float) -> bool:
+        self._scores.append(score)
+        if len(self._scores) < 2:
+            return False
+        prev, cur = self._scores[-2], self._scores[-1]
+        worsened = cur < prev if self._largest else cur > prev
+        self._worsening = self._worsening + 1 if worsened else 0
+        return self._worsening >= self.patience
+
+
+def make_pruner(
+    evaluator: Evaluator, selection: SelectionFunction, patience: Optional[int] = None
+):
+    """Pick the pruning helper matching the evaluator's declared property.
+
+    Returns ``None`` when neither monotonicity nor convexity is declared —
+    in that case only non-exhaustive selections can prune, which the
+    incremental selector itself handles through ``done``.
+    """
+    if evaluator.convex:
+        return ConvexPruner(selection, patience=patience or 2)
+    if evaluator.monotone:
+        return MonotonePruner(selection, patience=patience or 1)
+    return None
+
+
+def table1_rows(
+    pairs: Sequence[Tuple[str, Evaluator, str, SelectionFunction]]
+) -> List[Tuple[str, str, bool, bool]]:
+    """Render the Table 1 matrix for a list of evaluator/selection pairs.
+
+    Returns rows ``(evaluator_label, selection_label, incremental, prune)``
+    suitable for printing next to the paper's table.
+    """
+    rows = []
+    for ev_label, evaluator, sel_label, selection in pairs:
+        plan = plan_optimizations(evaluator, selection)
+        rows.append((ev_label, sel_label, plan.discard_incrementally, plan.prune_superfluous))
+    return rows

@@ -1,0 +1,154 @@
+"""Stage derivation (Appendix A execution model).
+
+Stages group operators with only *narrow* dependencies so their execution
+can be pipelined on a worker.  Explore and choose operators always form
+singleton stages: the paper's scheduler treats them specially (explore
+starts branch-aware traversal, choose splits into a worker-side evaluator
+and a master-side selection).
+
+The derived :class:`StageGraph` exposes pre/post-sets over stages (``•T``
+and ``T•``), which is exactly the structure Algorithm 1 operates on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set
+
+from .choose import ChooseOperator
+from .dataflow import DataflowGraph
+from .explore import ExploreOperator
+from .mdf import MDF
+from .operators import Operator
+
+_stage_counter = itertools.count()
+
+
+class Stage:
+    """A maximal chain of narrow-dependency operators.
+
+    Attributes
+    ----------
+    ops:
+        The operator chain in execution order.
+    branch_id:
+        Innermost branch the stage belongs to (None outside explore scopes).
+    """
+
+    def __init__(self, ops: List[Operator], branch_id: Optional[str] = None):
+        self.index = next(_stage_counter)
+        self.id = f"stage-{self.index}"
+        self.ops = ops
+        self.branch_id = branch_id
+
+    @property
+    def head(self) -> Operator:
+        return self.ops[0]
+
+    @property
+    def tail(self) -> Operator:
+        return self.ops[-1]
+
+    @property
+    def is_choose(self) -> bool:
+        return len(self.ops) == 1 and isinstance(self.ops[0], ChooseOperator)
+
+    @property
+    def is_explore(self) -> bool:
+        return len(self.ops) == 1 and isinstance(self.ops[0], ExploreOperator)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        names = "+".join(op.name for op in self.ops)
+        return f"Stage({self.id}: {names})"
+
+
+class StageGraph:
+    """Stages of a dataflow graph with stage-level pre/post-sets."""
+
+    def __init__(self, graph: DataflowGraph):
+        self.graph = graph
+        self.stages: List[Stage] = []
+        self._stage_of: Dict[str, Stage] = {}
+        self._build()
+
+    # ------------------------------------------------------------- building
+    def _starts_new_stage(self, op: Operator) -> bool:
+        """True when ``op`` cannot be appended to its predecessor's stage."""
+        if isinstance(op, (ExploreOperator, ChooseOperator)):
+            return True
+        if not op.narrow:
+            return True  # wide dependency: shuffle boundary
+        if self.graph.in_degree(op) != 1:
+            return True
+        (pred,) = self.graph.pre(op)
+        if isinstance(pred, (ExploreOperator, ChooseOperator)):
+            return True
+        if self.graph.out_degree(pred) != 1:
+            return True  # fan-out point: each successor starts its own stage
+        return False
+
+    def _build(self) -> None:
+        for op in self.graph.topological_order():
+            if self._starts_new_stage(op):
+                branch_id = None
+                if isinstance(self.graph, MDF):
+                    branch_id = self.graph.branch_of(op)
+                stage = Stage([op], branch_id)
+                self.stages.append(stage)
+                self._stage_of[op.name] = stage
+            else:
+                (pred,) = self.graph.pre(op)
+                stage = self._stage_of[pred.name]
+                stage.ops.append(op)
+                self._stage_of[op.name] = stage
+
+    # -------------------------------------------------------------- queries
+    def stage_of(self, op: Operator) -> Stage:
+        return self._stage_of[op.name]
+
+    def pre(self, stage: Stage) -> Set[Stage]:
+        """``•T``: stages that must execute before ``stage``."""
+        preds: Set[Stage] = set()
+        for op in self.graph.pre(stage.head):
+            pred_stage = self._stage_of[op.name]
+            if pred_stage is not stage:
+                preds.add(pred_stage)
+        return preds
+
+    def post(self, stage: Stage) -> Set[Stage]:
+        """``T•``: stages that read this stage's output."""
+        succs: Set[Stage] = set()
+        for op in self.graph.post(stage.tail):
+            succ_stage = self._stage_of[op.name]
+            if succ_stage is not stage:
+                succs.add(succ_stage)
+        return succs
+
+    def initial_stages(self) -> List[Stage]:
+        return [s for s in self.stages if not self.pre(s)]
+
+    def final_stages(self) -> List[Stage]:
+        return [s for s in self.stages if not self.post(s)]
+
+    def topological_stages(self) -> List[Stage]:
+        """Stages in a topological order (BFS baseline execution order)."""
+        order: List[Stage] = []
+        done: Set[str] = set()
+        pending = list(self.stages)
+        while pending:
+            progressed = False
+            for stage in list(pending):
+                if all(p.id in done for p in self.pre(stage)):
+                    order.append(stage)
+                    done.add(stage.id)
+                    pending.remove(stage)
+                    progressed = True
+            if not progressed:  # pragma: no cover - guarded by DAG validation
+                raise RuntimeError("stage graph contains a cycle")
+        return order
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StageGraph(|T|={len(self.stages)})"

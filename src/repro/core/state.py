@@ -1,0 +1,73 @@
+"""Execution states ``(D, δ, μ)`` (Appendix A).
+
+A state captures the situation after a stage executes: the set of available
+datasets ``D``, the partition sizes at each node ``δ : N × D -> N₀``, and
+the partitions kept in memory at each node ``μ : N -> 2^D``.  The live
+version of this information is owned by the simulated cluster; this module
+provides an immutable snapshot type used by tests, the Appendix B analysis,
+and the metrics layer, together with the validity check (memory capacity is
+never exceeded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Set, Tuple
+
+NodeId = str
+DatasetId = str
+
+
+@dataclass(frozen=True)
+class ExecutionState:
+    """Immutable snapshot of cluster dataset placement after a stage.
+
+    Attributes
+    ----------
+    datasets:
+        The available dataset ids (``D``).
+    sizes:
+        ``δ``: ``(node, dataset) -> partition bytes at that node``.
+    in_memory:
+        ``μ``: ``node -> frozenset of dataset ids kept in memory there``.
+    memory_limits:
+        ``mem(n)`` for every node.
+    """
+
+    datasets: FrozenSet[DatasetId]
+    sizes: Mapping[Tuple[NodeId, DatasetId], int]
+    in_memory: Mapping[NodeId, FrozenSet[DatasetId]]
+    memory_limits: Mapping[NodeId, int]
+
+    def memory_used(self, node: NodeId) -> int:
+        """Total bytes of partitions held in memory at ``node``."""
+        return sum(
+            self.sizes.get((node, ds), 0) for ds in self.in_memory.get(node, frozenset())
+        )
+
+    def is_valid(self) -> bool:
+        """Appendix A validity: no node exceeds its memory limit."""
+        return all(
+            self.memory_used(node) <= limit for node, limit in self.memory_limits.items()
+        )
+
+    def datasets_on_node(self, node: NodeId) -> Set[DatasetId]:
+        """All dataset ids with a partition (memory or disk) at ``node``."""
+        return {ds for (n, ds) in self.sizes if n == node}
+
+
+def still_needed_datasets(
+    state: ExecutionState,
+    consumers: Mapping[DatasetId, Set[str]],
+    executed_operators: Set[str],
+) -> Set[DatasetId]:
+    """``D_s^c`` of Theorem 4.3: datasets still needed to finish execution.
+
+    A dataset is still needed if at least one of its consuming operators has
+    not executed yet: ``D_s^c = {d ∈ D | con(d) \\ V_T ≠ ∅}``.
+    """
+    return {
+        ds
+        for ds in state.datasets
+        if consumers.get(ds, set()) - executed_operators
+    }

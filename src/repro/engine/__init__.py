@@ -1,0 +1,48 @@
+"""MDF execution engine: schedulers (Alg. 1), executor, master, runner."""
+
+from .estimate import CostEstimate, StageEstimate, estimate_mdf
+from .executor import StageExecutor, StageOutcome, StageTimes
+from .hints import (
+    ModelBasedHint,
+    PriorityHint,
+    RandomHint,
+    SchedulingHint,
+    SortedHint,
+)
+from .job import ChooseDecision, EngineConfig, JobResult, StageTrace
+from .master import Master
+from .runner import make_scheduler, run_mdf
+from .scheduler import (
+    BFSScheduler,
+    BranchAwareScheduler,
+    Scheduler,
+    SchedulerContext,
+)
+from .tasks import Task, expand_stage
+
+__all__ = [
+    "BFSScheduler",
+    "BranchAwareScheduler",
+    "ChooseDecision",
+    "CostEstimate",
+    "EngineConfig",
+    "JobResult",
+    "Master",
+    "ModelBasedHint",
+    "PriorityHint",
+    "RandomHint",
+    "Scheduler",
+    "SchedulerContext",
+    "SchedulingHint",
+    "SortedHint",
+    "StageExecutor",
+    "StageOutcome",
+    "StageTimes",
+    "StageEstimate",
+    "StageTrace",
+    "Task",
+    "estimate_mdf",
+    "expand_stage",
+    "make_scheduler",
+    "run_mdf",
+]

@@ -1,0 +1,390 @@
+"""Worker-side stage execution on the simulated cluster.
+
+A stage is a pipelined chain of narrow operators, optionally headed by a
+source (which reads the job input from distributed storage) or a wide
+operator (which shuffles all partitions).  Execution
+
+1. loads the input partitions — memory hits cost memory-read time, misses
+   cost disk-read time plus promotion (which may trigger evictions),
+2. runs the real operator functions partition by partition, charging the
+   operator cost model against the node's compute rate, and
+3. stores the output partitions, which may again evict under pressure.
+
+Per-node times are combined into stage *wall* times (the slowest node
+gates the stage), after straggler stretching and speculative mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cluster.cluster import Cluster
+from ..cluster.stragglers import apply_stragglers
+from ..core.datasets import Dataset, Partition, split_payload
+from ..core.errors import SchedulingError
+from ..core.operators import Join, Operator, Sink, Source
+from ..core.stages import Stage
+from .job import EngineConfig
+
+
+@dataclass
+class StageTimes:
+    """Wall-clock components of one executed stage (simulated seconds)."""
+
+    io: float = 0.0
+    compute: float = 0.0
+    network: float = 0.0
+    overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.io + self.compute + self.network + self.overhead
+
+
+@dataclass
+class StageOutcome:
+    """Result of executing one stage.
+
+    With ``defer_store=True`` the produced dataset is returned in
+    ``pending`` instead of being registered on the cluster: the master
+    evaluates the branch result in-flight first and only materialises it
+    if the choose keeps it (R3: losers are never stored at all).
+    """
+
+    output_dataset_id: Optional[str]
+    times: StageTimes
+    num_tasks: int
+    pending: Optional[Dataset] = None
+
+
+class StageExecutor:
+    """Executes stages against a cluster under an :class:`EngineConfig`."""
+
+    def __init__(self, cluster: Cluster, config: EngineConfig):
+        self.cluster = cluster
+        self.config = config
+
+    # ------------------------------------------------------------- helpers
+    def _wall(
+        self,
+        per_node_io: Dict[str, float],
+        per_node_compute: Dict[str, float],
+        network: float,
+        num_tasks: int,
+    ) -> StageTimes:
+        """Combine per-node times into stage walls, honouring stragglers."""
+        profile = self.config.stragglers
+        if profile is not None:
+            per_node_io = apply_stragglers(
+                per_node_io, profile, self.config.speculation, self.cluster.metrics
+            )
+            per_node_compute = apply_stragglers(
+                per_node_compute, profile, self.config.speculation, self.cluster.metrics
+            )
+        io = max(per_node_io.values(), default=0.0)
+        compute = max(per_node_compute.values(), default=0.0)
+        overhead = num_tasks * self.config.task_overhead
+        metrics = self.cluster.metrics
+        metrics.time_io += sum(per_node_io.values())
+        metrics.time_compute += sum(per_node_compute.values())
+        metrics.time_network += network
+        metrics.tasks_executed += num_tasks
+        return StageTimes(io=io, compute=compute, network=network, overhead=overhead)
+
+    def _run_chain(
+        self,
+        ops: List[Operator],
+        payload: Any,
+        nbytes: int,
+        node_id: str,
+        per_node_compute: Dict[str, float],
+    ) -> Tuple[Any, int]:
+        """Apply a narrow operator chain to one partition payload."""
+        cur, cur_bytes = payload, nbytes
+        for op in ops:
+            cost = op.compute_cost(cur_bytes)
+            per_node_compute[node_id] = per_node_compute.get(node_id, 0.0) + (
+                self.cluster.cost_model.compute_time(cost)
+            )
+            cur = op.apply_partition(cur)
+            cur_bytes = op.output_bytes(cur_bytes)
+        return cur, cur_bytes
+
+    # ------------------------------------------------------------- execute
+    def execute(
+        self,
+        stage: Stage,
+        input_dataset_id: Optional[str],
+        defer_store: bool = False,
+    ) -> StageOutcome:
+        """Run one non-choose stage; returns its output dataset and times."""
+        head = stage.head
+        if isinstance(head, Source):
+            return self._execute_source_stage(stage)
+        if input_dataset_id is None:
+            raise SchedulingError(f"stage {stage.id} has no input dataset")
+        if head.narrow:
+            return self._execute_narrow_stage(stage, input_dataset_id, defer_store)
+        return self._execute_wide_stage(stage, input_dataset_id, defer_store)
+
+    def execute_join(
+        self,
+        stage: Stage,
+        left_id: str,
+        right_id: str,
+        defer_store: bool = False,
+    ) -> StageOutcome:
+        """Run a stage headed by a two-input :class:`Join` operator.
+
+        Both operands are gathered (each partition read where it lives,
+        bytes crossing the network once), the join function runs over the
+        concatenated payloads, and the result is re-partitioned and fed
+        through the rest of the stage's narrow chain.
+        """
+        head, rest = stage.ops[0], stage.ops[1:]
+        assert isinstance(head, Join)
+        per_node_io: Dict[str, float] = {}
+        per_node_compute: Dict[str, float] = {}
+        operands = []
+        total_bytes = 0
+        with self.cluster.protect([left_id, right_id]):
+            for dataset_id in (left_id, right_id):
+                record = self.cluster.record(dataset_id)
+                payloads = []
+                for index in range(record.num_partitions):
+                    payload, seconds, node_id = self.cluster.load_partition(
+                        dataset_id, index
+                    )
+                    per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                    payloads.append(payload)
+                total_bytes += record.nbytes
+                operands.append(payloads)
+            share = total_bytes / max(1, self.cluster.num_workers)
+            network = self.cluster.cost_model.network_time(int(share))
+            per_worker_compute = self.cluster.cost_model.compute_time(
+                head.compute_cost(total_bytes) / self.cluster.num_workers
+            )
+            for node in self.cluster.nodes:
+                per_node_compute[node.id] = (
+                    per_node_compute.get(node.id, 0.0) + per_worker_compute
+                )
+            from ..core.datasets import concat_payloads
+
+            left_payload = concat_payloads(operands[0])
+            right_payload = concat_payloads(operands[1])
+            joined = head.apply_join(left_payload, right_payload)
+            out_payloads = split_payload(joined, self.cluster.num_workers)
+            out_total = head.output_bytes(total_bytes)
+            per_part_bytes = max(1, out_total // max(1, len(out_payloads)))
+            out_parts: List[Partition] = []
+            for index, payload in enumerate(out_payloads):
+                node = self.cluster.node_for_partition(index)
+                out_payload, out_bytes = self._run_chain(
+                    rest, payload, per_part_bytes, node.id, per_node_compute
+                )
+                out_parts.append(Partition("", index, out_payload, out_bytes))
+            output = Dataset(
+                out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name
+            )
+            if not defer_store:
+                store_seconds = self.cluster.register_dataset(output)
+        num_tasks = sum(len(p) for p in operands)
+        if defer_store:
+            times = self._wall(per_node_io, per_node_compute, network, num_tasks)
+            return StageOutcome(output.id, times, num_tasks, pending=output)
+        for node_id, seconds in store_seconds.items():
+            per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+        times = self._wall(per_node_io, per_node_compute, network, num_tasks)
+        return StageOutcome(output.id, times, num_tasks)
+
+    def commit_store(self, dataset: Dataset) -> StageTimes:
+        """Materialise a deferred stage output (charge the store)."""
+        store_seconds = self.cluster.register_dataset(dataset)
+        io = max(store_seconds.values(), default=0.0)
+        self.cluster.metrics.time_io += sum(store_seconds.values())
+        return StageTimes(io=io)
+
+    def _execute_source_stage(self, stage: Stage) -> StageOutcome:
+        source = stage.head
+        assert isinstance(source, Source)
+        nparts = self.cluster.num_workers * self.config.partitions_per_worker
+        raw = source.generate(nparts, producer=stage.tail.name)
+        per_node_io: Dict[str, float] = {}
+        per_node_compute: Dict[str, float] = {}
+        # Reading the job input from distributed storage is a disk read.
+        out_parts: List[Partition] = []
+        for partition in raw.partitions:
+            node = self.cluster.node_for_partition(partition.index)
+            self.cluster.metrics.bytes_read_disk += partition.nominal_bytes
+            per_node_io[node.id] = per_node_io.get(node.id, 0.0) + (
+                self.cluster.cost_model.disk_read_time(partition.nominal_bytes)
+            )
+            payload, nbytes = self._run_chain(
+                stage.ops[1:], partition.data, partition.nominal_bytes, node.id, per_node_compute
+            )
+            out_parts.append(Partition(raw.id, partition.index, payload, nbytes))
+        output = Dataset(out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name)
+        store_seconds = self.cluster.register_dataset(output)
+        for node_id, seconds in store_seconds.items():
+            per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+        times = self._wall(per_node_io, per_node_compute, 0.0, len(out_parts))
+        return StageOutcome(output.id, times, len(out_parts))
+
+    def _execute_narrow_stage(
+        self, stage: Stage, input_dataset_id: str, defer_store: bool = False
+    ) -> StageOutcome:
+        record = self.cluster.record(input_dataset_id)
+        per_node_io: Dict[str, float] = {}
+        per_node_compute: Dict[str, float] = {}
+        out_parts: List[Partition] = []
+        with self.cluster.protect([input_dataset_id]):
+            for index in range(record.num_partitions):
+                payload, seconds, node_id = self.cluster.load_partition(
+                    input_dataset_id, index
+                )
+                per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                nbytes = record.partition_bytes[index]
+                out_payload, out_bytes = self._run_chain(
+                    stage.ops, payload, nbytes, node_id, per_node_compute
+                )
+                out_parts.append(Partition("", index, out_payload, out_bytes))
+            output = Dataset(
+                out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name
+            )
+            if not defer_store:
+                store_seconds = self.cluster.register_dataset(output)
+        if defer_store:
+            times = self._wall(per_node_io, per_node_compute, 0.0, len(out_parts))
+            return StageOutcome(output.id, times, len(out_parts), pending=output)
+        for node_id, seconds in store_seconds.items():
+            per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+        times = self._wall(per_node_io, per_node_compute, 0.0, len(out_parts))
+        return StageOutcome(output.id, times, len(out_parts))
+
+    def _execute_wide_stage(
+        self, stage: Stage, input_dataset_id: str, defer_store: bool = False
+    ) -> StageOutcome:
+        """Wide head: gather all partitions (shuffle), then pipeline the rest."""
+        record = self.cluster.record(input_dataset_id)
+        head, rest = stage.ops[0], stage.ops[1:]
+        per_node_io: Dict[str, float] = {}
+        per_node_compute: Dict[str, float] = {}
+        payloads: List[Any] = []
+        total_bytes = 0
+        with self.cluster.protect([input_dataset_id]):
+            for index in range(record.num_partitions):
+                payload, seconds, node_id = self.cluster.load_partition(
+                    input_dataset_id, index
+                )
+                per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                payloads.append(payload)
+                total_bytes += record.partition_bytes[index]
+            # all-to-all shuffle: every byte crosses the network once; each
+            # node sends its share in parallel
+            share = total_bytes / max(1, self.cluster.num_workers)
+            network = self.cluster.cost_model.network_time(int(share))
+            head_cost = head.compute_cost(total_bytes)
+            # global computation is spread across the workers
+            per_worker_compute = self.cluster.cost_model.compute_time(
+                head_cost / self.cluster.num_workers
+            )
+            for node in self.cluster.nodes:
+                per_node_compute[node.id] = (
+                    per_node_compute.get(node.id, 0.0) + per_worker_compute
+                )
+            out_payloads = head.apply_global(payloads)
+            out_total = head.output_bytes(total_bytes)
+            per_part_bytes = max(1, out_total // max(1, len(out_payloads)))
+            out_parts: List[Partition] = []
+            for index, payload in enumerate(out_payloads):
+                node = self.cluster.node_for_partition(index)
+                out_payload, out_bytes = self._run_chain(
+                    rest, payload, per_part_bytes, node.id, per_node_compute
+                )
+                out_parts.append(Partition("", index, out_payload, out_bytes))
+            output = Dataset(
+                out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name
+            )
+            if not defer_store:
+                store_seconds = self.cluster.register_dataset(output)
+        if defer_store:
+            times = self._wall(per_node_io, per_node_compute, network, len(payloads))
+            return StageOutcome(output.id, times, len(payloads), pending=output)
+        for node_id, seconds in store_seconds.items():
+            per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+        times = self._wall(per_node_io, per_node_compute, network, len(payloads))
+        return StageOutcome(output.id, times, len(payloads))
+
+    # ------------------------------------------------------------ evaluate
+    def evaluate_pipelined(self, evaluator, dataset: Dataset) -> Tuple[float, StageTimes]:
+        """Evaluate a branch result as part of the stage that produced it.
+
+        §4.2: "the evaluator function is executed by worker nodes and
+        applied directly to the result datasets of each branch" — when the
+        choose runs incrementally, the evaluator pipelines with the tail
+        stage, so the freshly produced partitions are scored without being
+        re-read (they may not even be stored yet).  Only the evaluator's
+        compute cost is charged.
+        """
+        per_node_compute: Dict[str, float] = {}
+        for partition in dataset.partitions:
+            node = self.cluster.node_for_partition(partition.index)
+            cost = evaluator.cost_factor * partition.nominal_bytes
+            per_node_compute[node.id] = per_node_compute.get(node.id, 0.0) + (
+                self.cluster.cost_model.compute_time(cost)
+            )
+        score = evaluator.score(dataset)
+        self.cluster.metrics.choose_evaluations += 1
+        times = self._wall({}, per_node_compute, 0.0, 0)
+        return score, times
+
+    def evaluate_branch(self, evaluator, dataset_id: str) -> Tuple[float, StageTimes]:
+        """Run a choose evaluator over a branch result (worker side).
+
+        Reads the branch dataset (normal hit/miss accounting) and charges
+        the evaluator's compute cost on each node.  With the
+        ``evaluator_on_master`` ablation, the branch result additionally
+        crosses the network to the master and the evaluation runs serially
+        there.
+        """
+        record = self.cluster.record(dataset_id)
+        per_node_io: Dict[str, float] = {}
+        per_node_compute: Dict[str, float] = {}
+        parts: List[Partition] = []
+        with self.cluster.protect([dataset_id]):
+            for index in range(record.num_partitions):
+                payload, seconds, node_id = self.cluster.load_partition(dataset_id, index)
+                per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                nbytes = record.partition_bytes[index]
+                parts.append(Partition(dataset_id, index, payload, nbytes))
+                cost = evaluator.cost_factor * nbytes
+                per_node_compute[node_id] = per_node_compute.get(node_id, 0.0) + (
+                    self.cluster.cost_model.compute_time(cost)
+                )
+        dataset = Dataset(parts, dataset_id=dataset_id, producer=record.producer)
+        score = evaluator.score(dataset)
+        network = 0.0
+        if self.config.evaluator_on_master:
+            # ship the branch result to the master and evaluate serially
+            network = self.cluster.cost_model.network_time(record.nbytes)
+            serial = sum(per_node_compute.values())
+            per_node_compute = {"master": serial}
+        self.cluster.metrics.choose_evaluations += 1
+        times = self._wall(per_node_io, per_node_compute, network, record.num_partitions)
+        return score, times
+
+    def finalize_sink(self, sink: Sink, dataset_id: str) -> Tuple[Any, StageTimes]:
+        """Collect a dataset at the sink and run the sink function."""
+        record = self.cluster.record(dataset_id)
+        per_node_io: Dict[str, float] = {}
+        parts: List[Partition] = []
+        with self.cluster.protect([dataset_id]):
+            for index in range(record.num_partitions):
+                payload, seconds, node_id = self.cluster.load_partition(dataset_id, index)
+                per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                parts.append(Partition(dataset_id, index, payload, record.partition_bytes[index]))
+        dataset = Dataset(parts, dataset_id=dataset_id, producer=record.producer)
+        value = sink.finalize(dataset)
+        times = self._wall(per_node_io, {}, 0.0, record.num_partitions)
+        return value, times

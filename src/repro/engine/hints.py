@@ -1,0 +1,142 @@
+"""Scheduling hints for branch-aware scheduling (§4.2).
+
+When several branches of the same explore are ready, the hint decides which
+to execute first.  The paper names three kinds:
+
+* priorities over the choices of an explorable — :class:`SortedHint`
+  follows the explorable's domain order (what a monotone evaluator wants),
+  :class:`PriorityHint` applies a user priority function;
+* random order, as suggested by random hyper-parameter search —
+  :class:`RandomHint`;
+* stateful, model-based prioritisation learned from the scores of already
+  executed branches — :class:`ModelBasedHint` fits a least-squares
+  regression from numeric branch parameters to scores and schedules the
+  most promising unexplored branch next.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class SchedulingHint:
+    """Orders candidate branch indices of one explore scope."""
+
+    name = "base"
+
+    def order(
+        self,
+        candidates: Sequence[Tuple[int, Dict[str, Any]]],
+        observed: Sequence[Tuple[Dict[str, Any], float]],
+    ) -> List[int]:
+        """Rank candidates best-first.
+
+        ``candidates`` are ``(branch_index, params)`` pairs still to run;
+        ``observed`` are ``(params, score)`` pairs of already scored
+        branches (empty until the first choose evaluation).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"
+
+
+class SortedHint(SchedulingHint):
+    """Deterministic domain order (branch index order).
+
+    With a monotone evaluator this is the order that lets the scheduler
+    stop as soon as scores start losing (Fig. 8, *first-4 sorted*).
+    """
+
+    name = "sorted"
+
+    def order(self, candidates, observed) -> List[int]:
+        return [index for index, _ in sorted(candidates, key=lambda c: c[0])]
+
+
+class RandomHint(SchedulingHint):
+    """Random branch order (random hyper-parameter search, Fig. 8)."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None):
+        self.rng = np.random.default_rng(seed)
+
+    def order(self, candidates, observed) -> List[int]:
+        indices = [index for index, _ in candidates]
+        self.rng.shuffle(indices)
+        return list(indices)
+
+
+class PriorityHint(SchedulingHint):
+    """User-supplied priority function over branch parameters (domain
+    knowledge); highest priority first."""
+
+    name = "priority"
+
+    def __init__(self, priority_fn: Callable[[Dict[str, Any]], float]):
+        self.priority_fn = priority_fn
+
+    def order(self, candidates, observed) -> List[int]:
+        return [
+            index
+            for index, _ in sorted(
+                candidates, key=lambda c: (-self.priority_fn(c[1]), c[0])
+            )
+        ]
+
+
+class ModelBasedHint(SchedulingHint):
+    """Model-based prioritisation (SMAC-style, [19] in the paper).
+
+    Fits a linear least-squares model from numeric branch parameters to the
+    observed scores and orders unexplored branches by predicted score
+    (descending when ``maximize``).  Falls back to domain order until
+    enough observations exist or when parameters are non-numeric.
+    """
+
+    name = "model"
+
+    def __init__(self, maximize: bool = True, min_observations: int = 3):
+        self.maximize = maximize
+        self.min_observations = min_observations
+
+    @staticmethod
+    def _features(params: Dict[str, Any]) -> Optional[List[float]]:
+        feats = []
+        for key in sorted(params):
+            value = params[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return None
+            feats.append(float(value))
+        return feats
+
+    def order(self, candidates, observed) -> List[int]:
+        fallback = [index for index, _ in sorted(candidates, key=lambda c: c[0])]
+        if len(observed) < self.min_observations:
+            return fallback
+        xs, ys = [], []
+        for params, score in observed:
+            feats = self._features(params)
+            if feats is None:
+                return fallback
+            xs.append(feats + [1.0])
+            ys.append(score)
+        cand_feats = []
+        for index, params in candidates:
+            feats = self._features(params)
+            if feats is None:
+                return fallback
+            cand_feats.append((index, feats + [1.0]))
+        try:
+            coef, *_ = np.linalg.lstsq(np.asarray(xs), np.asarray(ys), rcond=None)
+        except np.linalg.LinAlgError:  # pragma: no cover - degenerate inputs
+            return fallback
+        sign = -1.0 if self.maximize else 1.0
+        ranked = sorted(
+            cand_feats,
+            key=lambda cf: (sign * float(np.dot(coef, cf[1])), cf[0]),
+        )
+        return [index for index, _ in ranked]

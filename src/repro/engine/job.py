@@ -1,0 +1,126 @@
+"""Job results and execution configuration.
+
+A :class:`JobResult` captures everything the benchmarks report: simulated
+completion time (split into compute / IO / network walls), the cluster
+metrics (hit ratios, evictions, pruning counts), choose decisions, and the
+final sink outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..cluster.fault import CheckpointConfig, FailureInjector
+from ..cluster.metrics import Metrics
+from ..cluster.stragglers import SpeculationConfig, StragglerProfile
+from .hints import SchedulingHint, SortedHint
+
+
+@dataclass
+class EngineConfig:
+    """Execution knobs for one MDF job.
+
+    ``incremental_choose`` and ``pruning`` correspond to the paper's
+    *incremental* evaluation (§3.1) and superfluous-branch pruning (Table 1);
+    both default on, and both are automatically restricted to what the
+    choose's evaluator/selection properties permit.
+    """
+
+    incremental_choose: bool = True
+    pruning: bool = True
+    hint: SchedulingHint = field(default_factory=SortedHint)
+    partitions_per_worker: int = 1
+    #: master-side cost per selection-function invocation (§5 reports the
+    #: master sustaining 2M invocations/s on low-end hardware)
+    master_selection_cost: float = 5e-7
+    #: serial master overhead per task (drives sublinear worker scaling)
+    task_overhead: float = 0.0005
+    #: run the evaluator at the master instead of the workers (ablation of
+    #: the §4.2 choose split; charges a network transfer of branch results)
+    evaluator_on_master: bool = False
+    stragglers: Optional[StragglerProfile] = None
+    speculation: SpeculationConfig = field(default_factory=SpeculationConfig)
+    failures: Optional[FailureInjector] = None
+    #: periodic checkpointing of stage outputs (None = rely on spills)
+    checkpointing: Optional[CheckpointConfig] = None
+    #: operator names whose output datasets are pinned in memory — the
+    #: Spark ``cache()`` emulation used by the Spark (cache) baseline
+    pin_producers: frozenset = frozenset()
+    #: free intermediates the moment their last consumer ran.  Off by
+    #: default: real dataflow systems keep consumed datasets around until
+    #: evicted; the MDF's structural knowledge reaches the memory manager
+    #: through AMM (dead data is dropped free of charge) and through the
+    #: choose's explicit discards instead.
+    eager_release: bool = False
+
+
+@dataclass
+class ChooseDecision:
+    """Outcome of one choose operator."""
+
+    choose_name: str
+    scores: Dict[str, float] = field(default_factory=dict)
+    kept: List[str] = field(default_factory=list)
+    discarded: List[str] = field(default_factory=list)
+    pruned: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StageTrace:
+    """Per-stage timing entry of the executed schedule."""
+
+    stage_id: str
+    ops: List[str]
+    branch_id: Optional[str]
+    started: float
+    finished: float
+
+
+@dataclass
+class JobResult:
+    """Everything observable about one executed job."""
+
+    completion_time: float = 0.0
+    wall_compute: float = 0.0
+    wall_io: float = 0.0
+    wall_network: float = 0.0
+    metrics: Metrics = field(default_factory=Metrics)
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    decisions: Dict[str, ChooseDecision] = field(default_factory=dict)
+    trace: List[StageTrace] = field(default_factory=list)
+
+    @property
+    def output(self) -> Any:
+        """The single sink output (convenience for one-sink jobs)."""
+        if not self.outputs:
+            return None
+        return next(iter(self.outputs.values()))
+
+    @property
+    def memory_hit_ratio(self) -> float:
+        return self.metrics.memory_hit_ratio
+
+    def decision_for(self, choose_name: str) -> ChooseDecision:
+        return self.decisions[choose_name]
+
+    def summary(self) -> str:
+        """A human-readable report of the job's execution."""
+        m = self.metrics
+        lines = [
+            f"completion time   : {self.completion_time:.3f} s "
+            f"(compute {self.wall_compute:.3f}, io {self.wall_io:.3f}, "
+            f"network {self.wall_network:.3f})",
+            f"stages / tasks    : {m.stages_executed} / {m.tasks_executed}",
+            f"memory hit ratio  : {m.memory_hit_ratio:.3f} "
+            f"(evictions {m.evictions}, peak datasets {m.peak_datasets_stored})",
+            f"branches          : {m.branches_executed} executed, "
+            f"{m.branches_pruned} pruned, {m.datasets_discarded} datasets discarded",
+        ]
+        for name, decision in self.decisions.items():
+            lines.append(
+                f"choose {name!r}: kept {decision.kept} "
+                f"of {len(decision.scores)} scored "
+                f"(+{len(decision.pruned)} pruned)"
+            )
+        return "\n".join(lines)

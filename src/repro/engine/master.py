@@ -1,0 +1,631 @@
+"""The master: drives MDF execution (Algorithm 1 + §5 implementation).
+
+The master owns the schedule loop, the dataset lifecycle (reference counts
+over *effective* consumers, which is what frees datasets early — R3), the
+choose protocol (worker-side evaluator, master-side selection, incremental
+evaluation and superfluous-branch pruning), and the binding of AMM's
+future-access counter (Algorithm 2's ``acc(d)``).
+
+Dynamic topology changes (§5) are realised by pruning: the stages of a
+pruned branch are removed from the schedule, their datasets discarded, and
+the matching choose's readiness updated — the schedule is rewritten at the
+master exactly as in the SEEP implementation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cluster.cluster import Cluster
+from ..cluster.fault import ChooseScoreStore
+from ..core.choose import ChooseOperator
+from ..core.datasets import Dataset, Partition
+from ..core.errors import SchedulingError
+from ..core.explore import Branch, ExploreOperator
+from ..core.mdf import MDF, Scope
+from ..core.operators import Join, Operator, Sink
+from ..core.optimizations import make_pruner, plan_optimizations
+from ..core.stages import Stage, StageGraph
+from .executor import StageExecutor, StageTimes
+from .job import ChooseDecision, EngineConfig, JobResult, StageTrace
+from .scheduler import BFSScheduler, Scheduler, SchedulerContext
+
+
+class _ScopeRuntime:
+    """Execution-time state of one explore/choose scope."""
+
+    def __init__(self, scope: Scope, config: EngineConfig):
+        self.scope = scope
+        self.choose = scope.choose
+        self.plan = plan_optimizations(self.choose.evaluator, self.choose.selection)
+        self.selector = self.choose.selection.incremental()
+        self.pruner = (
+            make_pruner(self.choose.evaluator, self.choose.selection)
+            if (config.pruning and self.plan.prune_superfluous)
+            else None
+        )
+        self.scores: Dict[str, float] = {}
+        self.alive: Set[str] = set()  # evaluated, not discarded
+        self.discarded: Set[str] = set()
+        self.pruned: Set[str] = set()
+        self.tail_dataset: Dict[str, str] = {}
+        self.finalized = False
+
+    @property
+    def branches(self) -> List[Branch]:
+        return self.scope.branches
+
+    def settled(self) -> bool:
+        """True when every branch is evaluated or pruned."""
+        return all(
+            b.id in self.scores or b.id in self.pruned for b in self.branches
+        )
+
+    def unexecuted_branches(self) -> List[Branch]:
+        return [
+            b
+            for b in self.branches
+            if b.id not in self.scores and b.id not in self.pruned
+        ]
+
+
+class Master:
+    """Schedules and executes one MDF job on a cluster."""
+
+    def __init__(
+        self,
+        mdf: MDF,
+        cluster: Cluster,
+        scheduler: Optional[Scheduler] = None,
+        config: Optional[EngineConfig] = None,
+    ):
+        mdf.validate()
+        self.mdf = mdf
+        self.cluster = cluster
+        self.scheduler = scheduler or BFSScheduler()
+        self.config = config or EngineConfig()
+        self.executor = StageExecutor(cluster, self.config)
+        self.stage_graph = StageGraph(mdf)
+        self.score_store = ChooseScoreStore()
+        self.result = JobResult(metrics=cluster.metrics)
+
+        # --- schedule state
+        self._executed: Set[str] = set()
+        self._pruned_stages: Set[str] = set()
+        self._remaining_preds: Dict[str, int] = {}
+        self._ready: deque = deque()
+        self._ready_ids: Set[str] = set()
+        self._stage_by_id: Dict[str, Stage] = {s.id: s for s in self.stage_graph.stages}
+        self._last_executed: Optional[Stage] = None
+        self._stages_since_checkpoint = 0
+
+        # --- data state
+        self._output_of: Dict[str, str] = {}  # operator name -> dataset id
+        self._consumers: Dict[str, Set[str]] = {}  # dataset id -> op names
+        self._producer_op: Dict[str, str] = {}  # dataset id -> producing op
+        #: base dataset id -> composite dataset id that absorbed it (AMM's
+        #: acc(d) must resolve a node slot's dataset to its live composite)
+        self._composite_of: Dict[str, str] = {}
+
+        # --- scope state
+        self._scopes: Dict[str, _ScopeRuntime] = {}
+        self._branch_stage_ids: Dict[str, Set[str]] = {}
+        self._tail_stage_to_branch: Dict[str, Tuple[str, Branch]] = {}
+        self._context = SchedulerContext()
+        self._prepare_scopes()
+        self._prepare_schedule()
+        self._bind_policy()
+
+    # ------------------------------------------------------------- set-up
+    def _prepare_scopes(self) -> None:
+        for explore_name, scope in self.mdf.scopes.items():
+            runtime = _ScopeRuntime(scope, self.config)
+            self._scopes[explore_name] = runtime
+            depth = self.mdf.nesting_depth(scope.explore) + 1
+            self._context.scope_depth[explore_name] = depth
+            for branch in scope.branches:
+                ops = self.mdf.branch_operators(branch)
+                stage_ids = {self.stage_graph.stage_of(op).id for op in ops}
+                self._branch_stage_ids[branch.id] = stage_ids
+                tail_stage = self.stage_graph.stage_of(branch.ops[-1])
+                self._tail_stage_to_branch[tail_stage.id] = (explore_name, branch)
+        # hints reason over the *innermost* branch of every stage
+        for stage in self.stage_graph.stages:
+            if stage.branch_id is None:
+                continue
+            explore_name, index_str = stage.branch_id.split("#", 1)
+            branch = self._scopes[explore_name].scope.branches[int(index_str)]
+            self._context.stage_branch[stage.id] = (
+                explore_name,
+                branch.index,
+                branch.params,
+            )
+
+    def _prepare_schedule(self) -> None:
+        for stage in self.stage_graph.stages:
+            preds = self.stage_graph.pre(stage)
+            self._remaining_preds[stage.id] = len(preds)
+            if not preds:
+                self._push_ready(stage)
+
+    def _bind_policy(self) -> None:
+        policy = self.cluster.policy
+        policy.bind(self._future_accesses, self.cluster.cost_model.alpha)
+
+    def _future_accesses(self, dataset_id: str) -> int:
+        """Alg. 2's ``acc(d)``: future readers of a dataset per the MDF."""
+        seen = set()
+        while dataset_id in self._composite_of and dataset_id not in seen:
+            seen.add(dataset_id)
+            dataset_id = self._composite_of[dataset_id]
+        return len(self._consumers.get(dataset_id, ()))
+
+    # -------------------------------------------------------- ready queue
+    def _push_ready(self, stage: Stage) -> None:
+        if stage.id not in self._ready_ids:
+            self._ready.append(stage)
+            self._ready_ids.add(stage.id)
+
+    def _pop_ready(self, stage: Stage) -> None:
+        self._ready_ids.discard(stage.id)
+        self._ready = deque(s for s in self._ready if s.id != stage.id)
+
+    def _mark_done(self, stage: Stage, pruned: bool = False) -> None:
+        """Record a stage as executed (or pruned) and update readiness."""
+        if stage.id in self._executed or stage.id in self._pruned_stages:
+            return
+        if pruned:
+            self._pruned_stages.add(stage.id)
+        else:
+            self._executed.add(stage.id)
+        self._pop_ready(stage)
+        for succ in sorted(self.stage_graph.post(stage), key=lambda s: s.index):
+            if succ.id in self._executed or succ.id in self._pruned_stages:
+                continue
+            self._remaining_preds[succ.id] -= 1
+            if self._remaining_preds[succ.id] == 0:
+                self._push_ready(succ)
+
+    # ------------------------------------------------------------- lifecycle
+    def _effective_consumers(self, op: Operator) -> Set[str]:
+        """Operators that will actually read ``op``'s output dataset.
+
+        Explore operators forward their input zero-copy, so the real
+        readers of a dataset feeding an explore are the branch heads.
+        """
+        out: Set[str] = set()
+        for succ in self.mdf.post(op):
+            if isinstance(succ, ExploreOperator):
+                out |= self._effective_consumers(succ)
+            else:
+                out.add(succ.name)
+        return out
+
+    def _register_output(self, tail: Operator, dataset_id: str) -> None:
+        self._output_of[tail.name] = dataset_id
+        self._producer_op[dataset_id] = tail.name
+        existing = self._consumers.get(dataset_id, set())
+        self._consumers[dataset_id] = existing | self._effective_consumers(tail)
+        if tail.name in self.config.pin_producers:
+            self.cluster.pin_dataset(dataset_id)  # Spark cache() emulation
+
+    def _consume(self, dataset_id: str, consumer: Operator) -> None:
+        """One consumer has read the dataset; free it when none remain.
+
+        Without ``eager_release`` the dataset is left in place (acc drops
+        to 0, so AMM evicts it first, at zero spill cost); with it the
+        dataset is discarded immediately.
+        """
+        consumers = self._consumers.get(dataset_id)
+        if consumers is None:
+            return
+        consumers.discard(consumer.name)
+        if not consumers and self.config.eager_release:
+            self._release(dataset_id)
+
+    def _release(self, dataset_id: str) -> None:
+        self._consumers.pop(dataset_id, None)
+        self.cluster.discard_dataset(dataset_id)
+
+    # ------------------------------------------------------------ main loop
+    def run(self) -> JobResult:
+        """Execute the MDF to completion and return the job result."""
+        stage_index = 0
+        while self._ready:
+            self._maybe_fail(stage_index)
+            stage = self.scheduler.select(
+                list(self._ready),
+                self._last_executed,
+                sorted(
+                    self.stage_graph.post(self._last_executed),
+                    key=lambda s: s.index,
+                )
+                if self._last_executed is not None
+                else [],
+                self._context,
+            )
+            if stage.id not in self._ready_ids:  # pragma: no cover - guard
+                raise SchedulingError(f"scheduler picked non-ready stage {stage.id}")
+            if stage.is_choose:
+                self._execute_choose_stage(stage)
+            else:
+                self._execute_stage(stage)
+            self._last_executed = stage
+            stage_index += 1
+        if any(
+            s.id not in self._executed and s.id not in self._pruned_stages
+            for s in self.stage_graph.stages
+        ):
+            unfinished = [
+                s.id
+                for s in self.stage_graph.stages
+                if s.id not in self._executed and s.id not in self._pruned_stages
+            ]
+            raise SchedulingError(f"schedule stalled with pending stages: {unfinished}")
+        self.result.completion_time = self.cluster.clock.now
+        return self.result
+
+    def _maybe_fail(self, stage_index: int) -> None:
+        injector = self.config.failures
+        if injector is None:
+            return
+        lost = injector.maybe_fail(self.cluster, stage_index)
+        if lost:
+            self.cluster.metrics.recoveries += len(lost)
+
+    # --------------------------------------------------------- stage kinds
+    def _execute_stage(self, stage: Stage) -> None:
+        started = self.cluster.clock.now
+        head = stage.head
+        if stage.is_explore:
+            # Definition 3.2: explore forwards its input dataset zero-copy.
+            (pred,) = self.mdf.pre(head)
+            self._output_of[head.name] = self._output_of[pred.name]
+            self._advance(StageTimes(overhead=self.config.task_overhead), stage, started)
+            self._mark_done(stage)
+            return
+        if isinstance(head, Join):
+            self._execute_join_stage(stage, started)
+            return
+        input_id = self._stage_input(stage)
+        # A branch-tail stage under incremental choose defers its store:
+        # the evaluator pipelines with the stage (§4.2) and losing results
+        # are never materialised at all (R3).
+        entry = self._tail_stage_to_branch.get(stage.id)
+        defer = (
+            entry is not None
+            and self.config.incremental_choose
+            and input_id is not None
+        )
+        # AMM must see the future consumers of the output *while* it is
+        # being stored, or the store itself would evict the fresh
+        # partitions as acc = 0 data.
+        self._consumers.setdefault(
+            f"d:{stage.tail.name}", set()
+        ).update(self._effective_consumers(stage.tail))
+        outcome = self.executor.execute(stage, input_id, defer_store=defer)
+        self._advance(outcome.times, stage, started)
+        self.cluster.metrics.stages_executed += 1
+        if input_id is not None:
+            self._consume(input_id, head)
+        self._mark_done(stage)
+        if defer:
+            self._settle_deferred_tail(stage, outcome)
+            return
+        self._register_output(stage.tail, outcome.output_dataset_id)
+        self._maybe_checkpoint(outcome.output_dataset_id)
+        self._finalize_sinks(stage, outcome.output_dataset_id)
+        self._after_stage(stage, outcome.output_dataset_id)
+
+    def _execute_join_stage(self, stage: Stage, started: float) -> None:
+        head = stage.head
+        assert isinstance(head, Join)
+        if len(head.input_names) != 2:
+            raise SchedulingError(
+                f"join {head.name!r} was not wired through Pipe.join"
+            )
+        try:
+            left_id, right_id = (self._output_of[n] for n in head.input_names)
+        except KeyError as exc:
+            raise SchedulingError(
+                f"join input {exc} of stage {stage.id} not yet produced"
+            ) from None
+        entry = self._tail_stage_to_branch.get(stage.id)
+        defer = entry is not None and self.config.incremental_choose
+        self._consumers.setdefault(
+            f"d:{stage.tail.name}", set()
+        ).update(self._effective_consumers(stage.tail))
+        outcome = self.executor.execute_join(stage, left_id, right_id, defer_store=defer)
+        self._advance(outcome.times, stage, started)
+        self.cluster.metrics.stages_executed += 1
+        for input_id in (left_id, right_id):
+            self._consume(input_id, head)
+        self._mark_done(stage)
+        if defer:
+            self._settle_deferred_tail(stage, outcome)
+            return
+        self._register_output(stage.tail, outcome.output_dataset_id)
+        self._maybe_checkpoint(outcome.output_dataset_id)
+        self._finalize_sinks(stage, outcome.output_dataset_id)
+        self._after_stage(stage, outcome.output_dataset_id)
+
+    def _stage_input(self, stage: Stage) -> Optional[str]:
+        preds = self.mdf.pre(stage.head)
+        if not preds:
+            return None
+        if len(preds) > 1:
+            raise SchedulingError(
+                f"non-choose operator {stage.head.name!r} has multiple inputs"
+            )
+        (pred,) = preds
+        try:
+            return self._output_of[pred.name]
+        except KeyError:
+            raise SchedulingError(
+                f"input of stage {stage.id} ({pred.name!r}) not yet produced"
+            ) from None
+
+    def _maybe_checkpoint(self, output_dataset_id: Optional[str]) -> None:
+        """Charge the periodic checkpoint write of a stage output (§5)."""
+        config = self.config.checkpointing
+        if config is None or output_dataset_id is None:
+            return
+        self._stages_since_checkpoint += 1
+        if self._stages_since_checkpoint < config.interval_stages:
+            return
+        self._stages_since_checkpoint = 0
+        if not self.cluster.has_dataset(output_dataset_id):
+            return
+        record = self.cluster.record(output_dataset_id)
+        seconds = (
+            self.cluster.cost_model.disk_write_time(record.nbytes)
+            * config.overhead_fraction
+        )
+        self.cluster.metrics.bytes_written_disk += int(
+            record.nbytes * config.overhead_fraction
+        )
+        self._advance(StageTimes(io=seconds), None, self.cluster.clock.now)
+
+    def _finalize_sinks(self, stage: Stage, output_dataset_id: Optional[str]) -> None:
+        for op in stage.ops:
+            if isinstance(op, Sink) and output_dataset_id is not None:
+                dataset = self.cluster.materialize(output_dataset_id)
+                self.result.outputs[op.name] = op.finalize(dataset)
+
+    def _settle_deferred_tail(self, stage: Stage, outcome) -> None:
+        """Score a just-produced branch result and store it only if kept.
+
+        The evaluator runs in-flight on the pending dataset; the master's
+        selection then decides immediately: knocked-out earlier branches
+        are freed *before* the new result is stored (so the store never
+        spills data that is about to be discarded), and a losing new
+        result is dropped without ever being materialised.
+        """
+        explore_name, branch = self._tail_stage_to_branch[stage.id]
+        runtime = self._scopes[explore_name]
+        self.cluster.metrics.branches_executed += 1
+        choose = runtime.choose
+        started = self.cluster.clock.now
+        score, times = self.executor.evaluate_pipelined(choose.evaluator, outcome.pending)
+        times.overhead += self.config.master_selection_cost
+        self._advance(times, None, started)
+        runtime.scores[branch.id] = score
+        self.score_store.put(choose.name, branch.id, score)
+        self._context.observed_scores.setdefault(branch.explore_name, []).append(
+            (branch.params, score)
+        )
+        decision = runtime.selector.offer(branch.id, score)
+        for discarded_id in decision.discarded:
+            if discarded_id != branch.id:
+                self._discard_branch_dataset(runtime, discarded_id)
+        if branch.id in decision.discarded:
+            runtime.discarded.add(branch.id)  # never stored: nothing to free
+        else:
+            runtime.alive.add(branch.id)
+            store_started = self.cluster.clock.now
+            store_times = self.executor.commit_store(outcome.pending)
+            self._advance(store_times, None, store_started)
+            runtime.tail_dataset[branch.id] = outcome.pending.id
+            self._register_output(stage.tail, outcome.pending.id)
+            self._maybe_checkpoint(outcome.pending.id)
+        can_prune = self.config.pruning and runtime.plan.prune_superfluous
+        if decision.done and can_prune:
+            self._prune_remaining(runtime)
+        elif runtime.pruner is not None and can_prune and runtime.pruner.observe(score):
+            self._prune_remaining(runtime)
+        self._maybe_finalize(runtime)
+
+    def _after_stage(self, stage: Stage, output_dataset_id: str) -> None:
+        """Event hook: incremental choose evaluation at branch completion.
+
+        Used for branch tails whose dataset already exists on the cluster —
+        a nested choose's aliased output, or any tail when the deferred
+        path is off — so the evaluator reads it like any consumer.
+        """
+        entry = self._tail_stage_to_branch.get(stage.id)
+        if entry is None:
+            return
+        explore_name, branch = entry
+        runtime = self._scopes[explore_name]
+        runtime.tail_dataset[branch.id] = output_dataset_id
+        self.cluster.metrics.branches_executed += 1
+        if self.config.incremental_choose:
+            self._evaluate_branch(runtime, branch)
+            self._maybe_finalize(runtime)
+
+    # -------------------------------------------------------------- choose
+    def _execute_choose_stage(self, stage: Stage) -> None:
+        """A choose stage became ready: every branch is executed or pruned."""
+        (choose,) = stage.ops
+        assert isinstance(choose, ChooseOperator)
+        runtime = self._scopes[self.mdf.scope_of_choose(choose).explore.name]
+        if runtime.finalized:
+            self._mark_done(stage)
+            return
+        # Non-incremental path: evaluate all branches now, in branch order.
+        for branch in runtime.branches:
+            if branch.id not in runtime.scores and branch.id not in runtime.pruned:
+                self._evaluate_branch(runtime, branch)
+                if runtime.finalized:
+                    break
+        self._maybe_finalize(runtime)
+        if not runtime.finalized:  # pragma: no cover - defensive
+            raise SchedulingError(f"choose {choose.name!r} could not finalize")
+
+    def _evaluate_branch(self, runtime: _ScopeRuntime, branch: Branch) -> None:
+        """Worker-side evaluator + master-side incremental selection."""
+        if branch.id in runtime.scores or branch.id in runtime.pruned:
+            return
+        dataset_id = runtime.tail_dataset.get(branch.id)
+        if dataset_id is None:
+            return  # branch tail not executed yet
+        choose = runtime.choose
+        started = self.cluster.clock.now
+        score, times = self.executor.evaluate_branch(choose.evaluator, dataset_id)
+        # master runs the selection function (§5): tiny but accounted
+        times.overhead += self.config.master_selection_cost
+        self._advance(times, None, started)
+        runtime.scores[branch.id] = score
+        runtime.alive.add(branch.id)
+        self.score_store.put(choose.name, branch.id, score)
+        self._context.observed_scores.setdefault(branch.explore_name, []).append(
+            (branch.params, score)
+        )
+        decision = runtime.selector.offer(branch.id, score)
+        for discarded_id in decision.discarded:
+            self._discard_branch_dataset(runtime, discarded_id)
+        can_prune = self.config.pruning and runtime.plan.prune_superfluous
+        if decision.done and can_prune:
+            self._prune_remaining(runtime)
+        elif runtime.pruner is not None and can_prune:
+            if runtime.pruner.observe(score):
+                self._prune_remaining(runtime)
+
+    def _discard_branch_dataset(self, runtime: _ScopeRuntime, branch_id: str) -> None:
+        if branch_id in runtime.discarded:
+            return
+        runtime.discarded.add(branch_id)
+        runtime.alive.discard(branch_id)
+        dataset_id = runtime.tail_dataset.get(branch_id)
+        if dataset_id is not None:
+            self._release(dataset_id)
+
+    def _prune_remaining(self, runtime: _ScopeRuntime) -> None:
+        """Superfluous-branch pruning: dynamic topology rewrite (§5)."""
+        for branch in runtime.unexecuted_branches():
+            self._prune_branch(runtime, branch)
+        self._maybe_finalize(runtime)
+
+    def _prune_branch(self, runtime: _ScopeRuntime, branch: Branch) -> None:
+        runtime.pruned.add(branch.id)
+        self.cluster.metrics.branches_pruned += 1
+        pruned_ops: Set[str] = set()
+        for stage_id in self._branch_stage_ids[branch.id]:
+            if stage_id in self._executed or stage_id in self._pruned_stages:
+                continue
+            stage = self._stage_by_id[stage_id]
+            pruned_ops.update(op.name for op in stage.ops)
+            self._mark_done(stage, pruned=True)
+            # nested scopes inside the pruned branch will never finalize
+            inner = self._tail_stage_to_branch.get(stage_id)
+            if inner is not None:
+                inner_scope, inner_branch = inner
+                self._scopes[inner_scope].pruned.add(inner_branch.id)
+        # datasets whose only remaining readers were pruned are freed now
+        for dataset_id in list(self._consumers):
+            consumers = self._consumers[dataset_id]
+            if not consumers:
+                continue  # terminal outputs (empty consumer sets) stay alive
+            consumers -= pruned_ops
+            if not consumers:
+                self._release(dataset_id)
+        # datasets produced by pruned operators are dead as well
+        for dataset_id, producer in list(self._producer_op.items()):
+            if producer in pruned_ops and self.cluster.has_dataset(dataset_id):
+                self._release(dataset_id)
+
+    def _maybe_finalize(self, runtime: _ScopeRuntime) -> None:
+        if runtime.finalized or not runtime.settled():
+            return
+        choose = runtime.choose
+        kept_ids = [b for b in runtime.selector.finalize() if b in runtime.alive]
+        # branches that were evaluated but not selected lose their datasets
+        for branch in runtime.branches:
+            if branch.id in runtime.scores and branch.id not in kept_ids:
+                self._discard_branch_dataset(runtime, branch.id)
+        output_id = self._build_choose_output(runtime, kept_ids)
+        self._output_of[choose.name] = output_id
+        runtime.finalized = True
+        decision = ChooseDecision(
+            choose_name=choose.name,
+            scores=dict(runtime.scores),
+            kept=list(kept_ids),
+            discarded=sorted(runtime.discarded),
+            pruned=sorted(runtime.pruned),
+        )
+        self.result.decisions[choose.name] = decision
+        stage = self.stage_graph.stage_of(choose)
+        self._mark_done(stage)
+        # a choose may itself be the tail of an enclosing branch: feed the
+        # outer scope (nested explores, Definition 3.1); the aliased output
+        # was not just produced, so the outer evaluator reads it
+        self._after_stage(stage, output_id)
+
+    def _build_choose_output(self, runtime: _ScopeRuntime, kept_ids: List[str]) -> str:
+        """Concatenate the kept branch datasets (Definition 3.3's ``⊕``)."""
+        choose = runtime.choose
+        downstream = self._effective_consumers(choose)
+        if len(kept_ids) == 1:
+            # single winner: alias the dataset, no copy
+            dataset_id = runtime.tail_dataset[kept_ids[0]]
+            consumers = self._consumers.setdefault(dataset_id, set())
+            consumers.discard(choose.name)
+            consumers |= downstream
+            self._producer_op[dataset_id] = choose.name
+            if not consumers:
+                self._release(dataset_id)
+            return dataset_id
+        if not kept_ids:
+            empty = Dataset.from_data(
+                [], num_partitions=self.cluster.num_workers, producer=choose.name
+            )
+            empty.partitions = [
+                Partition(empty.id, p.index, p.data, 1) for p in empty.partitions
+            ]
+            self.cluster.register_dataset(empty)
+            self._register_output(choose, empty.id)
+            return empty.id
+        # multiple winners: fuse the kept datasets into one zero-copy
+        # composite — the selection function runs at the master and only
+        # rewires references (Definition 3.3's ⊕ costs no data movement)
+        comp_id = f"d:{choose.name}"
+        member_ids = [runtime.tail_dataset[b] for b in kept_ids]
+        base_ids: Set[str] = set()
+        for member_id in member_ids:
+            record = self.cluster.record(member_id)
+            base_ids.update(key[0] for key in record.partition_keys)
+        self.cluster.register_composite(comp_id, member_ids, producer=choose.name)
+        for base in base_ids:
+            self._composite_of[base] = comp_id
+        for member_id in member_ids:
+            self._consumers.pop(member_id, None)
+        self._register_output(choose, comp_id)
+        return comp_id
+
+    # ------------------------------------------------------------- timing
+    def _advance(self, times: StageTimes, stage: Optional[Stage], started: float) -> None:
+        self.cluster.clock.advance(times.total)
+        self.result.wall_compute += times.compute
+        self.result.wall_io += times.io
+        self.result.wall_network += times.network
+        if stage is not None:
+            self.result.trace.append(
+                StageTrace(
+                    stage_id=stage.id,
+                    ops=[op.name for op in stage.ops],
+                    branch_id=stage.branch_id,
+                    started=started,
+                    finished=self.cluster.clock.now,
+                )
+            )

@@ -1,0 +1,72 @@
+"""Top-level execution API: ``run_mdf`` and friends.
+
+This is the function downstream users call::
+
+    from repro import run_mdf, Cluster, GB
+
+    cluster = Cluster(num_workers=8, mem_per_worker=4 * GB)
+    result = run_mdf(mdf, cluster, scheduler="bas", memory="amm")
+    print(result.completion_time, result.output)
+
+``scheduler`` picks breadth-first (``"bfs"``) or branch-aware (``"bas"``,
+Algorithm 1); ``memory`` picks the eviction policy (``"lru"`` or ``"amm"``,
+Algorithm 2).  The cluster is reset before the run (cold caches) unless
+``reset=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..cluster.cluster import Cluster
+from ..cluster.memory import MemoryPolicy, make_policy
+from ..core.mdf import MDF
+from .job import EngineConfig, JobResult
+from .master import Master
+from .scheduler import BFSScheduler, BranchAwareScheduler, Scheduler
+
+
+def make_scheduler(name: str, config: Optional[EngineConfig] = None) -> Scheduler:
+    """Factory: ``"bfs"`` or ``"bas"`` (branch-aware, with the config's hint)."""
+    if name == "bfs":
+        return BFSScheduler()
+    if name == "bas":
+        hint = config.hint if config is not None else None
+        return BranchAwareScheduler(hint)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def run_mdf(
+    mdf: MDF,
+    cluster: Cluster,
+    scheduler: Union[str, Scheduler] = "bas",
+    memory: Union[str, MemoryPolicy, None] = None,
+    config: Optional[EngineConfig] = None,
+    reset: bool = True,
+) -> JobResult:
+    """Execute an MDF on a cluster and return the job result.
+
+    Parameters
+    ----------
+    mdf:
+        The meta-dataflow to execute (validated before the run).
+    cluster:
+        The simulated cluster.  Its clock and metrics are reset first
+        unless ``reset=False`` (warm-cache continuation runs).
+    scheduler:
+        ``"bas"`` (default, Algorithm 1), ``"bfs"``, or a scheduler object.
+    memory:
+        ``"lru"``, ``"amm"``, a policy object, or None to keep the
+        cluster's current policy.
+    config:
+        Engine knobs; defaults to incremental choose + pruning on.
+    """
+    config = config or EngineConfig()
+    if reset:
+        cluster.reset()
+    if memory is not None:
+        cluster.policy = make_policy(memory) if isinstance(memory, str) else memory
+    if isinstance(scheduler, str):
+        scheduler = make_scheduler(scheduler, config)
+    master = Master(mdf, cluster, scheduler=scheduler, config=config)
+    return master.run()

@@ -1,0 +1,116 @@
+"""Stage schedulers: breadth-first baseline and branch-aware (Algorithm 1).
+
+The master executes stages one at a time (stage scheduling, §4.1); the
+scheduler decides which ready stage runs next.
+
+* :class:`BFSScheduler` — the strategy of existing dataflow systems: stages
+  execute in the order they become ready (a FIFO frontier), so all branches
+  of an explore advance level by level and every branch completes before
+  the choose can decide anything.
+* :class:`BranchAwareScheduler` — Algorithm 1: depth-first traversal
+  between an explore and its choose.  After executing a stage, its ready
+  successors are the next candidates (``T_cand``); only when none are ready
+  does the scheduler fall back to the pool of previously ready stages
+  (``T_open``, the paper's *pending branch queue*).  Choose stages are
+  taken as early as possible, and scheduling hints order sibling branches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.stages import Stage
+from .hints import SchedulingHint, SortedHint
+
+
+class SchedulerContext:
+    """What a scheduler may inspect when ranking candidate stages.
+
+    Provided by the master: branch metadata per stage and the scores
+    observed so far per explore scope (for model-based hints).
+    """
+
+    def __init__(self):
+        #: stage id -> (explore_name, branch_index, branch_params)
+        self.stage_branch: Dict[str, Tuple[str, int, dict]] = {}
+        #: explore_name -> list of (params, score) observed so far
+        self.observed_scores: Dict[str, List[Tuple[dict, float]]] = {}
+        #: explore_name -> nesting depth (deeper scopes scheduled first)
+        self.scope_depth: Dict[str, int] = {}
+
+    def branch_info(self, stage: Stage) -> Optional[Tuple[str, int, dict]]:
+        return self.stage_branch.get(stage.id)
+
+
+class Scheduler:
+    """Picks the next stage to execute from the ready set."""
+
+    name = "base"
+
+    def select(
+        self,
+        ready: Sequence[Stage],
+        last_executed: Optional[Stage],
+        successors_of_last: Sequence[Stage],
+        context: SchedulerContext,
+    ) -> Stage:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"
+
+
+class BFSScheduler(Scheduler):
+    """Breadth-first: run stages in the order they became ready."""
+
+    name = "bfs"
+
+    def select(self, ready, last_executed, successors_of_last, context) -> Stage:
+        # `ready` is maintained in became-ready order by the master.
+        return ready[0]
+
+
+class BranchAwareScheduler(Scheduler):
+    """Branch-aware scheduling (Algorithm 1) with scheduling hints."""
+
+    name = "bas"
+
+    def __init__(self, hint: Optional[SchedulingHint] = None):
+        self.hint = hint or SortedHint()
+
+    def select(self, ready, last_executed, successors_of_last, context) -> Stage:
+        ready_ids = {s.id for s in ready}
+        candidates = [s for s in successors_of_last if s.id in ready_ids]
+        if not candidates:
+            candidates = list(ready)  # fall back to T_open
+        # Choose stages run as early as possible (finalise scopes, free data).
+        chooses = [s for s in candidates if s.is_choose]
+        if chooses:
+            return chooses[0]
+        return self._hinted(candidates, context)
+
+    def _hinted(self, candidates: List[Stage], context: SchedulerContext) -> Stage:
+        """Rank candidates: deepest scope first (finish inner explores
+        before changing outer choices), then hint order within a scope."""
+        by_scope: Dict[Optional[str], List[Tuple[int, Stage, dict]]] = {}
+        scope_free: List[Stage] = []
+        for stage in candidates:
+            info = context.branch_info(stage)
+            if info is None:
+                scope_free.append(stage)
+            else:
+                explore_name, branch_index, params = info
+                by_scope.setdefault(explore_name, []).append((branch_index, stage, params))
+        if scope_free:
+            # Stages outside any scope (pre-explore / post-choose) always
+            # make global progress; run them first.
+            return scope_free[0]
+        # Deepest scope first: its choose closes earliest.
+        deepest = max(by_scope, key=lambda name: context.scope_depth.get(name, 0))
+        entries = by_scope[deepest]
+        branch_candidates = [(index, params) for index, _, params in entries]
+        observed = context.observed_scores.get(deepest, [])
+        order = self.hint.order(branch_candidates, observed)
+        rank = {index: pos for pos, index in enumerate(order)}
+        entries.sort(key=lambda e: (rank.get(e[0], len(rank)), e[0]))
+        return entries[0][1]

@@ -1,0 +1,30 @@
+"""Tasks: the unit of work shipped to workers (§2.1).
+
+A task pairs an operator chain (one stage) with one data partition.  The
+scheduler breaks a stage into one task per partition; stage completion time
+is governed by the slowest node, with a small per-task master overhead that
+reproduces the paper's observed sublinear scaling (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.stages import Stage
+
+
+@dataclass(frozen=True)
+class Task:
+    """One (stage, partition) execution unit."""
+
+    stage_id: str
+    partition_index: int
+    node_id: str
+
+
+def expand_stage(stage: Stage, partition_nodes: List[str]) -> List[Task]:
+    """One task per input partition, pinned to the partition's node."""
+    return [
+        Task(stage.id, index, node_id) for index, node_id in enumerate(partition_nodes)
+    ]

@@ -1,0 +1,12 @@
+"""Common MDF patterns (§3.2 of the paper).
+
+* :mod:`crossval` — k-fold cross validation as an explore over data
+  splits, with the choose aggregating fold scores;
+* :mod:`iterative` — fixpoint computation with a choose *inside* the
+  unrolled iteration, terminating non-converging branches early.
+"""
+
+from .crossval import cross_validation_mdf, fold_splits
+from .iterative import iterative_explore_mdf
+
+__all__ = ["cross_validation_mdf", "fold_splits", "iterative_explore_mdf"]

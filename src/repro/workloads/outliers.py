@@ -1,0 +1,48 @@
+"""Outlier removal (the running KDE example's first pipeline step, §2.2).
+
+The paper's basic filter removes values beyond ``x`` times the standard
+deviation.  The surviving fraction is *monotone* in the threshold — the
+property Example 3.4 and Table 1 exploit — so the matching evaluator is
+the dataset-size/ratio evaluator with ``monotone=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def sigma_filter(threshold: float) -> Callable[[np.ndarray], np.ndarray]:
+    """Keep values within ``threshold × std`` of the mean.
+
+    Statistics are computed on the payload itself (partitions are i.i.d.
+    slices of the input, so partition-local statistics converge to the
+    global ones; this keeps the operator narrow, as in Fig. 1's dataflow).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+
+    def filter_payload(payload) -> np.ndarray:
+        data = np.asarray(payload, dtype=np.float64)
+        if data.size == 0:
+            return data
+        mu = float(data.mean())
+        sigma = float(data.std())
+        if sigma == 0.0:
+            return data
+        mask = np.abs(data - mu) <= threshold * sigma
+        return data[mask]
+
+    filter_payload.__name__ = f"sigma_filter_{threshold}"
+    return filter_payload
+
+
+def surviving_fraction(original_count: int) -> Callable[[np.ndarray], float]:
+    """Evaluator payload function: fraction of input values that survived."""
+    original_count = max(1, int(original_count))
+
+    def fraction(payload) -> float:
+        return len(payload) / original_count
+
+    return fraction

@@ -1,0 +1,50 @@
+"""Data pre-processing operators (normalisation / standardisation, §6.1).
+
+The data-profiling MDF explores the pre-processing method itself: min-max
+normalisation to [0, 1] versus z-score standardisation.  Both are linear
+scans over the whole dataset — cheap per byte, but with cost growing in
+the input size, which is exactly why reusing their output across explored
+kernel configurations matters (Fig. 6)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+
+def normalize(payload) -> np.ndarray:
+    """Min-max normalisation to [0, 1] (degenerate ranges map to 0)."""
+    data = np.asarray(payload, dtype=np.float64)
+    if data.size == 0:
+        return data
+    low, high = float(data.min()), float(data.max())
+    if high == low:
+        return np.zeros_like(data)
+    return (data - low) / (high - low)
+
+
+def standardize(payload) -> np.ndarray:
+    """Z-score standardisation (zero mean, unit variance)."""
+    data = np.asarray(payload, dtype=np.float64)
+    if data.size == 0:
+        return data
+    sigma = float(data.std())
+    if sigma == 0.0:
+        return data - data.mean()
+    return (data - data.mean()) / sigma
+
+
+PREPROCESSORS: Dict[str, Callable] = {
+    "normalize": normalize,
+    "standardize": standardize,
+}
+
+
+def preprocessor(name: str) -> Callable:
+    try:
+        return PREPROCESSORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preprocessor {name!r}; options: {sorted(PREPROCESSORS)}"
+        ) from None

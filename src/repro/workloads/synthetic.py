@@ -1,0 +1,62 @@
+"""Synthetic job: string/integer pairs with nested explores (App. C Fig. 23).
+
+The job offers full control over branch structure and computational cost:
+two nested explores ``B1`` (outer) and ``B2`` (inner) each apply an
+algebraic operation to the integer of every tuple, repeated ``work`` times
+per item to tune the processing cost.  The choose at each level keeps the
+branch with the maximum integer sum — matching ``CHOOSE(int_value(...),
+max)`` in the paper's listing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+Pair = Tuple[str, int]
+
+#: the multiplier domain from the paper's listing: seq(10, 100, 1000, 10000)
+DEFAULT_MULTIPLIERS: Tuple[int, ...] = (10, 100, 1000, 10000)
+
+_PRIME = 1_000_003
+
+
+def math_op(multiplier: int, work: int = 1) -> Callable[[List[Pair]], List[Pair]]:
+    """The ``Math.op`` operator: update each tuple's integer value.
+
+    Applies ``v ← (v · multiplier + 7) mod P`` ``work`` times per item —
+    the knob §6.4 turns to make branches compute-bound.
+    """
+    if work < 1:
+        raise ValueError("work must be >= 1")
+
+    def op(payload: List[Pair]) -> List[Pair]:
+        out: List[Pair] = []
+        for key, value in payload:
+            v = value
+            for _ in range(work):
+                v = (v * multiplier + 7) % _PRIME
+            out.append((key, v))
+        return out
+
+    op.__name__ = f"math_op_x{multiplier}_w{work}"
+    return op
+
+
+def int_value(payload: List[Pair]) -> float:
+    """Evaluator function: sum of the integer values of a branch result."""
+    return float(sum(value for _, value in payload))
+
+
+def multipliers(count: int) -> List[int]:
+    """A branching-factor-``count`` multiplier domain.
+
+    Extends the paper's ``seq(10, 100, 1000, 10000)`` geometrically when
+    the experiment needs more branches (Figs. 9 and 12 sweep branching
+    factors well beyond 4), and truncates it for fewer.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    base = list(DEFAULT_MULTIPLIERS)
+    while len(base) < count:
+        base.append(base[-1] * 2 + len(base))
+    return base[:count]

@@ -1,0 +1,147 @@
+"""Tests for sequential, k-parallel and Spark-like baseline execution."""
+
+import pytest
+
+from repro import Cluster, GB, MB
+from repro.baselines import (
+    BaselineResult,
+    cache_points,
+    pick_best,
+    run_parallel,
+    run_sequential,
+    seep_bfs,
+    seep_mdf,
+    spark_cache,
+    spark_sequential,
+    spark_yarn,
+)
+from repro.workloads import (
+    string_int_pairs,
+    synthetic_combinations,
+    synthetic_job,
+    synthetic_mdf,
+)
+
+PAIRS = string_int_pairs(500)
+NOMINAL = 256 * MB
+
+
+def jobs(b1=2, b2=2):
+    return [
+        synthetic_job(PAIRS, p, nominal_bytes=NOMINAL)
+        for p in synthetic_combinations(b1, b2)
+    ]
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(4, 1 * GB)
+
+
+class TestSequential:
+    def test_time_is_sum_plus_overhead(self, cluster):
+        family = jobs()
+        result = run_sequential(family, cluster, job_overhead=1.0)
+        per_job = sum(j.completion_time for j in result.jobs)
+        assert result.completion_time == pytest.approx(per_job + len(family))
+
+    def test_all_jobs_run(self, cluster):
+        result = run_sequential(jobs(), cluster)
+        assert len(result.jobs) == 4
+        assert all(j.output is not None for j in result.jobs)
+
+    def test_cold_caches(self, cluster):
+        """Every job re-reads the input from storage (no cross-job reuse)."""
+        result = run_sequential(jobs(), cluster)
+        assert result.metrics.bytes_read_disk >= 4 * NOMINAL
+
+    def test_empty_family(self, cluster):
+        result = run_sequential([], cluster)
+        assert result.completion_time == 0.0
+        assert result.jobs == []
+
+
+class TestParallel:
+    def test_waves(self, cluster):
+        family = jobs()  # 4 jobs
+        result = run_parallel(family, cluster, k=2, job_overhead=0.0)
+        assert len(result.jobs) == 4
+
+    def test_parallel_beats_sequential(self, cluster):
+        family = jobs(3, 3)
+        seq = run_sequential(jobs(3, 3), cluster)
+        par = run_parallel(family, cluster, k=4)
+        assert par.completion_time < seq.completion_time
+
+    def test_higher_k_overlaps_more_without_pressure(self, cluster):
+        fam = jobs(3, 3)
+        p2 = run_parallel(jobs(3, 3), cluster, k=2)
+        p8 = run_parallel(fam, cluster, k=8)
+        assert p8.completion_time <= p2.completion_time
+
+    def test_invalid_k(self, cluster):
+        with pytest.raises(ValueError):
+            run_parallel(jobs(), cluster, k=0)
+
+    def test_name_default(self, cluster):
+        assert run_parallel(jobs(), cluster, k=4).name == "4-parallel"
+
+    def test_memory_split(self):
+        """Very tight per-job memory (mem/k) shows up as disk traffic."""
+        fam = jobs(2, 2)
+        roomy = run_parallel(jobs(2, 2), Cluster(4, 1 * GB), k=1)
+        tight = run_parallel(fam, Cluster(4, 1 * GB), k=8)
+        assert (
+            tight.metrics.bytes_read_disk >= roomy.metrics.bytes_read_disk
+        )
+
+
+class TestPickBest:
+    def test_post_hoc_choice(self, cluster):
+        result = run_sequential(jobs(), cluster)
+        best = pick_best(result, lambda out: sum(v for _, v in out), maximize=True)
+        scores = [sum(v for _, v in out) for out in result.outputs()]
+        assert sum(v for _, v in best) == max(scores)
+
+    def test_empty(self):
+        from repro.cluster.metrics import Metrics
+
+        empty = BaselineResult("x", 0.0, Metrics(), [])
+        assert pick_best(empty, lambda o: 0.0) is None
+
+
+class TestSparkLike:
+    def test_cache_points_outermost_only(self):
+        mdf = synthetic_mdf(PAIRS, b1=2, b2=2, nominal_bytes=NOMINAL)
+        points = cache_points(mdf)
+        assert points == frozenset({"read-pairs"})
+
+    def test_spark_sequential_is_bfs_lru(self, cluster):
+        result = spark_sequential(jobs(), cluster)
+        assert result.name == "spark-sequential"
+        assert len(result.jobs) == 4
+
+    def test_spark_yarn(self, cluster):
+        result = spark_yarn(jobs(), cluster, k=2)
+        assert result.name == "spark-yarn"
+
+    def test_spark_cache_single_job(self, cluster):
+        mdf = synthetic_mdf(PAIRS, b1=2, b2=2, nominal_bytes=NOMINAL)
+        result = spark_cache(mdf, cluster)
+        assert result.output is not None
+        # no pruning: every branch scored
+        assert all(len(d.pruned) == 0 for d in result.decisions.values())
+
+    def test_seep_variants_agree_on_output(self, cluster):
+        mdf = synthetic_mdf(PAIRS, b1=2, b2=2, nominal_bytes=NOMINAL)
+        a = seep_mdf(mdf, cluster)
+        b = seep_bfs(mdf, cluster)
+        assert a.output == b.output
+
+    def test_mdf_matches_baseline_best(self, cluster):
+        """The MDF's winner equals the post-hoc best of the job family."""
+        mdf = synthetic_mdf(PAIRS, b1=2, b2=2, nominal_bytes=NOMINAL)
+        mdf_result = seep_mdf(mdf, cluster)
+        family = run_sequential(jobs(2, 2), cluster)
+        best = pick_best(family, lambda out: sum(v for _, v in out), maximize=True)
+        assert sorted(mdf_result.output) == sorted(best)

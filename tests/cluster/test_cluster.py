@@ -1,0 +1,244 @@
+"""Tests for the simulated cluster: placement, loading, discarding,
+composites, protection, pinning, snapshots."""
+
+import pytest
+
+from repro.cluster import Cluster, CostModel, LRUPolicy, MB
+from repro.core.datasets import Dataset
+
+
+def make_cluster(workers=2, mem=10 * MB, **kw):
+    return Cluster(num_workers=workers, mem_per_worker=mem, **kw)
+
+
+def make_dataset(n_parts=4, bytes_per_part=1 * MB, dataset_id=None, producer="op"):
+    ds = Dataset.from_data(
+        list(range(n_parts * 10)),
+        num_partitions=n_parts,
+        dataset_id=dataset_id,
+        producer=producer,
+        nominal_bytes=n_parts * bytes_per_part,
+    )
+    return ds
+
+
+class TestRegistration:
+    def test_round_robin_placement(self):
+        cluster = make_cluster(workers=2)
+        ds = make_dataset(4)
+        cluster.register_dataset(ds)
+        record = cluster.record(ds.id)
+        assert record.partition_nodes == ["worker-0", "worker-1", "worker-0", "worker-1"]
+
+    def test_store_charges_time(self):
+        cluster = make_cluster()
+        seconds = cluster.register_dataset(make_dataset())
+        assert sum(seconds.values()) > 0
+
+    def test_oversized_partition_goes_to_disk(self):
+        cluster = make_cluster(mem=1 * MB)
+        ds = make_dataset(2, bytes_per_part=5 * MB)
+        cluster.register_dataset(ds)
+        for node in cluster.nodes:
+            assert node.mem_used == 0
+        assert cluster.metrics.bytes_written_disk == 10 * MB
+
+    def test_peak_dataset_metric(self):
+        cluster = make_cluster()
+        cluster.register_dataset(make_dataset())
+        cluster.register_dataset(make_dataset())
+        assert cluster.metrics.peak_datasets_stored == 2
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            Cluster(num_workers=0)
+
+
+class TestLoading:
+    def test_memory_hit(self):
+        cluster = make_cluster()
+        ds = make_dataset()
+        cluster.register_dataset(ds)
+        payload, seconds, node_id = cluster.load_partition(ds.id, 0)
+        assert cluster.metrics.partition_hits == 1
+        assert cluster.metrics.partition_misses == 0
+        assert seconds < 0.001  # memory read of 1 MB
+
+    def test_disk_miss_streams(self):
+        cluster = make_cluster()
+        ds = make_dataset()
+        cluster.register_dataset(ds)
+        node = cluster.node(cluster.record(ds.id).partition_nodes[0])
+        node.demote((ds.id, 0))
+        payload, seconds, _ = cluster.load_partition(ds.id, 0)
+        assert cluster.metrics.partition_misses == 1
+        # streamed, not promoted: still on disk
+        assert not node.slot((ds.id, 0)).in_memory
+        assert seconds > 0.001  # disk read is slower
+
+    def test_hit_ratio(self):
+        cluster = make_cluster()
+        ds = make_dataset(2)
+        cluster.register_dataset(ds)
+        node = cluster.node(cluster.record(ds.id).partition_nodes[0])
+        node.demote((ds.id, 0))
+        cluster.load_partition(ds.id, 0)  # miss
+        cluster.load_partition(ds.id, 1)  # hit
+        assert cluster.metrics.memory_hit_ratio == pytest.approx(0.5)
+
+    def test_payload_roundtrip(self):
+        cluster = make_cluster()
+        ds = make_dataset(2)
+        cluster.register_dataset(ds)
+        p0, _, _ = cluster.load_partition(ds.id, 0)
+        p1, _, _ = cluster.load_partition(ds.id, 1)
+        assert p0 + p1 == list(range(20))
+
+
+class TestDiscard:
+    def test_discard_frees_everywhere(self):
+        cluster = make_cluster()
+        ds = make_dataset()
+        cluster.register_dataset(ds)
+        cluster.discard_dataset(ds.id)
+        assert not cluster.has_dataset(ds.id)
+        assert all(node.mem_used == 0 for node in cluster.nodes)
+        assert cluster.metrics.datasets_discarded == 1
+
+    def test_discard_missing_noop(self):
+        cluster = make_cluster()
+        cluster.discard_dataset("ghost")
+        assert cluster.metrics.datasets_discarded == 0
+
+    def test_discard_costs_nothing(self):
+        cluster = make_cluster()
+        ds = make_dataset()
+        cluster.register_dataset(ds)
+        before = cluster.clock.now
+        cluster.discard_dataset(ds.id)
+        assert cluster.clock.now == before
+
+
+class TestComposite:
+    def test_composite_absorbs_members(self):
+        cluster = make_cluster()
+        a, b = make_dataset(2, dataset_id="a"), make_dataset(2, dataset_id="b")
+        cluster.register_dataset(a)
+        cluster.register_dataset(b)
+        cluster.register_composite("comp", ["a", "b"], producer="choose")
+        assert cluster.has_dataset("comp")
+        assert not cluster.has_dataset("a")
+        record = cluster.record("comp")
+        assert record.num_partitions == 4
+        assert record.partition_keys == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+    def test_composite_reads_member_slots(self):
+        cluster = make_cluster()
+        a, b = make_dataset(1, dataset_id="a"), make_dataset(1, dataset_id="b")
+        cluster.register_dataset(a)
+        cluster.register_dataset(b)
+        cluster.register_composite("comp", ["a", "b"])
+        p0, _, _ = cluster.load_partition("comp", 0)
+        p1, _, _ = cluster.load_partition("comp", 1)
+        assert p0 == list(range(10)) and p1 == list(range(10))
+
+    def test_composite_discard_removes_member_slots(self):
+        cluster = make_cluster()
+        a, b = make_dataset(1, dataset_id="a"), make_dataset(1, dataset_id="b")
+        cluster.register_dataset(a)
+        cluster.register_dataset(b)
+        cluster.register_composite("comp", ["a", "b"])
+        cluster.discard_dataset("comp")
+        assert all(not node.slots for node in cluster.nodes)
+
+    def test_composite_no_data_movement(self):
+        cluster = make_cluster()
+        a = make_dataset(2, dataset_id="a")
+        b = make_dataset(2, dataset_id="b")
+        cluster.register_dataset(a)
+        cluster.register_dataset(b)
+        written_before = cluster.metrics.bytes_written_memory
+        cluster.register_composite("comp", ["a", "b"])
+        assert cluster.metrics.bytes_written_memory == written_before
+
+    def test_materialize_composite(self):
+        cluster = make_cluster()
+        a = make_dataset(1, dataset_id="a")
+        b = make_dataset(1, dataset_id="b")
+        cluster.register_dataset(a)
+        cluster.register_dataset(b)
+        cluster.register_composite("comp", ["a", "b"])
+        ds = cluster.materialize("comp")
+        assert len(ds.collect()) == 20
+
+
+class TestEviction:
+    def test_eviction_on_pressure(self):
+        cluster = make_cluster(workers=1, mem=3 * MB)
+        for i in range(4):
+            cluster.register_dataset(make_dataset(1, dataset_id=f"d{i}"))
+        assert cluster.metrics.evictions > 0
+        assert cluster.nodes[0].mem_used <= 3 * MB
+
+    def test_lru_evicts_oldest(self):
+        cluster = make_cluster(workers=1, mem=2 * MB, policy=LRUPolicy())
+        cluster.register_dataset(make_dataset(1, dataset_id="old"))
+        cluster.clock.advance(1.0)
+        cluster.register_dataset(make_dataset(1, dataset_id="mid"))
+        cluster.clock.advance(1.0)
+        cluster.register_dataset(make_dataset(1, dataset_id="new"))
+        node = cluster.nodes[0]
+        assert not node.slot(("old", 0)).in_memory
+        assert node.slot(("new", 0)).in_memory
+
+    def test_protect_blocks_eviction(self):
+        cluster = make_cluster(workers=1, mem=2 * MB)
+        cluster.register_dataset(make_dataset(1, dataset_id="keep"))
+        with cluster.protect(["keep"]):
+            cluster.register_dataset(make_dataset(1, dataset_id="a"))
+            cluster.register_dataset(make_dataset(1, dataset_id="b"))
+            assert cluster.nodes[0].slot(("keep", 0)).in_memory
+        assert cluster.nodes[0].protected == set()
+
+    def test_protect_unknown_dataset(self):
+        cluster = make_cluster()
+        with cluster.protect(["ghost"]):
+            pass  # must not raise
+
+
+class TestPinning:
+    def test_pinned_survives_pressure(self):
+        cluster = make_cluster(workers=1, mem=2 * MB)
+        cluster.register_dataset(make_dataset(1, dataset_id="cached"))
+        cluster.pin_dataset("cached")
+        for i in range(3):
+            cluster.register_dataset(make_dataset(1, dataset_id=f"d{i}"))
+        assert cluster.nodes[0].slot(("cached", 0)).in_memory
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_state(self):
+        cluster = make_cluster()
+        ds = make_dataset(2, dataset_id="d")
+        cluster.register_dataset(ds)
+        state = cluster.snapshot_state()
+        assert "d" in state.datasets
+        assert state.is_valid()
+
+    def test_reset(self):
+        cluster = make_cluster()
+        cluster.register_dataset(make_dataset())
+        cluster.clock.advance(5.0)
+        cluster.reset()
+        assert cluster.clock.now == 0.0
+        assert cluster.live_dataset_count() == 0
+        assert cluster.metrics.evictions == 0
+        assert all(not node.slots for node in cluster.nodes)
+
+    def test_fail_node(self):
+        cluster = make_cluster()
+        ds = make_dataset(4, dataset_id="d")
+        cluster.register_dataset(ds)
+        lost = cluster.fail_node("worker-0")
+        assert lost  # worker-0 held partitions 0 and 2
+        assert cluster.node("worker-0").mem_used == 0

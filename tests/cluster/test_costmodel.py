@@ -1,0 +1,61 @@
+"""Tests for the hardware cost model and the α ratio (Alg. 2 input)."""
+
+import pytest
+
+from repro.cluster.costmodel import CostModel, GB, MB
+
+
+class TestAlpha:
+    def test_alpha_formula(self):
+        cm = CostModel(
+            mem_read_bw=10 * GB,
+            mem_write_bw=10 * GB,
+            disk_read_bw=200 * MB,
+            disk_write_bw=100 * MB,
+        )
+        # α = (w_d · r_m) / (w_m · r_d) with times = 1/bandwidth
+        expected = (1 / (100 * MB)) * (1 / (10 * GB)) / ((1 / (10 * GB)) * (1 / (200 * MB)))
+        assert cm.alpha == pytest.approx(expected)
+        assert cm.alpha == pytest.approx(2.0)
+
+    def test_symmetric_hardware_alpha_one(self):
+        cm = CostModel(
+            mem_read_bw=GB, mem_write_bw=GB, disk_read_bw=MB, disk_write_bw=MB
+        )
+        assert cm.alpha == pytest.approx(1.0)
+
+
+class TestTimes:
+    def test_read_write_times(self):
+        cm = CostModel(disk_read_bw=100 * MB, disk_write_bw=50 * MB)
+        assert cm.disk_read_time(100 * MB) == pytest.approx(1.0)
+        assert cm.disk_write_time(100 * MB) == pytest.approx(2.0)
+
+    def test_memory_faster_than_disk(self):
+        cm = CostModel()
+        assert cm.mem_read_time(GB) < cm.disk_read_time(GB)
+
+    def test_compute_time(self):
+        cm = CostModel(compute_rate=100 * MB)
+        assert cm.compute_time(200 * MB) == pytest.approx(2.0)
+
+    def test_network_time(self):
+        cm = CostModel(network_bandwidth=125 * MB)
+        assert cm.network_time(125 * MB) == pytest.approx(1.0)
+
+
+class TestValidationAndScaling:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CostModel(disk_read_bw=0)
+
+    def test_scaled_override(self):
+        cm = CostModel()
+        faster = cm.scaled(compute_rate=cm.compute_rate * 2)
+        assert faster.compute_rate == cm.compute_rate * 2
+        assert faster.disk_read_bw == cm.disk_read_bw
+
+    def test_frozen(self):
+        cm = CostModel()
+        with pytest.raises(Exception):
+            cm.compute_rate = 1.0

@@ -1,0 +1,73 @@
+"""Tests for fault tolerance: choose-score store, failure injection."""
+
+from repro.cluster import Cluster, MB
+from repro.cluster.fault import (
+    ChooseScoreStore,
+    FailureEvent,
+    FailureInjector,
+)
+from repro.core.datasets import Dataset
+
+
+class TestChooseScoreStore:
+    def test_put_get(self):
+        store = ChooseScoreStore()
+        store.put("ch", "b0", 0.5)
+        assert store.get("ch", "b0") == 0.5
+        assert store.has("ch", "b0")
+
+    def test_missing(self):
+        store = ChooseScoreStore()
+        assert store.get("ch", "b0") is None
+        assert not store.has("ch", "b0")
+
+    def test_scores_for_choose(self):
+        store = ChooseScoreStore()
+        store.put("ch", "b0", 0.5)
+        store.put("ch", "b1", 0.7)
+        store.put("other", "b0", 0.1)
+        assert store.scores_for("ch") == {"b0": 0.5, "b1": 0.7}
+
+    def test_len(self):
+        store = ChooseScoreStore()
+        store.put("ch", "b0", 1.0)
+        store.put("ch", "b0", 2.0)  # overwrite
+        assert len(store) == 1
+
+
+class TestFailureInjector:
+    def _cluster_with_data(self):
+        cluster = Cluster(2, 10 * MB)
+        ds = Dataset.from_data(
+            list(range(20)), num_partitions=2, dataset_id="d", nominal_bytes=2 * MB
+        )
+        cluster.register_dataset(ds)
+        return cluster
+
+    def test_fires_at_stage(self):
+        cluster = self._cluster_with_data()
+        injector = FailureInjector.at_stages([(2, "worker-0")])
+        assert injector.maybe_fail(cluster, 0) == []
+        assert injector.maybe_fail(cluster, 1) == []
+        lost = injector.maybe_fail(cluster, 2)
+        assert lost == [("d", 0)]
+
+    def test_fires_only_once(self):
+        cluster = self._cluster_with_data()
+        injector = FailureInjector.at_stages([(0, "worker-0")])
+        assert injector.maybe_fail(cluster, 0)
+        assert injector.maybe_fail(cluster, 0) == []
+
+    def test_multiple_events(self):
+        cluster = self._cluster_with_data()
+        injector = FailureInjector.at_stages([(0, "worker-0"), (0, "worker-1")])
+        lost = injector.maybe_fail(cluster, 0)
+        assert set(lost) == {("d", 0), ("d", 1)}
+
+    def test_data_survives_on_disk(self):
+        cluster = self._cluster_with_data()
+        injector = FailureInjector.at_stages([(0, "worker-0")])
+        injector.maybe_fail(cluster, 0)
+        payload, seconds, _ = cluster.load_partition("d", 0)
+        assert payload == list(range(10))
+        assert cluster.metrics.partition_misses == 1  # read from checkpoint

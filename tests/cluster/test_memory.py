@@ -1,0 +1,121 @@
+"""Tests for memory policies: LRU, AMM (Alg. 2) and its ablation variants."""
+
+import pytest
+
+from repro.cluster.memory import (
+    AccessOnlyPolicy,
+    AMMPolicy,
+    LRUPolicy,
+    SizeOnlyPolicy,
+    make_policy,
+)
+from repro.cluster.node import Node, Slot
+
+
+def slot(ds, nbytes=100, last=0.0, idx=0):
+    return Slot((ds, idx), [1], nbytes, in_memory=True, last_access=last)
+
+
+class TestLRU:
+    def test_oldest_evicted(self):
+        policy = LRUPolicy()
+        candidates = [slot("a", last=5.0), slot("b", last=1.0), slot("c", last=3.0)]
+        assert policy.select_victim(None, candidates).dataset_id == "b"
+
+    def test_tie_breaks_by_key(self):
+        policy = LRUPolicy()
+        candidates = [slot("b", last=1.0), slot("a", last=1.0)]
+        assert policy.select_victim(None, candidates).dataset_id == "a"
+
+    def test_always_spills(self):
+        assert LRUPolicy().should_spill(slot("a"))
+
+
+class TestAMM:
+    def make_amm(self, accesses):
+        policy = AMMPolicy()
+        policy.bind(lambda ds: accesses.get(ds, 0), alpha=2.0)
+        return policy
+
+    def test_preference_formula(self):
+        policy = self.make_amm({"a": 3})
+        assert policy.preference(slot("a", nbytes=100)) == 3 * 100 * 2.0
+
+    def test_evicts_lowest_preference(self):
+        policy = self.make_amm({"hot": 5, "cold": 0})
+        victim = policy.select_victim(
+            None, [slot("hot", nbytes=100), slot("cold", nbytes=100)]
+        )
+        assert victim.dataset_id == "cold"
+
+    def test_size_matters(self):
+        # equal access counts: the smaller partition is cheaper to reload
+        policy = self.make_amm({"big": 1, "small": 1})
+        victim = policy.select_victim(
+            None, [slot("big", nbytes=1000), slot("small", nbytes=10)]
+        )
+        assert victim.dataset_id == "small"
+
+    def test_tie_breaks_lru(self):
+        policy = self.make_amm({"a": 1, "b": 1})
+        victim = policy.select_victim(
+            None, [slot("a", last=5.0), slot("b", last=1.0)]
+        )
+        assert victim.dataset_id == "b"
+
+    def test_unbound_acts_like_size_lru(self):
+        policy = AMMPolicy()
+        victim = policy.select_victim(None, [slot("a", nbytes=10), slot("b", nbytes=100)])
+        assert victim.dataset_id == "a"
+
+    def test_dead_data_dropped_free(self):
+        policy = self.make_amm({"dead": 0, "live": 2})
+        assert not policy.should_spill(slot("dead"))
+        assert policy.should_spill(slot("live"))
+
+    def test_unbound_always_spills(self):
+        assert AMMPolicy().should_spill(slot("x"))
+
+    def test_preference_order(self):
+        policy = self.make_amm({"a": 1, "b": 5, "c": 0})
+        node = Node("w", 1000)
+        for name in ("a", "b", "c"):
+            node.put((name, 0), [1], 100, now=0.0, in_memory=True)
+        order = [s.dataset_id for s in policy.preference_order(node)]
+        assert order == ["c", "a", "b"]
+
+
+class TestAblationVariants:
+    def test_access_only_ignores_size(self):
+        policy = AccessOnlyPolicy()
+        policy.bind(lambda ds: {"a": 1, "b": 2}[ds], alpha=2.0)
+        victim = policy.select_victim(
+            None, [slot("a", nbytes=1), slot("b", nbytes=10**9)]
+        )
+        assert victim.dataset_id == "a"
+
+    def test_size_only_ignores_access(self):
+        policy = SizeOnlyPolicy()
+        policy.bind(lambda ds: {"a": 100, "b": 0}[ds], alpha=2.0)
+        victim = policy.select_victim(
+            None, [slot("a", nbytes=10), slot("b", nbytes=1000)]
+        )
+        assert victim.dataset_id == "a"
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("lru", LRUPolicy),
+            ("amm", AMMPolicy),
+            ("amm-access-only", AccessOnlyPolicy),
+            ("amm-size-only", SizeOnlyPolicy),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("random")

@@ -1,0 +1,68 @@
+"""Tests for metrics accumulation and the simulated clock."""
+
+import pytest
+
+from repro.cluster.clock import SimClock
+from repro.cluster.metrics import Metrics
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_zero_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestMetrics:
+    def test_hit_ratio_no_reads_is_one(self):
+        assert Metrics().memory_hit_ratio == 1.0
+
+    def test_hit_ratio_bytes_based(self):
+        m = Metrics(bytes_read_memory=300, bytes_read_disk=100)
+        assert m.memory_hit_ratio == pytest.approx(0.75)
+
+    def test_total_time(self):
+        m = Metrics(time_compute=1.0, time_io=2.0, time_network=0.5)
+        assert m.total_time == 3.5
+
+    def test_merge_sums_counters(self):
+        a = Metrics(evictions=2, bytes_read_disk=100, time_io=1.0)
+        b = Metrics(evictions=3, bytes_read_disk=50, time_io=0.5)
+        merged = a.merge(b)
+        assert merged.evictions == 5
+        assert merged.bytes_read_disk == 150
+        assert merged.time_io == 1.5
+
+    def test_merge_takes_max_peak(self):
+        a = Metrics(peak_datasets_stored=7)
+        b = Metrics(peak_datasets_stored=3)
+        assert a.merge(b).peak_datasets_stored == 7
+
+    def test_merge_does_not_mutate(self):
+        a = Metrics(evictions=1)
+        b = Metrics(evictions=1)
+        a.merge(b)
+        assert a.evictions == 1
+
+    def test_as_dict_includes_derived(self):
+        d = Metrics(bytes_read_memory=10).as_dict()
+        assert "memory_hit_ratio" in d and "total_time" in d

@@ -1,0 +1,124 @@
+"""Tests for worker nodes: slots, memory accounting, protection, pinning."""
+
+import pytest
+
+from repro.cluster.node import Node
+
+
+def make_node(cap=1000):
+    return Node("w0", cap)
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Node("w", 0)
+
+    def test_put_accounts_memory(self):
+        node = make_node()
+        node.put(("d", 0), [1], 400, now=0.0, in_memory=True)
+        assert node.mem_used == 400
+        assert node.free_memory() == 600
+
+    def test_put_on_disk_free(self):
+        node = make_node()
+        node.put(("d", 0), [1], 400, now=0.0, in_memory=False)
+        assert node.mem_used == 0
+
+    def test_put_replaces_slot(self):
+        node = make_node()
+        node.put(("d", 0), [1], 400, now=0.0, in_memory=True)
+        node.put(("d", 0), [2], 300, now=1.0, in_memory=True)
+        assert node.mem_used == 300
+        assert node.slot(("d", 0)).payload == [2]
+
+    def test_replace_preserves_pin(self):
+        node = make_node()
+        node.put(("d", 0), [1], 100, now=0.0, in_memory=True)
+        node.slot(("d", 0)).pinned = True
+        node.put(("d", 0), [2], 100, now=1.0, in_memory=True)
+        assert node.slot(("d", 0)).pinned
+
+
+class TestDemotePromote:
+    def test_demote_frees_memory(self):
+        node = make_node()
+        node.put(("d", 0), [1], 400, now=0.0, in_memory=True)
+        node.demote(("d", 0))
+        assert node.mem_used == 0
+        assert not node.slot(("d", 0)).in_memory
+
+    def test_promote_charges_memory(self):
+        node = make_node()
+        node.put(("d", 0), [1], 400, now=0.0, in_memory=False)
+        node.promote(("d", 0), now=1.0)
+        assert node.mem_used == 400
+        assert node.slot(("d", 0)).in_memory
+
+    def test_double_demote_idempotent(self):
+        node = make_node()
+        node.put(("d", 0), [1], 400, now=0.0, in_memory=True)
+        node.demote(("d", 0))
+        node.demote(("d", 0))
+        assert node.mem_used == 0
+
+    def test_remove(self):
+        node = make_node()
+        node.put(("d", 0), [1], 400, now=0.0, in_memory=True)
+        slot = node.remove(("d", 0))
+        assert slot is not None
+        assert node.mem_used == 0
+        assert not node.has(("d", 0))
+
+    def test_remove_missing(self):
+        assert make_node().remove(("x", 0)) is None
+
+
+class TestEvictionCandidates:
+    def test_protected_excluded(self):
+        node = make_node()
+        node.put(("d", 0), [1], 100, now=0.0, in_memory=True)
+        node.put(("e", 0), [1], 100, now=0.0, in_memory=True)
+        node.protected.add(("d", 0))
+        keys = {s.key for s in node.eviction_candidates()}
+        assert keys == {("e", 0)}
+
+    def test_pinned_excluded_when_alternatives_exist(self):
+        node = make_node()
+        node.put(("d", 0), [1], 100, now=0.0, in_memory=True)
+        node.put(("e", 0), [1], 100, now=0.0, in_memory=True)
+        node.slot(("d", 0)).pinned = True
+        keys = {s.key for s in node.eviction_candidates()}
+        assert keys == {("e", 0)}
+
+    def test_pinned_offered_as_last_resort(self):
+        node = make_node()
+        node.put(("d", 0), [1], 100, now=0.0, in_memory=True)
+        node.slot(("d", 0)).pinned = True
+        keys = {s.key for s in node.eviction_candidates()}
+        assert keys == {("d", 0)}
+
+    def test_disk_slots_never_candidates(self):
+        node = make_node()
+        node.put(("d", 0), [1], 100, now=0.0, in_memory=False)
+        assert node.eviction_candidates() == []
+
+
+class TestFailure:
+    def test_drop_memory_demotes_to_disk(self):
+        node = make_node()
+        node.put(("d", 0), [1], 100, now=0.0, in_memory=True)
+        node.put(("e", 0), [1], 100, now=0.0, in_memory=False)
+        lost = node.drop_memory_contents()
+        assert lost == [("d", 0)]
+        assert node.mem_used == 0
+        # checkpointed copy survives on disk
+        assert node.has(("d", 0))
+        assert not node.slot(("d", 0)).in_memory
+
+    def test_memory_datasets(self):
+        node = make_node()
+        node.put(("d", 0), [1], 100, now=0.0, in_memory=True)
+        node.put(("d", 1), [1], 100, now=0.0, in_memory=True)
+        node.put(("e", 0), [1], 100, now=0.0, in_memory=False)
+        assert node.memory_datasets() == {"d"}

@@ -1,0 +1,81 @@
+"""Tests for straggler simulation and speculative mitigation (§5)."""
+
+import pytest
+
+from repro.cluster.metrics import Metrics
+from repro.cluster.stragglers import (
+    SpeculationConfig,
+    StragglerProfile,
+    apply_stragglers,
+)
+
+
+def times(**kw):
+    return dict(kw)
+
+
+class TestProfile:
+    def test_default_factor_one(self):
+        assert StragglerProfile().factor("w0") == 1.0
+
+    def test_slowdown_applied(self):
+        profile = StragglerProfile({"w0": 3.0})
+        out = apply_stragglers(
+            times(w0=1.0, w1=1.0, w2=1.0),
+            profile,
+            SpeculationConfig(enabled=False),
+        )
+        assert out["w0"] == 3.0
+        assert out["w1"] == 1.0
+
+
+class TestSpeculation:
+    def test_backup_caps_straggler(self):
+        profile = StragglerProfile({"w0": 10.0})
+        out = apply_stragglers(
+            times(w0=1.0, w1=1.0, w2=1.0),
+            profile,
+            SpeculationConfig(enabled=True, threshold=1.5, restart_overhead=0.1),
+        )
+        # backup: starts at the median (1.0), redoes 1.0 * 1.1 -> 2.1 total
+        assert out["w0"] == pytest.approx(2.1)
+
+    def test_below_threshold_untouched(self):
+        profile = StragglerProfile({"w0": 1.2})
+        out = apply_stragglers(
+            times(w0=1.0, w1=1.0, w2=1.0),
+            profile,
+            SpeculationConfig(enabled=True, threshold=1.5),
+        )
+        assert out["w0"] == pytest.approx(1.2)
+
+    def test_backup_not_used_if_slower(self):
+        # modest straggle where restarting would not pay off
+        profile = StragglerProfile({"w0": 1.6})
+        config = SpeculationConfig(enabled=True, threshold=1.5, restart_overhead=0.9)
+        out = apply_stragglers(times(w0=1.0, w1=1.0, w2=1.0), profile, config)
+        # backup finish = 1.0 + 1.9 = 2.9 > 1.6 -> keep the straggler
+        assert out["w0"] == pytest.approx(1.6)
+
+    def test_metrics_counted(self):
+        metrics = Metrics()
+        profile = StragglerProfile({"w0": 10.0})
+        apply_stragglers(
+            times(w0=1.0, w1=1.0, w2=1.0),
+            profile,
+            SpeculationConfig(enabled=True),
+            metrics,
+        )
+        assert metrics.speculative_tasks == 1
+
+    def test_single_node_no_speculation(self):
+        profile = StragglerProfile({"w0": 10.0})
+        out = apply_stragglers(times(w0=1.0), profile, SpeculationConfig(enabled=True))
+        assert out["w0"] == 10.0
+
+    def test_zero_median_guard(self):
+        profile = StragglerProfile({"w0": 10.0})
+        out = apply_stragglers(
+            times(w0=0.0, w1=0.0), profile, SpeculationConfig(enabled=True)
+        )
+        assert out == {"w0": 0.0, "w1": 0.0}

@@ -1,0 +1,160 @@
+"""Tests for the fluent MDF builder API."""
+
+import pytest
+
+from repro.core.builder import MDFBuilder
+from repro.core.choose import ChooseOperator
+from repro.core.errors import ValidationError
+from repro.core.evaluators import CallableEvaluator, SizeEvaluator
+from repro.core.explore import ExploreOperator
+from repro.core.operators import Sink, Source
+from repro.core.selection import Min, TopK
+
+
+class TestLinearPipelines:
+    def test_read_transform_write(self):
+        b = MDFBuilder("lin")
+        b.read_data([1, 2, 3], name="src").transform(
+            lambda xs: [x + 1 for x in xs], name="inc"
+        ).write(name="out")
+        mdf = b.build()
+        assert len(mdf) == 3
+        assert mdf.sources()[0].name == "src"
+
+    def test_map_filter_chain(self):
+        b = MDFBuilder()
+        b.read_data([1, 2, 3]).map(lambda x: x * 2).filter(lambda x: x > 2).write()
+        mdf = b.build()
+        assert len(mdf) == 4
+
+    def test_aggregate_is_wide(self):
+        b = MDFBuilder()
+        pipe = b.read_data([1, 2, 3]).aggregate(lambda xs: [sum(xs)], name="agg")
+        pipe.write()
+        mdf = b.build()
+        assert not mdf.operator("agg").narrow
+
+    def test_read_custom_source(self):
+        b = MDFBuilder()
+        src = Source.from_data([9], name="my-src", nominal_bytes=1234)
+        b.read(src).write()
+        mdf = b.build()
+        assert mdf.operator("my-src").nominal_bytes == 1234
+
+
+class TestExploreChoose:
+    def test_branches_per_combination(self):
+        b = MDFBuilder()
+        src = b.read_data([1, 2, 3])
+        result = src.explore(
+            {"t": [1, 2], "k": ["a", "b"]},
+            lambda pipe, p: pipe.transform(lambda xs: xs, name=f"op-{p['t']}-{p['k']}"),
+            name="exp",
+        ).choose(SizeEvaluator(), Min(), name="ch")
+        result.write()
+        mdf = b.build()
+        scope = mdf.scopes["exp"]
+        assert len(scope.branches) == 4
+        assert scope.branches[0].params == {"t": 1, "k": "a"}
+
+    def test_explore_edges(self):
+        b = MDFBuilder()
+        src = b.read_data([1], name="s")
+        result = src.explore(
+            {"t": [1, 2]},
+            lambda pipe, p: pipe.identity(name=f"id-{p['t']}"),
+            name="exp",
+        ).choose(SizeEvaluator(), Min(), name="ch")
+        result.write(name="out")
+        mdf = b.build()
+        explore = mdf.operator("exp")
+        assert mdf.out_degree(explore) == 2
+        choose = mdf.operator("ch")
+        assert mdf.in_degree(choose) == 2
+        assert mdf.out_degree(choose) == 1
+
+    def test_branch_must_add_operator(self):
+        b = MDFBuilder()
+        src = b.read_data([1])
+        with pytest.raises(ValidationError, match="at least"):
+            src.explore({"t": [1, 2]}, lambda pipe, p: pipe)
+
+    def test_branch_returning_none_rejected(self):
+        b = MDFBuilder()
+        src = b.read_data([1])
+        with pytest.raises(ValidationError):
+            src.explore({"t": [1, 2]}, lambda pipe, p: None)
+
+    def test_terminal_choose_gets_sink(self):
+        b = MDFBuilder()
+        src = b.read_data([1])
+        src.explore(
+            {"t": [1, 2]}, lambda pipe, p: pipe.identity(name=f"i{p['t']}")
+        ).choose(SizeEvaluator(), Min(), name="ch")
+        mdf = b.build()  # no explicit write
+        sinks = mdf.sinks()
+        assert len(sinks) == 1
+        assert isinstance(sinks[0], Sink)
+
+    def test_multibranch_bodies_can_differ(self):
+        b = MDFBuilder()
+        src = b.read_data([1])
+
+        def body(pipe, p):
+            pipe = pipe.identity(name=f"first-{p['t']}")
+            if p["t"] == 2:
+                pipe = pipe.identity(name="extra")
+            return pipe
+
+        src.explore({"t": [1, 2]}, body, name="exp").choose(
+            SizeEvaluator(), Min()
+        ).write()
+        mdf = b.build()
+        branches = mdf.scopes["exp"].branches
+        assert len(branches[0].ops) == 1
+        assert len(branches[1].ops) == 2
+
+
+class TestNestedBuilder:
+    def test_nested_structure(self):
+        b = MDFBuilder()
+        src = b.read_data([1])
+
+        def inner(pipe, p):
+            return pipe.identity(name=f"leaf-{p['_o']}-{p['b']}")
+
+        def outer(pipe, p):
+            first = pipe.identity(name=f"head-{p['a']}")
+            return first.explore(
+                {"b": [1, 2], "_o": [p["a"]]}, inner, name=f"inner-{p['a']}"
+            ).choose(SizeEvaluator(), TopK(1), name=f"ic-{p['a']}")
+
+        src.explore({"a": [1, 2]}, outer, name="outer").choose(
+            SizeEvaluator(), TopK(1), name="oc"
+        ).write()
+        mdf = b.build()
+        assert len(mdf.scopes) == 3
+        outer_scope = mdf.scopes["outer"]
+        assert outer_scope.branches[0].ops[-1].name == "ic-1"
+        # branch membership: leaves belong to inner scopes
+        assert mdf.branch_of(mdf.operator("leaf-1-1")) == "inner-1#0"
+        # inner explore belongs to the outer branch
+        assert mdf.branch_of(mdf.operator("inner-1")) == "outer#0"
+
+    def test_immediate_nested_explore(self):
+        """A branch body that explores immediately (no op in between)."""
+        b = MDFBuilder()
+        src = b.read_data([1])
+
+        def outer(pipe, p):
+            return pipe.explore(
+                {"b": [1, 2], "_o": [p["a"]]},
+                lambda q, r: q.identity(name=f"l-{r['_o']}-{r['b']}"),
+                name=f"in-{p['a']}",
+            ).choose(SizeEvaluator(), TopK(1), name=f"c-{p['a']}")
+
+        src.explore({"a": [1, 2]}, outer, name="out-exp").choose(
+            SizeEvaluator(), TopK(1), name="out-ch"
+        ).write()
+        mdf = b.build()
+        assert mdf.branch_of(mdf.operator("in-1")) == "out-exp#0"

@@ -1,0 +1,56 @@
+"""Tests for choose operators (Definition 3.3)."""
+
+from repro.core.choose import ChooseOperator
+from repro.core.datasets import Dataset
+from repro.core.evaluators import CallableEvaluator, SizeEvaluator
+from repro.core.selection import Max, Min, Mode, Threshold, TopK
+
+
+def ds(*values):
+    return Dataset.from_data(list(values), num_partitions=1)
+
+
+class TestChooseApply:
+    def test_min_picks_smallest(self):
+        choose = ChooseOperator(SizeEvaluator(), Min())
+        out = choose.apply([("a", ds(1, 2, 3)), ("b", ds(1))])
+        assert out.collect() == [1]
+
+    def test_max_picks_largest(self):
+        choose = ChooseOperator(SizeEvaluator(), Max())
+        out = choose.apply([("a", ds(1, 2, 3)), ("b", ds(1))])
+        assert out.collect() == [1, 2, 3]
+
+    def test_multiple_kept_concatenated(self):
+        choose = ChooseOperator(SizeEvaluator(), Threshold(2.0))
+        out = choose.apply([("a", ds(1, 2)), ("b", ds(3)), ("c", ds(4, 5, 6))])
+        assert sorted(out.collect()) == [1, 2, 4, 5, 6]
+
+    def test_nothing_kept_yields_empty(self):
+        choose = ChooseOperator(SizeEvaluator(), Threshold(100.0))
+        out = choose.apply([("a", ds(1))])
+        assert out.collect() == []
+
+    def test_producer_set(self):
+        choose = ChooseOperator(SizeEvaluator(), Min(), name="my-choose")
+        out = choose.apply([("a", ds(1)), ("b", ds(2, 3))])
+        assert out.producer == "my-choose"
+
+    def test_value_evaluator(self):
+        choose = ChooseOperator(
+            CallableEvaluator(lambda p: sum(p), name="sum"), Max()
+        )
+        out = choose.apply([("a", ds(1, 1)), ("b", ds(10))])
+        assert out.collect() == [10]
+
+
+class TestOptimizationPlan:
+    def test_plan_exposed(self):
+        choose = ChooseOperator(SizeEvaluator(), TopK(2))
+        plan = choose.optimization_plan
+        assert plan.discard_incrementally and plan.prune_superfluous
+
+    def test_mode_plan(self):
+        choose = ChooseOperator(SizeEvaluator(), Mode())
+        plan = choose.optimization_plan
+        assert not plan.discard_incrementally

@@ -1,0 +1,113 @@
+"""Tests for the Appendix B collapsed-MDF analysis (Theorem 4.3)."""
+
+import pytest
+
+from repro.core.collapse import (
+    CollapsedMDF,
+    compare_strategies,
+    eq1_depth_first,
+    eq2_breadth_first,
+    eq5_choose_breadth_first,
+)
+
+
+class TestClosedForms:
+    def test_eq2_values(self):
+        # B=2, d=1: B^0 - floor(b/2) + b
+        assert eq2_breadth_first(1, 1, 2) == 2
+        assert eq2_breadth_first(2, 1, 2) == 2
+
+    def test_eq2_grows_with_breadth(self):
+        assert eq2_breadth_first(1, 3, 10) > eq2_breadth_first(1, 3, 2)
+
+    def test_eq5_minimal_at_last_choose(self):
+        # at b = B^d the difference between Eq.5 and Eq.2 is exactly 0
+        B, d = 3, 2
+        b = B**d
+        assert eq5_choose_breadth_first(b, d, B) >= eq2_breadth_first(b, d, B)
+
+    def test_eq1_first_stage(self):
+        # depth-first after the very first depth-1 stage maintains few
+        assert eq1_depth_first(1, 1, 2) <= eq2_breadth_first(1, 1, 2) + 1
+
+    def test_bounds_checking(self):
+        with pytest.raises(ValueError):
+            eq2_breadth_first(0, 1, 2)
+        with pytest.raises(ValueError):
+            eq2_breadth_first(1, 0, 2)
+        with pytest.raises(ValueError):
+            eq2_breadth_first(1, 1, 1)
+        with pytest.raises(ValueError):
+            eq2_breadth_first(9, 1, 2)  # b out of range
+
+
+class TestCollapsedSimulation:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CollapsedMDF(1, 2)
+        with pytest.raises(ValueError):
+            CollapsedMDF(2, 0)
+
+    def test_children(self):
+        mdf = CollapsedMDF(3, 2)
+        assert mdf.children((0, 0)) == [(1, 0), (1, 1), (1, 2)]
+        assert mdf.children((2, 5)) == []
+
+    def test_dfs_schedule_is_post_order(self):
+        mdf = CollapsedMDF(2, 1)
+        schedule = mdf._dfs_schedule()
+        kinds = [(k, n) for k, n in schedule]
+        assert kinds == [
+            ("work", (0, 0)),
+            ("work", (1, 0)),
+            ("work", (1, 1)),
+            ("choose", (0, 0)),
+        ]
+
+    def test_bfs_schedule_level_order(self):
+        mdf = CollapsedMDF(2, 2)
+        schedule = mdf._bfs_schedule()
+        works = [n for k, n in schedule if k == "work"]
+        depths = [d for d, _ in works]
+        assert depths == sorted(depths)
+        chooses = [n for k, n in schedule if k == "choose"]
+        assert [d for d, _ in chooses] == [1, 1, 0]
+
+    def test_same_total_steps(self):
+        mdf = CollapsedMDF(3, 2)
+        assert len(mdf.simulate("dfs")) == len(mdf.simulate("bfs"))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            CollapsedMDF(2, 2).simulate("zigzag")
+
+    @pytest.mark.parametrize("B,depth", [(2, 1), (2, 2), (2, 3), (3, 2), (4, 2), (5, 3)])
+    def test_theorem_dfs_peak_never_exceeds_bfs(self, B, depth):
+        mdf = CollapsedMDF(B, depth)
+        assert mdf.peak_datasets("dfs") <= mdf.peak_datasets("bfs")
+
+    @pytest.mark.parametrize("B,depth", [(2, 2), (3, 2), (4, 3)])
+    def test_theorem_total_memory_time(self, B, depth):
+        mdf = CollapsedMDF(B, depth)
+        assert mdf.total_dataset_steps("dfs") <= mdf.total_dataset_steps("bfs")
+
+    def test_paper_example_gap(self):
+        # App. B: at d=3, B=10, BFS needs hundreds more datasets than DFS
+        mdf = CollapsedMDF(10, 3)
+        assert mdf.peak_datasets("bfs") - mdf.peak_datasets("dfs") > 900
+
+    def test_compare_strategies_dict(self):
+        out = compare_strategies(2, 2)
+        assert set(out) == {"dfs_peak", "bfs_peak", "dfs_total", "bfs_total"}
+        assert out["dfs_peak"] <= out["bfs_peak"]
+
+    def test_dfs_peak_grows_linearly_with_depth(self):
+        # DFS keeps O(B * depth) datasets, not O(B^depth)
+        p2 = CollapsedMDF(4, 2).peak_datasets("dfs")
+        p3 = CollapsedMDF(4, 3).peak_datasets("dfs")
+        assert p3 - p2 <= 2 * 4
+
+    def test_bfs_peak_grows_exponentially(self):
+        p2 = CollapsedMDF(4, 2).peak_datasets("bfs")
+        p3 = CollapsedMDF(4, 3).peak_datasets("bfs")
+        assert p3 >= 3 * p2

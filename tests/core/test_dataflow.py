@@ -1,0 +1,185 @@
+"""Tests for the dataflow graph structure (Appendix A)."""
+
+import pytest
+
+from repro.core.dataflow import DataflowGraph
+from repro.core.errors import GraphError
+from repro.core.operators import Identity
+
+
+def chain_graph(n=4):
+    g = DataflowGraph()
+    ops = [Identity(name=f"op{i}") for i in range(n)]
+    g.chain(*ops)
+    return g, ops
+
+
+def diamond_graph():
+    g = DataflowGraph()
+    a, b, c, d = (Identity(name=x) for x in "abcd")
+    g.add_edge(a, b)
+    g.add_edge(a, c)
+    g.add_edge(b, d)
+    g.add_edge(c, d)
+    return g, (a, b, c, d)
+
+
+class TestConstruction:
+    def test_add_operator_returns_it(self):
+        g = DataflowGraph()
+        op = Identity(name="x")
+        assert g.add_operator(op) is op
+
+    def test_add_operator_idempotent_same_instance(self):
+        g = DataflowGraph()
+        op = Identity(name="x")
+        g.add_operator(op)
+        g.add_operator(op)
+        assert len(g) == 1
+
+    def test_duplicate_name_different_instance_rejected(self):
+        g = DataflowGraph()
+        g.add_operator(Identity(name="x"))
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_operator(Identity(name="x"))
+
+    def test_add_edge_rejects_name_collision(self):
+        g = DataflowGraph()
+        a = Identity(name="a")
+        g.add_edge(a, Identity(name="x"))
+        with pytest.raises(GraphError):
+            g.add_edge(a, Identity(name="x"))  # different object, same name
+
+    def test_self_loop_rejected(self):
+        g = DataflowGraph()
+        a = Identity(name="a")
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge(a, a)
+
+    def test_chain_returns_last(self):
+        g = DataflowGraph()
+        ops = [Identity(name=f"o{i}") for i in range(3)]
+        assert g.chain(*ops) is ops[-1]
+
+    def test_contains(self):
+        g, ops = chain_graph()
+        assert ops[0] in g
+        assert Identity(name="other") not in g
+
+
+class TestPrePostSets:
+    def test_chain_degrees(self):
+        g, ops = chain_graph(3)
+        assert g.in_degree(ops[0]) == 0
+        assert g.out_degree(ops[0]) == 1
+        assert g.pre(ops[1]) == {ops[0]}
+        assert g.post(ops[1]) == {ops[2]}
+
+    def test_diamond_fanout(self):
+        g, (a, b, c, d) = diamond_graph()
+        assert g.post(a) == {b, c}
+        assert g.pre(d) == {b, c}
+
+    def test_sources_sinks(self):
+        g, (a, b, c, d) = diamond_graph()
+        assert g.sources() == [a]
+        assert g.sinks() == [d]
+
+
+class TestPaths:
+    def test_has_path_chain(self):
+        g, ops = chain_graph(4)
+        assert g.has_path(ops[0], ops[3])
+        assert not g.has_path(ops[3], ops[0])
+
+    def test_has_path_self_false(self):
+        g, ops = chain_graph(2)
+        assert not g.has_path(ops[0], ops[0])
+
+    def test_paths_diamond_two(self):
+        g, (a, b, c, d) = diamond_graph()
+        paths = g.paths(a, d)
+        assert len(paths) == 2
+        assert all(p[0] is a and p[-1] is d for p in paths)
+
+    def test_descendants(self):
+        g, (a, b, c, d) = diamond_graph()
+        assert g.descendants(a) == {b, c, d}
+        assert g.descendants(d) == set()
+
+    def test_ancestors(self):
+        g, (a, b, c, d) = diamond_graph()
+        assert g.ancestors(d) == {a, b, c}
+        assert g.ancestors(a) == set()
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self):
+        g, ops = chain_graph(5)
+        assert g.topological_order() == ops
+
+    def test_diamond_respects_deps(self):
+        g, (a, b, c, d) = diamond_graph()
+        order = g.topological_order()
+        assert order.index(a) == 0
+        assert order.index(d) == 3
+
+    def test_cycle_detected(self):
+        g, ops = chain_graph(3)
+        g.add_edge(ops[2], ops[0])
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological_order()
+
+
+class TestValidation:
+    def test_valid_chain(self):
+        g, _ = chain_graph()
+        g.validate()
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(GraphError, match="empty"):
+            DataflowGraph().validate()
+
+    def test_disconnected_invalid(self):
+        g, _ = chain_graph(2)
+        g.add_operator(Identity(name="island"))
+        with pytest.raises(GraphError, match="connected"):
+            g.validate()
+
+    def test_connected_true(self):
+        g, _ = diamond_graph()
+        assert g.is_connected()
+
+    def test_unknown_operator_lookup(self):
+        g, _ = chain_graph(2)
+        with pytest.raises(GraphError, match="unknown"):
+            g.operator("nope")
+
+
+class TestSurgery:
+    def test_subgraph(self):
+        g, (a, b, c, d) = diamond_graph()
+        sub = g.subgraph([a, b, d])
+        assert len(sub) == 3
+        assert sub.post(a) == {b}
+        assert sub.pre(d) == {b}
+
+    def test_copy_independent_edges(self):
+        g, ops = chain_graph(3)
+        dup = g.copy()
+        dup.remove_operators([ops[1]])
+        assert len(dup) == 2
+        assert len(g) == 3
+        assert g.post(ops[0]) == {ops[1]}
+
+    def test_remove_operators_cleans_edges(self):
+        g, (a, b, c, d) = diamond_graph()
+        g.remove_operators([b])
+        assert g.post(a) == {c}
+        assert g.pre(d) == {c}
+        assert len(g) == 3
+
+    def test_remove_missing_is_noop(self):
+        g, ops = chain_graph(2)
+        g.remove_operators([Identity(name="ghost")])
+        assert len(g) == 2

@@ -1,0 +1,176 @@
+"""Tests for the data model: partitions, datasets, split/concat protocols."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import (
+    Dataset,
+    Partition,
+    concat_payloads,
+    estimate_payload_bytes,
+    split_payload,
+)
+
+
+class TestEstimatePayloadBytes:
+    def test_none_is_zero(self):
+        assert estimate_payload_bytes(None) == 0
+
+    def test_numpy_exact(self):
+        arr = np.zeros(1000, dtype=np.float64)
+        assert estimate_payload_bytes(arr) == 8000
+
+    def test_list_scales_with_length(self):
+        small = estimate_payload_bytes([1.0] * 10)
+        large = estimate_payload_bytes([1.0] * 1000)
+        assert large > small * 10
+
+    def test_empty_list(self):
+        assert estimate_payload_bytes([]) > 0  # list header itself
+
+    def test_dict_scales(self):
+        small = estimate_payload_bytes({i: i for i in range(10)})
+        large = estimate_payload_bytes({i: i for i in range(1000)})
+        assert large > small
+
+    def test_empty_dict(self):
+        assert estimate_payload_bytes({}) > 0
+
+    def test_scalar_fallback(self):
+        assert estimate_payload_bytes(42) > 0
+
+
+class TestSplitPayload:
+    def test_single_partition_is_identity(self):
+        data = [1, 2, 3]
+        assert split_payload(data, 1) == [data]
+
+    def test_list_split_sizes(self):
+        chunks = split_payload(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_list_split_more_parts_than_items(self):
+        chunks = split_payload([1, 2], 4)
+        assert len(chunks) == 4
+        assert sum(chunks, []) == [1, 2]
+        assert chunks[2] == [] and chunks[3] == []
+
+    def test_numpy_split(self):
+        arr = np.arange(10)
+        chunks = split_payload(arr, 4)
+        assert len(chunks) == 4
+        assert np.concatenate(chunks).tolist() == list(range(10))
+
+    def test_unsplittable_payload_single_chunk(self):
+        obj = object()
+        assert split_payload(obj, 3) == [obj]
+
+    def test_split_into_protocol(self):
+        class Splittable:
+            def split_into(self, n):
+                return [f"part-{i}" for i in range(n)]
+
+        chunks = split_payload(Splittable(), 3)
+        assert chunks == ["part-0", "part-1", "part-2"]
+
+    def test_empty_list_split(self):
+        chunks = split_payload([], 3)
+        assert len(chunks) == 3
+        assert all(c == [] for c in chunks)
+
+
+class TestConcatPayloads:
+    def test_empty(self):
+        assert concat_payloads([]) == []
+
+    def test_single(self):
+        assert concat_payloads([[1, 2]]) == [1, 2]
+
+    def test_lists(self):
+        assert concat_payloads([[1], [2, 3], []]) == [1, 2, 3]
+
+    def test_numpy(self):
+        out = concat_payloads([np.array([1, 2]), np.array([3])])
+        assert out.tolist() == [1, 2, 3]
+
+    def test_dicts(self):
+        out = concat_payloads([{"a": 1}, {"b": 2}])
+        assert out == {"a": 1, "b": 2}
+
+    def test_concat_with_protocol(self):
+        class Concatable:
+            def __init__(self, items):
+                self.items = items
+
+            def concat_with(self, other):
+                return Concatable(self.items + other.items)
+
+        out = concat_payloads([Concatable([1]), Concatable([2, 3])])
+        assert out.items == [1, 2, 3]
+
+    def test_split_concat_roundtrip_list(self):
+        data = list(range(37))
+        assert concat_payloads(split_payload(data, 5)) == data
+
+    def test_split_concat_roundtrip_numpy(self):
+        data = np.arange(37)
+        out = concat_payloads(split_payload(data, 5))
+        assert out.tolist() == data.tolist()
+
+
+class TestPartition:
+    def test_auto_size(self):
+        p = Partition("ds", 0, np.zeros(100))
+        assert p.nominal_bytes == 800
+
+    def test_explicit_size(self):
+        p = Partition("ds", 0, [1, 2, 3], nominal_bytes=12345)
+        assert p.nominal_bytes == 12345
+
+    def test_key(self):
+        p = Partition("ds", 3, [], nominal_bytes=1)
+        assert p.key == ("ds", 3)
+
+
+class TestDataset:
+    def test_from_data_partitions(self):
+        ds = Dataset.from_data(list(range(10)), num_partitions=3)
+        assert ds.num_partitions == 3
+        assert ds.collect() == list(range(10))
+
+    def test_from_data_nominal_bytes_divided(self):
+        ds = Dataset.from_data(list(range(10)), num_partitions=2, nominal_bytes=1000)
+        assert all(p.nominal_bytes == 500 for p in ds.partitions)
+        assert ds.nominal_bytes == 1000
+
+    def test_auto_id_unique(self):
+        a = Dataset.from_data([1])
+        b = Dataset.from_data([1])
+        assert a.id != b.id
+
+    def test_explicit_id(self):
+        ds = Dataset.from_data([1], dataset_id="my-ds")
+        assert ds.id == "my-ds"
+        assert ds.partitions[0].dataset_id == "my-ds"
+
+    def test_producer_recorded(self):
+        ds = Dataset.from_data([1], producer="op-x")
+        assert ds.producer == "op-x"
+
+    def test_concat_operator(self):
+        a = Dataset.from_data([1, 2], num_partitions=2)
+        b = Dataset.from_data([3], num_partitions=1)
+        merged = a + b
+        assert merged.num_partitions == 3
+        assert merged.collect() == [1, 2, 3]
+
+    def test_concat_preserves_sizes(self):
+        a = Dataset.from_data([1], nominal_bytes=100)
+        b = Dataset.from_data([2], nominal_bytes=200)
+        assert (a + b).nominal_bytes == 300
+
+    def test_collect_single_partition(self):
+        payload = {"k": "v"}
+        ds = Dataset.from_data(payload, num_partitions=1)
+        assert ds.collect() is payload

@@ -1,0 +1,53 @@
+"""Tests for the DOT export and the human-readable job summary."""
+
+from repro import Cluster, GB, run_mdf
+
+from ..conftest import build_filter_mdf, build_nested_mdf
+
+
+class TestToDot:
+    def test_contains_all_operators(self):
+        mdf = build_filter_mdf()
+        dot = mdf.to_dot("filter")
+        for op in mdf.operators:
+            assert f'"{op.name}"' in dot
+
+    def test_shapes_by_kind(self):
+        mdf = build_filter_mdf()
+        dot = mdf.to_dot()
+        assert "shape=triangle" in dot  # explore
+        assert "shape=invtriangle" in dot  # choose
+        assert "shape=ellipse" in dot  # narrow ops
+
+    def test_edges_present(self):
+        mdf = build_filter_mdf()
+        dot = mdf.to_dot()
+        assert dot.count("->") == sum(mdf.out_degree(op) for op in mdf.operators)
+
+    def test_wide_operator_box(self):
+        from repro import MDFBuilder, MB
+
+        b = MDFBuilder()
+        b.read_data([1, 2], name="s", nominal_bytes=MB).aggregate(
+            lambda xs: xs, name="agg"
+        ).write(name="o")
+        assert "shape=box" in b.build().to_dot()
+
+    def test_valid_dot_syntax(self):
+        dot = build_nested_mdf().to_dot("nested")
+        assert dot.startswith('digraph "nested" {')
+        assert dot.rstrip().endswith("}")
+
+
+class TestSummary:
+    def test_summary_mentions_decisions(self):
+        result = run_mdf(build_filter_mdf(), Cluster(4, 1 * GB))
+        text = result.summary()
+        assert "completion time" in text
+        assert "choose-min" in text
+        assert "memory hit ratio" in text
+
+    def test_summary_counts(self):
+        result = run_mdf(build_filter_mdf(), Cluster(4, 1 * GB))
+        text = result.summary()
+        assert "3 scored" in text

@@ -1,0 +1,90 @@
+"""Tests for evaluator functions (Definition 3.3's φ)."""
+
+import numpy as np
+
+from repro.core.datasets import Dataset
+from repro.core.evaluators import (
+    CallableEvaluator,
+    Evaluator,
+    MetadataEvaluator,
+    RatioEvaluator,
+    SizeEvaluator,
+)
+
+
+class TestSizeEvaluator:
+    def test_counts_elements(self):
+        ds = Dataset.from_data(list(range(7)), num_partitions=3)
+        assert SizeEvaluator().score(ds) == 7.0
+
+    def test_counts_numpy(self):
+        ds = Dataset.from_data(np.arange(10), num_partitions=2)
+        assert SizeEvaluator().score(ds) == 10.0
+
+    def test_monotone_by_default(self):
+        assert SizeEvaluator().monotone
+
+    def test_zero_cost(self):
+        assert SizeEvaluator().cost_factor == 0.0
+
+    def test_empty(self):
+        assert SizeEvaluator().score(Dataset.from_data([])) == 0.0
+
+
+class TestRatioEvaluator:
+    def test_ratio(self):
+        ds = Dataset.from_data(list(range(50)), num_partitions=2)
+        assert RatioEvaluator(100).score(ds) == 0.5
+
+    def test_reference_clamped(self):
+        ev = RatioEvaluator(0)
+        assert ev.reference_count == 1
+
+    def test_payload_variant(self):
+        assert RatioEvaluator(10).score_payload([1, 2]) == 0.2
+
+
+class TestCallableEvaluator:
+    def test_wraps_function(self):
+        ev = CallableEvaluator(lambda payload: sum(payload))
+        ds = Dataset.from_data([1, 2, 3], num_partitions=2)
+        assert ev.score(ds) == 6.0
+
+    def test_name_from_function(self):
+        def mise(payload):
+            return 0.0
+
+        assert CallableEvaluator(mise).name == "mise"
+
+    def test_property_flags(self):
+        ev = CallableEvaluator(lambda p: 0.0, monotone=True, convex=True)
+        assert ev.monotone and ev.convex
+
+    def test_defaults_no_properties(self):
+        ev = CallableEvaluator(lambda p: 0.0)
+        assert not ev.monotone and not ev.convex
+
+
+class TestMetadataEvaluator:
+    def test_scores_nominal_bytes(self):
+        ds = Dataset.from_data([1, 2], num_partitions=2, nominal_bytes=1000)
+        assert MetadataEvaluator().score(ds) == 1000.0
+
+    def test_zero_cost(self):
+        assert MetadataEvaluator().cost_factor == 0.0
+
+
+class TestBase:
+    def test_repr_shows_flags(self):
+        ev = CallableEvaluator(lambda p: 0.0, monotone=True, name="f")
+        assert "monotone" in repr(ev)
+
+    def test_repr_none(self):
+        ev = CallableEvaluator(lambda p: 0.0, name="f")
+        assert "none" in repr(ev)
+
+    def test_abstract_score_payload(self):
+        import pytest
+
+        with pytest.raises(NotImplementedError):
+            Evaluator().score_payload([])

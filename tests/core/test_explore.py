@@ -1,0 +1,84 @@
+"""Tests for parameter grids, explore operators and branches."""
+
+import pytest
+
+from repro.core.explore import Branch, ExploreOperator, ParameterGrid, format_params
+from repro.core.operators import Identity
+
+
+class TestParameterGrid:
+    def test_cartesian_size(self):
+        grid = ParameterGrid(a=[1, 2], b=["x", "y", "z"])
+        assert len(grid) == 6
+
+    def test_single_param(self):
+        grid = ParameterGrid(a=[1, 2, 3])
+        assert grid.combinations() == [{"a": 1}, {"a": 2}, {"a": 3}]
+
+    def test_order_row_major(self):
+        grid = ParameterGrid(a=[1, 2], b=["x", "y"])
+        combos = grid.combinations()
+        assert combos == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_deterministic_order(self):
+        a = ParameterGrid(a=[1, 2], b=[3, 4]).combinations()
+        b = ParameterGrid(a=[1, 2], b=[3, 4]).combinations()
+        assert a == b
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid()
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid(a=[])
+
+    def test_non_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid(a=5)
+
+    def test_from_mapping(self):
+        grid = ParameterGrid.from_mapping({"a": [1], "b": [2, 3]})
+        assert len(grid) == 2
+
+    def test_names(self):
+        assert ParameterGrid(x=[1], y=[2]).names == ["x", "y"]
+
+
+class TestFormatParams:
+    def test_compact(self):
+        assert format_params({"a": 1, "b": "x"}) == "a=1,b=x"
+
+
+class TestExploreOperator:
+    def test_fanout(self):
+        op = ExploreOperator(ParameterGrid(a=[1, 2], b=[3, 4]))
+        assert op.fanout == 4
+
+    def test_forwards_payload(self):
+        op = ExploreOperator(ParameterGrid(a=[1]))
+        assert op.apply_partition([1, 2]) == [1, 2]
+
+    def test_params_for_branch(self):
+        op = ExploreOperator(ParameterGrid(a=[1, 2]))
+        assert op.params_for_branch(0) == {"a": 1}
+        assert op.params_for_branch(1) == {"a": 2}
+
+    def test_zero_cost(self):
+        op = ExploreOperator(ParameterGrid(a=[1, 2]))
+        assert op.compute_cost(10**9) == 0.0
+
+
+class TestBranch:
+    def test_id_format(self):
+        branch = Branch("exp", 3, {"a": 1}, [Identity(name="op")])
+        assert branch.id == "exp#3"
+
+    def test_order_key(self):
+        branch = Branch("exp", 5, {}, [Identity()])
+        assert branch.order_key == 5

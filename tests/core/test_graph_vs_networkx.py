@@ -1,0 +1,97 @@
+"""Cross-check DataflowGraph algorithms against networkx references."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import DataflowGraph
+from repro.core.operators import Identity
+
+
+def random_dag(rng_edges):
+    """Build a repro graph and the equivalent networkx DiGraph.
+
+    ``rng_edges`` is a list of (u, v) index pairs with u < v, which makes
+    the graph acyclic by construction.
+    """
+    n = max((max(u, v) for u, v in rng_edges), default=0) + 1
+    ops = [Identity(name=f"n{i}") for i in range(n)]
+    g = DataflowGraph()
+    ref = nx.DiGraph()
+    for op in ops:
+        g.add_operator(op)
+        ref.add_node(op.name)
+    for u, v in rng_edges:
+        if u == v:
+            continue
+        g.add_edge(ops[u], ops[v])
+        ref.add_edge(ops[u].name, ops[v].name)
+    return g, ref, ops
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)).map(
+        lambda t: (min(t), max(t))
+    ).filter(lambda t: t[0] != t[1]),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_topological_order_is_valid(edges):
+    g, ref, ops = random_dag(edges)
+    order = [op.name for op in g.topological_order()]
+    position = {name: i for i, name in enumerate(order)}
+    for u, v in ref.edges:
+        assert position[u] < position[v]
+    assert sorted(order) == sorted(ref.nodes)
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_descendants_match_networkx(edges):
+    g, ref, ops = random_dag(edges)
+    for op in ops:
+        ours = {o.name for o in g.descendants(op)}
+        theirs = nx.descendants(ref, op.name)
+        assert ours == theirs
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_ancestors_match_networkx(edges):
+    g, ref, ops = random_dag(edges)
+    for op in ops:
+        ours = {o.name for o in g.ancestors(op)}
+        theirs = nx.ancestors(ref, op.name)
+        assert ours == theirs
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_has_path_matches_networkx(edges):
+    g, ref, ops = random_dag(edges)
+    for a in ops[:5]:
+        for b in ops[:5]:
+            if a is b:
+                continue
+            assert g.has_path(a, b) == nx.has_path(ref, a.name, b.name)
+
+
+@given(edge_lists)
+@settings(max_examples=30, deadline=None)
+def test_connectivity_matches_networkx(edges):
+    g, ref, _ = random_dag(edges)
+    assert g.is_connected() == nx.is_weakly_connected(ref)
+
+
+def test_cycle_detection_matches_networkx():
+    g, ref, ops = random_dag([(0, 1), (1, 2)])
+    g.add_edge(ops[2], ops[0])
+    ref.add_edge("n2", "n0")
+    assert not nx.is_directed_acyclic_graph(ref)
+    with pytest.raises(Exception):
+        g.topological_order()

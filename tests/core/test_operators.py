@@ -1,0 +1,183 @@
+"""Tests for the generic operator classes and their cost/size models."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.core.operators import (
+    Aggregate,
+    Filter,
+    FlatMap,
+    GroupBy,
+    Identity,
+    Map,
+    Operator,
+    Sink,
+    Source,
+    Transform,
+)
+from repro.core.datasets import Dataset
+
+
+class TestCostModel:
+    def test_default_cost_linear(self):
+        op = Identity(cost_factor=2.0)
+        assert op.compute_cost(100) == 200.0
+
+    def test_fixed_cost_added(self):
+        op = Transform(lambda x: x, fixed_cost=50.0, cost_factor=1.0)
+        assert op.compute_cost(10) == 60.0
+
+    def test_output_bytes_selectivity(self):
+        op = Transform(lambda x: x, selectivity=0.5)
+        assert op.output_bytes(1000) == 500
+
+    def test_output_bytes_at_least_one(self):
+        op = Transform(lambda x: x, selectivity=0.0001)
+        assert op.output_bytes(10) == 1
+
+    def test_auto_names_unique(self):
+        a, b = Identity(), Identity()
+        assert a.name != b.name
+
+    def test_explicit_name(self):
+        assert Identity(name="me").name == "me"
+
+
+class TestMap:
+    def test_elementwise(self):
+        op = Map(lambda x: x * 2)
+        assert op.apply_partition([1, 2, 3]) == [2, 4, 6]
+
+    def test_error_wrapped(self):
+        op = Map(lambda x: 1 / 0, name="boom")
+        with pytest.raises(ExecutionError, match="boom"):
+            op.apply_partition([1])
+
+    def test_narrow(self):
+        assert Map(lambda x: x).narrow
+
+
+class TestFilter:
+    def test_list(self):
+        op = Filter(lambda x: x > 2)
+        assert op.apply_partition([1, 2, 3, 4]) == [3, 4]
+
+    def test_numpy(self):
+        op = Filter(lambda x: x > 2)
+        out = op.apply_partition(np.array([1, 2, 3, 4]))
+        assert out.tolist() == [3, 4]
+
+    def test_default_selectivity_below_one(self):
+        assert Filter(lambda x: True).selectivity < 1.0
+
+    def test_error_wrapped(self):
+        op = Filter(lambda x: x.missing, name="bad-pred")
+        with pytest.raises(ExecutionError):
+            op.apply_partition([1])
+
+
+class TestTransform:
+    def test_whole_partition(self):
+        op = Transform(lambda xs: sorted(xs))
+        assert op.apply_partition([3, 1, 2]) == [1, 2, 3]
+
+    def test_error_wrapped(self):
+        op = Transform(lambda xs: xs.undefined)
+        with pytest.raises(ExecutionError):
+            op.apply_partition([1])
+
+
+class TestFlatMap:
+    def test_expands(self):
+        op = FlatMap(lambda x: [x, x])
+        assert op.apply_partition([1, 2]) == [1, 1, 2, 2]
+
+    def test_empty_expansion(self):
+        op = FlatMap(lambda x: [])
+        assert op.apply_partition([1, 2]) == []
+
+
+class TestAggregate:
+    def test_wide(self):
+        assert not Aggregate(lambda x: x).narrow
+
+    def test_global_merge(self):
+        op = Aggregate(lambda xs: [sum(xs)])
+        out = op.apply_global([[1, 2], [3, 4]])
+        flat = [x for chunk in out for x in chunk]
+        assert flat == [10]
+
+    def test_repartitions_to_input_count(self):
+        op = Aggregate(lambda xs: list(xs))
+        out = op.apply_global([[1, 2, 3], [4, 5, 6]])
+        assert len(out) == 2
+
+    def test_error_wrapped(self):
+        op = Aggregate(lambda xs: 1 / 0)
+        with pytest.raises(ExecutionError):
+            op.apply_global([[1]])
+
+
+class TestGroupBy:
+    def test_groups(self):
+        op = GroupBy(lambda x: x % 2)
+        out = op.apply_global([[1, 2], [3, 4]])
+        groups = dict(pair for chunk in out for pair in chunk)
+        assert sorted(groups[0]) == [2, 4]
+        assert sorted(groups[1]) == [1, 3]
+
+    def test_wide(self):
+        assert not GroupBy(lambda x: x).narrow
+
+
+class TestSource:
+    def test_generate_partitions(self):
+        src = Source.from_data(list(range(10)))
+        ds = src.generate(4)
+        assert ds.num_partitions == 4
+        assert ds.collect() == list(range(10))
+
+    def test_nominal_bytes_divided(self):
+        src = Source.from_data([1, 2], nominal_bytes=1000)
+        ds = src.generate(2)
+        assert ds.nominal_bytes == 1000
+
+    def test_custom_fn(self):
+        src = Source(lambda i, n: [i] * 2)
+        ds = src.generate(3)
+        assert ds.collect() == [0, 0, 1, 1, 2, 2]
+
+    def test_producer_name(self):
+        src = Source.from_data([1], name="reader")
+        ds = src.generate(1, producer="tail-op")
+        assert ds.producer == "tail-op"
+
+
+class TestSink:
+    def test_passthrough_partition(self):
+        sink = Sink()
+        assert sink.apply_partition([1]) == [1]
+
+    def test_finalize_default(self):
+        sink = Sink()
+        ds = Dataset.from_data([1, 2, 3], num_partitions=2)
+        assert sink.finalize(ds) == [1, 2, 3]
+
+    def test_finalize_custom_fn(self):
+        sink = Sink(lambda payload: len(payload))
+        ds = Dataset.from_data([1, 2, 3])
+        assert sink.finalize(ds) == 3
+
+    def test_finalize_error_wrapped(self):
+        sink = Sink(lambda payload: 1 / 0)
+        with pytest.raises(ExecutionError):
+            sink.finalize(Dataset.from_data([1]))
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        assert Identity().apply_partition("x") == "x"
+
+    def test_zero_cost(self):
+        assert Identity().compute_cost(10**9) == 0.0

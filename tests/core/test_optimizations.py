@@ -1,0 +1,109 @@
+"""Tests for the Table 1 optimisation matrix and the pruning helpers."""
+
+import pytest
+
+from repro.core.evaluators import CallableEvaluator, SizeEvaluator
+from repro.core.optimizations import (
+    ConvexPruner,
+    MonotonePruner,
+    make_pruner,
+    plan_optimizations,
+    table1_rows,
+)
+from repro.core.selection import KThreshold, Min, Mode, Threshold, TopK
+
+
+def evaluator(monotone=False, convex=False):
+    return CallableEvaluator(lambda p: 0.0, monotone=monotone, convex=convex)
+
+
+class TestPlanOptimizations:
+    def test_monotone_associative(self):
+        plan = plan_optimizations(evaluator(monotone=True), TopK(2))
+        assert plan.discard_incrementally and plan.prune_superfluous
+
+    def test_convex_associative(self):
+        plan = plan_optimizations(evaluator(convex=True), Min())
+        assert plan.discard_incrementally and plan.prune_superfluous
+
+    def test_none_non_exhaustive(self):
+        plan = plan_optimizations(evaluator(), KThreshold(2, 0.5))
+        assert plan.discard_incrementally and plan.prune_superfluous
+
+    def test_none_associative_only(self):
+        plan = plan_optimizations(evaluator(), Threshold(0.5))
+        assert plan.discard_incrementally and not plan.prune_superfluous
+
+    def test_mode_nothing(self):
+        plan = plan_optimizations(evaluator(monotone=True), Mode())
+        assert not plan.discard_incrementally and not plan.prune_superfluous
+
+    def test_str(self):
+        plan = plan_optimizations(evaluator(), Threshold(0.5))
+        assert "incremental-discard" in str(plan)
+
+
+class TestMonotonePruner:
+    def test_stops_on_worsening_below_kth(self):
+        pruner = MonotonePruner(TopK(1))
+        assert not pruner.observe(5.0)
+        assert pruner.observe(3.0)  # worse than the best → remaining inferior
+
+    def test_keeps_going_on_improvement(self):
+        pruner = MonotonePruner(TopK(1))
+        assert not pruner.observe(1.0)
+        assert not pruner.observe(2.0)
+        assert not pruner.observe(3.0)
+
+    def test_smallest_selection_direction(self):
+        pruner = MonotonePruner(Min())
+        assert not pruner.observe(1.0)
+        assert pruner.observe(2.0)  # rising scores are worse for Min
+
+    def test_respects_k(self):
+        pruner = MonotonePruner(TopK(2))
+        assert not pruner.observe(5.0)
+        # 4.0 is worsening but still within the top-2 → no pruning yet
+        assert not pruner.observe(4.0)
+        assert pruner.observe(3.0)
+
+
+class TestConvexPruner:
+    def test_stops_after_patience_worsenings(self):
+        pruner = ConvexPruner(Min(), patience=2)
+        assert not pruner.observe(5.0)
+        assert not pruner.observe(3.0)  # improving
+        assert not pruner.observe(4.0)  # worsening 1
+        assert pruner.observe(6.0)  # worsening 2 → past the optimum
+
+    def test_improvement_resets(self):
+        pruner = ConvexPruner(Min(), patience=2)
+        pruner.observe(5.0)
+        pruner.observe(6.0)  # worsening 1
+        pruner.observe(4.0)  # improves: reset
+        assert not pruner.observe(5.0)
+
+
+class TestMakePruner:
+    def test_convex_preferred(self):
+        p = make_pruner(evaluator(monotone=True, convex=True), Min())
+        assert isinstance(p, ConvexPruner)
+
+    def test_monotone(self):
+        p = make_pruner(evaluator(monotone=True), TopK(1))
+        assert isinstance(p, MonotonePruner)
+
+    def test_none(self):
+        assert make_pruner(evaluator(), TopK(1)) is None
+
+
+class TestTable1Rows:
+    def test_rows_shape(self):
+        rows = table1_rows(
+            [
+                ("monotone", SizeEvaluator(), "top-k", TopK(2)),
+                ("none", evaluator(), "mode", Mode()),
+            ]
+        )
+        assert rows[0] == ("monotone", "top-k", True, True)
+        assert rows[1] == ("none", "mode", False, False)

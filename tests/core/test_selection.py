@@ -1,0 +1,203 @@
+"""Tests for selection functions: batch semantics, incremental protocol,
+and the Table 1 property flags."""
+
+import pytest
+
+from repro.core.selection import (
+    Interval,
+    KInterval,
+    KThreshold,
+    Max,
+    Min,
+    Mode,
+    Threshold,
+    TopK,
+)
+
+
+def scores(*pairs):
+    return [(f"b{i}", s) for i, s in enumerate(pairs)]
+
+
+class TestTopK:
+    def test_keeps_k_largest(self):
+        sel = TopK(2)
+        kept = sel.select(scores(1.0, 5.0, 3.0, 4.0))
+        assert set(kept) == {"b1", "b3"}
+
+    def test_keeps_k_smallest(self):
+        sel = TopK(2, largest=False)
+        kept = sel.select(scores(1.0, 5.0, 3.0, 4.0))
+        assert set(kept) == {"b0", "b2"}
+
+    def test_fewer_branches_than_k(self):
+        sel = TopK(5)
+        kept = sel.select(scores(1.0, 2.0))
+        assert set(kept) == {"b0", "b1"}
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+    def test_properties(self):
+        assert TopK(3).associative
+        assert not TopK(3).non_exhaustive
+
+    def test_incremental_knockout(self):
+        sel = TopK(1).incremental()
+        d1 = sel.offer("a", 1.0)
+        assert d1.discarded == set() and not d1.done
+        d2 = sel.offer("b", 2.0)
+        assert d2.discarded == {"a"}
+        d3 = sel.offer("c", 0.5)
+        assert d3.discarded == {"c"}
+        assert sel.finalize() == ["b"]
+
+    def test_incremental_never_done_early(self):
+        sel = TopK(1).incremental()
+        for i in range(10):
+            assert not sel.offer(f"b{i}", float(i)).done
+
+    def test_ties_keep_first_k(self):
+        sel = TopK(2)
+        kept = sel.select(scores(1.0, 1.0, 1.0))
+        assert len(kept) == 2
+
+
+class TestMinMax:
+    def test_max_single_winner(self):
+        assert Max().select(scores(1.0, 9.0, 5.0)) == ["b1"]
+
+    def test_min_single_winner(self):
+        assert Min().select(scores(1.0, 9.0, 5.0)) == ["b0"]
+
+    def test_max_is_top1(self):
+        m = Max()
+        assert m.k == 1 and m.largest
+
+    def test_min_is_bottom1(self):
+        m = Min()
+        assert m.k == 1 and not m.largest
+
+
+class TestThreshold:
+    def test_above(self):
+        kept = Threshold(3.0).select(scores(1.0, 3.0, 5.0))
+        assert set(kept) == {"b1", "b2"}
+
+    def test_below(self):
+        kept = Threshold(3.0, above=False).select(scores(1.0, 3.0, 5.0))
+        assert set(kept) == {"b0", "b1"}
+
+    def test_nothing_passes(self):
+        assert Threshold(10.0).select(scores(1.0, 2.0)) == []
+
+    def test_everything_passes(self):
+        assert len(Threshold(0.0).select(scores(1.0, 2.0))) == 2
+
+    def test_incremental_immediate_discard(self):
+        sel = Threshold(3.0).incremental()
+        assert sel.offer("lo", 1.0).discarded == {"lo"}
+        assert sel.offer("hi", 5.0).discarded == set()
+        assert sel.finalize() == ["hi"]
+
+    def test_exhaustive(self):
+        assert not Threshold(1.0).non_exhaustive
+        assert Threshold(1.0).associative
+
+
+class TestInterval:
+    def test_inside(self):
+        kept = Interval(2.0, 4.0).select(scores(1.0, 3.0, 5.0))
+        assert kept == ["b1"]
+
+    def test_boundaries_inclusive(self):
+        kept = Interval(1.0, 5.0).select(scores(1.0, 5.0))
+        assert set(kept) == {"b0", "b1"}
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 1.0)
+
+
+class TestKThreshold:
+    def test_first_k_passing(self):
+        sel = KThreshold(2, 3.0)
+        kept = sel.select(scores(5.0, 1.0, 4.0, 6.0))
+        assert kept == ["b0", "b2"]  # b3 never considered
+
+    def test_non_exhaustive_flag(self):
+        assert KThreshold(1, 0.0).non_exhaustive
+
+    def test_done_signal(self):
+        sel = KThreshold(1, 3.0).incremental()
+        assert not sel.offer("a", 1.0).done
+        assert sel.offer("b", 5.0).done
+        # anything offered after done is discarded
+        late = sel.offer("c", 9.0)
+        assert late.discarded == {"c"} and late.done
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KThreshold(0, 1.0)
+
+    def test_below_mode(self):
+        sel = KThreshold(1, 3.0, above=False)
+        assert sel.select(scores(5.0, 2.0, 1.0)) == ["b1"]
+
+
+class TestKInterval:
+    def test_first_k_in_interval(self):
+        sel = KInterval(2, 1.0, 3.0)
+        kept = sel.select(scores(2.0, 9.0, 1.5, 2.5))
+        assert kept == ["b0", "b2"]
+
+    def test_flags(self):
+        sel = KInterval(1, 0.0, 1.0)
+        assert sel.associative and sel.non_exhaustive
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KInterval(0, 0.0, 1.0)
+
+
+class TestMode:
+    def test_most_frequent_score_wins(self):
+        kept = Mode().select(scores(1.0, 2.0, 1.0, 3.0, 1.0))
+        assert set(kept) == {"b0", "b2", "b4"}
+
+    def test_not_associative(self):
+        assert not Mode().associative
+        assert not Mode().non_exhaustive
+
+    def test_incremental_never_discards(self):
+        sel = Mode().incremental()
+        for i in range(5):
+            decision = sel.offer(f"b{i}", float(i % 2))
+            assert decision.discarded == set() and not decision.done
+
+    def test_empty(self):
+        assert Mode().incremental().finalize() == []
+
+    def test_precision_rounding(self):
+        sel = Mode(precision=1)
+        kept = sel.select(scores(1.01, 1.02, 5.0))
+        assert set(kept) == {"b0", "b1"}
+
+
+class TestBatchIncrementalEquivalence:
+    """The batch API is defined through the incremental protocol; cross
+    check a few concrete sequences by hand."""
+
+    @pytest.mark.parametrize(
+        "selection,score_seq,expected",
+        [
+            (TopK(2), (3.0, 1.0, 2.0, 5.0), {"b0", "b3"}),
+            (Min(), (3.0, 1.0, 2.0), {"b1"}),
+            (Threshold(2.5), (3.0, 1.0, 2.0, 5.0), {"b0", "b3"}),
+            (KThreshold(1, 2.5), (1.0, 3.0, 5.0), {"b1"}),
+            (Interval(1.5, 3.5), (3.0, 1.0, 2.0, 5.0), {"b0", "b2"}),
+        ],
+    )
+    def test_expected_winners(self, selection, score_seq, expected):
+        assert set(selection.select(scores(*score_seq))) == expected

@@ -1,0 +1,123 @@
+"""Tests for stage derivation (Appendix A execution model)."""
+
+from repro.core.builder import MDFBuilder
+from repro.core.evaluators import SizeEvaluator
+from repro.core.selection import Min
+from repro.core.stages import StageGraph
+
+
+def linear_mdf():
+    b = MDFBuilder()
+    (
+        b.read_data([1, 2, 3], name="src")
+        .transform(lambda x: x, name="t1")
+        .transform(lambda x: x, name="t2")
+        .write(name="out")
+    )
+    return b.build()
+
+
+def wide_mdf():
+    b = MDFBuilder()
+    (
+        b.read_data([1, 2, 3], name="src")
+        .transform(lambda x: x, name="t1")
+        .aggregate(lambda x: x, name="agg")
+        .transform(lambda x: x, name="t2")
+        .write(name="out")
+    )
+    return b.build()
+
+
+def explore_mdf():
+    b = MDFBuilder()
+    src = b.read_data([1], name="src")
+    src.explore(
+        {"t": [1, 2]},
+        lambda pipe, p: pipe.identity(name=f"b{p['t']}-1").identity(name=f"b{p['t']}-2"),
+        name="exp",
+    ).choose(SizeEvaluator(), Min(), name="ch").write(name="out")
+    return b.build()
+
+
+class TestLinearStages:
+    def test_whole_chain_one_stage(self):
+        sg = StageGraph(linear_mdf())
+        assert len(sg) == 1
+        assert [op.name for op in sg.stages[0].ops] == ["src", "t1", "t2", "out"]
+
+    def test_wide_op_breaks_stage(self):
+        sg = StageGraph(wide_mdf())
+        assert len(sg) == 2
+        assert sg.stages[0].tail.name == "t1"
+        assert sg.stages[1].head.name == "agg"
+        assert sg.stages[1].tail.name == "out"
+
+
+class TestExploreStages:
+    def test_explore_and_choose_are_singletons(self):
+        mdf = explore_mdf()
+        sg = StageGraph(mdf)
+        explore_stage = sg.stage_of(mdf.operator("exp"))
+        choose_stage = sg.stage_of(mdf.operator("ch"))
+        assert explore_stage.is_explore and len(explore_stage.ops) == 1
+        assert choose_stage.is_choose and len(choose_stage.ops) == 1
+
+    def test_branch_ops_chain_into_one_stage(self):
+        mdf = explore_mdf()
+        sg = StageGraph(mdf)
+        s1 = sg.stage_of(mdf.operator("b1-1"))
+        assert [op.name for op in s1.ops] == ["b1-1", "b1-2"]
+
+    def test_branch_id_attached(self):
+        mdf = explore_mdf()
+        sg = StageGraph(mdf)
+        s1 = sg.stage_of(mdf.operator("b1-1"))
+        assert s1.branch_id == "exp#0"
+        src_stage = sg.stage_of(mdf.operator("src"))
+        assert src_stage.branch_id is None
+
+    def test_stage_count(self):
+        # src | exp | 2 branches | choose | sink = 6 stages
+        sg = StageGraph(explore_mdf())
+        assert len(sg) == 6
+
+
+class TestStagePrePost:
+    def test_pre_post_relationships(self):
+        mdf = explore_mdf()
+        sg = StageGraph(mdf)
+        explore_stage = sg.stage_of(mdf.operator("exp"))
+        branch_stage = sg.stage_of(mdf.operator("b1-1"))
+        choose_stage = sg.stage_of(mdf.operator("ch"))
+        assert explore_stage in sg.pre(branch_stage)
+        assert choose_stage in sg.post(branch_stage)
+        assert len(sg.pre(choose_stage)) == 2  # two branch tails
+
+    def test_initial_final(self):
+        mdf = explore_mdf()
+        sg = StageGraph(mdf)
+        assert [s.head.name for s in sg.initial_stages()] == ["src"]
+        assert [s.tail.name for s in sg.final_stages()] == ["out"]
+
+    def test_topological_stages_respect_deps(self):
+        mdf = explore_mdf()
+        sg = StageGraph(mdf)
+        order = sg.topological_stages()
+        pos = {s.id: i for i, s in enumerate(order)}
+        for stage in sg.stages:
+            for pred in sg.pre(stage):
+                assert pos[pred.id] < pos[stage.id]
+
+
+class TestFanoutWithoutExplore:
+    def test_plain_fanout_starts_new_stages(self):
+        from repro.core.dataflow import DataflowGraph
+        from repro.core.operators import Identity
+
+        g = DataflowGraph()
+        a, b, c = Identity(name="a"), Identity(name="b"), Identity(name="c")
+        g.add_edge(a, b)
+        g.add_edge(a, c)
+        sg = StageGraph(g)
+        assert len(sg) == 3  # fan-out point forces separate stages

@@ -1,0 +1,52 @@
+"""Tests for execution states (Appendix A) and Theorem 4.3's D_s^c."""
+
+from repro.core.state import ExecutionState, still_needed_datasets
+
+
+def make_state(mem_limit=100):
+    return ExecutionState(
+        datasets=frozenset({"d1", "d2"}),
+        sizes={("n1", "d1"): 40, ("n1", "d2"): 30, ("n2", "d1"): 40},
+        in_memory={"n1": frozenset({"d1", "d2"}), "n2": frozenset({"d1"})},
+        memory_limits={"n1": mem_limit, "n2": mem_limit},
+    )
+
+
+class TestExecutionState:
+    def test_memory_used(self):
+        state = make_state()
+        assert state.memory_used("n1") == 70
+        assert state.memory_used("n2") == 40
+
+    def test_valid(self):
+        assert make_state(100).is_valid()
+
+    def test_invalid_when_over_limit(self):
+        assert not make_state(50).is_valid()
+
+    def test_datasets_on_node(self):
+        state = make_state()
+        assert state.datasets_on_node("n1") == {"d1", "d2"}
+        assert state.datasets_on_node("n2") == {"d1"}
+
+    def test_unknown_node_zero(self):
+        assert make_state().memory_used("nX") == 0
+
+
+class TestStillNeeded:
+    def test_unconsumed_still_needed(self):
+        state = make_state()
+        consumers = {"d1": {"op-a"}, "d2": {"op-b"}}
+        needed = still_needed_datasets(state, consumers, executed_operators=set())
+        assert needed == {"d1", "d2"}
+
+    def test_fully_consumed_not_needed(self):
+        state = make_state()
+        consumers = {"d1": {"op-a"}, "d2": {"op-b"}}
+        needed = still_needed_datasets(state, consumers, {"op-a"})
+        assert needed == {"d2"}
+
+    def test_no_consumers_not_needed(self):
+        state = make_state()
+        needed = still_needed_datasets(state, {}, set())
+        assert needed == set()

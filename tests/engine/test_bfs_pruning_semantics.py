@@ -1,0 +1,64 @@
+"""Pruning semantics under breadth-first scheduling.
+
+BFS executes all branches level by level, so by the time a non-exhaustive
+selection is satisfied most branches have already run — pruning saves
+little.  BAS satisfies it after the minimum number of branches.  Both
+must pick the same winners.
+"""
+
+import pytest
+
+from repro import CallableEvaluator, Cluster, GB, KThreshold, MB, MDFBuilder
+from repro.engine import run_mdf
+
+
+CALLS = []
+
+
+def counting_mdf(thresholds=(10, 100, 200, 500, 900)):
+    CALLS.clear()
+    builder = MDFBuilder("bfs-pruning")
+    src = builder.read_data(list(range(1000)), name="src", nominal_bytes=32 * MB)
+
+    def body(pipe, p):
+        def op(xs, t=p["threshold"]):
+            CALLS.append(t)
+            return [x for x in xs if x < t]
+
+        return pipe.transform(op, name=f"f{p['threshold']}")
+
+    builder_result = src.explore(
+        {"threshold": list(thresholds)}, body, name="exp"
+    ).choose(CallableEvaluator(len, name="count"), KThreshold(2, 150.0), name="ch")
+    builder_result.write(name="out")
+    return builder.build()
+
+
+class TestBfsPruning:
+    def test_bas_executes_minimum(self, small_cluster):
+        mdf = counting_mdf()
+        result = run_mdf(mdf, small_cluster, scheduler="bas")
+        # sorted order: 10 (fail), 100 (fail), 200 (pass), 500 (pass) -> done
+        assert sorted(set(CALLS)) == [10, 100, 200, 500]
+        assert result.decision_for("ch").kept == ["exp#2", "exp#3"]
+
+    def test_bfs_same_winners(self):
+        mdf = counting_mdf()
+        result = run_mdf(mdf, Cluster(4, 1 * GB), scheduler="bfs")
+        # BFS may execute more branches, but the kept set is identical
+        decision = result.decision_for("ch")
+        assert decision.kept == ["exp#2", "exp#3"]
+
+    def test_bfs_executes_at_least_as_many(self):
+        mdf_a = counting_mdf()
+        run_mdf(mdf_a, Cluster(4, 1 * GB), scheduler="bas")
+        bas_calls = len(set(CALLS))
+        mdf_b = counting_mdf()
+        run_mdf(mdf_b, Cluster(4, 1 * GB), scheduler="bfs")
+        bfs_calls = len(set(CALLS))
+        assert bfs_calls >= bas_calls
+
+    def test_outputs_identical(self):
+        a = run_mdf(counting_mdf(), Cluster(4, 1 * GB), scheduler="bas")
+        b = run_mdf(counting_mdf(), Cluster(4, 1 * GB), scheduler="bfs")
+        assert sorted(a.output) == sorted(b.output)

@@ -1,0 +1,66 @@
+"""Tests for the explicit checkpointing cost model (§5)."""
+
+import pytest
+
+from repro import Cluster, FailureInjector, GB
+from repro.cluster.fault import CheckpointConfig
+from repro.engine import EngineConfig, run_mdf
+
+from ..conftest import build_filter_mdf
+
+
+class TestCheckpointConfig:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig(interval_stages=0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig(overhead_fraction=1.5)
+
+
+class TestCheckpointCosts:
+    def run(self, config=None):
+        return run_mdf(build_filter_mdf(), Cluster(4, 1 * GB), config=config)
+
+    def test_checkpointing_costs_time(self):
+        plain = self.run()
+        ckpt = self.run(
+            EngineConfig(checkpointing=CheckpointConfig(1, overhead_fraction=0.2))
+        )
+        assert ckpt.completion_time > plain.completion_time
+        assert ckpt.metrics.bytes_written_disk > plain.metrics.bytes_written_disk
+
+    def test_interval_reduces_overhead(self):
+        dense = self.run(
+            EngineConfig(checkpointing=CheckpointConfig(1, overhead_fraction=0.2))
+        )
+        sparse = self.run(
+            EngineConfig(checkpointing=CheckpointConfig(3, overhead_fraction=0.2))
+        )
+        assert sparse.completion_time < dense.completion_time
+
+    def test_fraction_scales_overhead(self):
+        light = self.run(
+            EngineConfig(checkpointing=CheckpointConfig(1, overhead_fraction=0.05))
+        )
+        heavy = self.run(
+            EngineConfig(checkpointing=CheckpointConfig(1, overhead_fraction=0.5))
+        )
+        assert light.completion_time < heavy.completion_time
+
+    def test_results_unchanged(self):
+        plain = self.run()
+        ckpt = self.run(
+            EngineConfig(checkpointing=CheckpointConfig(1, overhead_fraction=0.3))
+        )
+        assert ckpt.output == plain.output
+
+    def test_checkpointing_with_failures(self):
+        config = EngineConfig(
+            checkpointing=CheckpointConfig(1, overhead_fraction=0.1),
+            failures=FailureInjector.at_stages([(2, "worker-0")]),
+        )
+        result = self.run(config)
+        assert result.output == list(range(10))
+        assert result.metrics.recoveries > 0

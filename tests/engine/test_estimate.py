@@ -1,0 +1,87 @@
+"""Tests for the static cost estimator: its bounds must bracket real runs."""
+
+import pytest
+
+from repro import Cluster, GB, MB
+from repro.engine import EngineConfig, run_mdf
+from repro.engine.estimate import estimate_mdf
+from repro.workloads import (
+    granularity_grid,
+    oil_well_trace,
+    string_int_pairs,
+    synthetic_mdf,
+    time_series_mdf,
+)
+
+from ..conftest import build_filter_mdf, build_nested_mdf
+
+
+def no_optimisation_config():
+    """Make the real run comparable to the no-pruning estimate."""
+    return EngineConfig(incremental_choose=False, pruning=False)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("workers,mem_gb", [(4, 1), (8, 2)])
+    def test_filter_mdf_bracketed(self, workers, mem_gb):
+        mdf = build_filter_mdf()
+        est = estimate_mdf(mdf, workers=workers)
+        actual = run_mdf(
+            mdf, Cluster(workers, mem_gb * GB), config=no_optimisation_config()
+        )
+        assert est.optimistic_seconds <= actual.completion_time * 1.05
+        assert actual.completion_time <= est.pessimistic_seconds * 1.5
+
+    def test_nested_mdf_bracketed(self):
+        mdf = build_nested_mdf()
+        est = estimate_mdf(mdf, workers=4)
+        actual = run_mdf(mdf, Cluster(4, 1 * GB), config=no_optimisation_config())
+        assert est.optimistic_seconds <= actual.completion_time * 1.05
+        assert actual.completion_time <= est.pessimistic_seconds * 1.5
+
+    def test_synthetic_mdf_bracketed(self):
+        mdf = synthetic_mdf(
+            string_int_pairs(500), b1=3, b2=3, nominal_bytes=256 * MB
+        )
+        est = estimate_mdf(mdf, workers=4)
+        actual = run_mdf(mdf, Cluster(4, 1 * GB), config=no_optimisation_config())
+        assert est.optimistic_seconds <= actual.completion_time * 1.05
+        assert actual.completion_time <= est.pessimistic_seconds * 1.5
+
+    def test_time_series_bracketed(self):
+        trace = oil_well_trace(5000)
+        mdf = time_series_mdf(trace, granularity_grid(16), nominal_bytes=128 * MB)
+        est = estimate_mdf(mdf, workers=8)
+        actual = run_mdf(mdf, Cluster(8, 2 * GB), config=no_optimisation_config())
+        assert est.optimistic_seconds <= actual.completion_time * 1.1
+
+
+class TestStructureCounts:
+    def test_counts(self):
+        mdf = synthetic_mdf(string_int_pairs(200), b1=3, b2=2, nominal_bytes=64 * MB)
+        est = estimate_mdf(mdf, workers=4)
+        assert est.num_branches == 3 + 3 * 2
+        assert est.num_stages == len(est.stages) + 1 + 3 + 4  # + explores/chooses
+
+    def test_compute_grows_with_branches(self):
+        small = estimate_mdf(
+            synthetic_mdf(string_int_pairs(200), b1=2, b2=2, nominal_bytes=64 * MB),
+            workers=4,
+        )
+        big = estimate_mdf(
+            synthetic_mdf(string_int_pairs(200), b1=4, b2=4, nominal_bytes=64 * MB),
+            workers=4,
+        )
+        assert big.total_compute_units > small.total_compute_units
+        assert big.peak_live_bytes >= small.peak_live_bytes
+
+    def test_fits_in_memory(self):
+        mdf = build_filter_mdf(nominal=64 * MB)
+        est = estimate_mdf(mdf, workers=4)
+        assert est.fits_in_memory(4, 1 * GB)
+        assert not est.fits_in_memory(1, 32 * MB)
+
+    def test_optimistic_below_pessimistic(self):
+        mdf = build_nested_mdf()
+        est = estimate_mdf(mdf, workers=4)
+        assert est.optimistic_seconds < est.pessimistic_seconds

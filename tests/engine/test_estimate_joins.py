@@ -1,0 +1,55 @@
+"""Estimator coverage for joins and chained scopes."""
+
+import pytest
+
+from repro import Cluster, GB, MB, MDFBuilder
+from repro.engine import EngineConfig, run_mdf
+from repro.engine.estimate import estimate_mdf
+
+
+def join_mdf():
+    b = MDFBuilder("est-join")
+    left = b.read_data(list(range(50)), name="left", nominal_bytes=64 * MB)
+    right = b.read_data(list(range(50)), name="right", nominal_bytes=64 * MB)
+    left.join(
+        right, lambda l, r: l + r, name="union", selectivity=2.0
+    ).transform(lambda xs: xs, name="post").write(name="out")
+    return b.build()
+
+
+class TestJoinEstimates:
+    def test_join_input_is_sum_of_operands(self):
+        est = estimate_mdf(join_mdf(), workers=4)
+        join_stage = next(s for s in est.stages if "union" in s.ops)
+        assert join_stage.input_bytes == 128 * MB
+        assert join_stage.is_wide
+
+    def test_join_output_respects_selectivity(self):
+        est = estimate_mdf(join_mdf(), workers=4)
+        join_stage = next(s for s in est.stages if "union" in s.ops)
+        assert join_stage.output_bytes == 256 * MB
+
+    def test_bracket_holds_for_join_mdf(self):
+        mdf = join_mdf()
+        est = estimate_mdf(mdf, workers=4)
+        actual = run_mdf(
+            mdf,
+            Cluster(4, 1 * GB),
+            config=EngineConfig(incremental_choose=False, pruning=False),
+        )
+        assert est.optimistic_seconds <= actual.completion_time * 1.05
+        assert actual.completion_time <= est.pessimistic_seconds * 1.5
+
+    def test_chained_scopes_estimated(self):
+        from repro.workloads import (
+            granularity_grid,
+            oil_well_trace,
+            time_series_full_mdf,
+        )
+
+        mdf = time_series_full_mdf(
+            oil_well_trace(3000), granularity_grid(16), nominal_bytes=64 * MB
+        )
+        est = estimate_mdf(mdf, workers=4)
+        assert est.num_branches == 16 + 9 + 3
+        assert est.optimistic_seconds > 0

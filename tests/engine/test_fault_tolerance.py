@@ -1,0 +1,106 @@
+"""Tests for fault tolerance and stragglers during MDF execution (§5)."""
+
+import pytest
+
+from repro import (
+    Cluster,
+    FailureInjector,
+    GB,
+    MB,
+    SpeculationConfig,
+    StragglerProfile,
+)
+from repro.engine import EngineConfig, run_mdf
+
+from ..conftest import build_filter_mdf
+
+
+class TestFailures:
+    def test_job_survives_node_failure(self, small_cluster):
+        mdf = build_filter_mdf()
+        config = EngineConfig(
+            failures=FailureInjector.at_stages([(2, "worker-0")])
+        )
+        result = run_mdf(mdf, small_cluster, config=config)
+        assert result.output == list(range(10))
+        assert result.metrics.recoveries > 0
+
+    def test_failure_costs_time(self):
+        mdf = build_filter_mdf()
+        clean = run_mdf(mdf, Cluster(4, 1 * GB))
+        mdf2 = build_filter_mdf()
+        failed = run_mdf(
+            mdf2,
+            Cluster(4, 1 * GB),
+            config=EngineConfig(failures=FailureInjector.at_stages([(2, "worker-0")])),
+        )
+        # recovery reads from checkpointed disk copies
+        assert failed.completion_time >= clean.completion_time
+        assert failed.metrics.bytes_read_disk > clean.metrics.bytes_read_disk
+
+    def test_choose_scores_survive_at_master(self, small_cluster):
+        """The master holds evaluator scores, so a worker failure after
+        evaluation never forces branch re-execution (§5)."""
+        mdf = build_filter_mdf()
+        config = EngineConfig(
+            failures=FailureInjector.at_stages([(4, "worker-1")])
+        )
+        result = run_mdf(mdf, small_cluster, config=config)
+        decision = result.decision_for("choose-min")
+        assert len(decision.scores) == 3
+
+    def test_multiple_failures(self, small_cluster):
+        mdf = build_filter_mdf()
+        config = EngineConfig(
+            failures=FailureInjector.at_stages(
+                [(1, "worker-0"), (3, "worker-1"), (4, "worker-2")]
+            )
+        )
+        result = run_mdf(mdf, small_cluster, config=config)
+        assert result.output == list(range(10))
+
+
+class TestStragglers:
+    def test_straggler_slows_job(self):
+        mdf = build_filter_mdf()
+        clean = run_mdf(mdf, Cluster(4, 1 * GB))
+        mdf2 = build_filter_mdf()
+        slow = run_mdf(
+            mdf2,
+            Cluster(4, 1 * GB),
+            config=EngineConfig(
+                stragglers=StragglerProfile({"worker-0": 5.0}),
+                speculation=SpeculationConfig(enabled=False),
+            ),
+        )
+        assert slow.completion_time > clean.completion_time
+
+    def test_speculation_mitigates(self):
+        profile = StragglerProfile({"worker-0": 10.0})
+        mdf = build_filter_mdf()
+        unmitigated = run_mdf(
+            mdf,
+            Cluster(4, 1 * GB),
+            config=EngineConfig(
+                stragglers=profile, speculation=SpeculationConfig(enabled=False)
+            ),
+        )
+        mdf2 = build_filter_mdf()
+        mitigated = run_mdf(
+            mdf2,
+            Cluster(4, 1 * GB),
+            config=EngineConfig(
+                stragglers=profile, speculation=SpeculationConfig(enabled=True)
+            ),
+        )
+        assert mitigated.completion_time < unmitigated.completion_time
+        assert mitigated.metrics.speculative_tasks > 0
+
+    def test_same_results_with_stragglers(self, small_cluster):
+        mdf = build_filter_mdf()
+        result = run_mdf(
+            mdf,
+            small_cluster,
+            config=EngineConfig(stragglers=StragglerProfile({"worker-2": 4.0})),
+        )
+        assert result.output == list(range(10))

@@ -1,0 +1,88 @@
+"""Tests for scheduling hints (§4.2)."""
+
+import pytest
+
+from repro.engine.hints import (
+    ModelBasedHint,
+    PriorityHint,
+    RandomHint,
+    SortedHint,
+)
+
+
+def candidates(*indices):
+    return [(i, {"x": float(i)}) for i in indices]
+
+
+class TestSortedHint:
+    def test_domain_order(self):
+        hint = SortedHint()
+        assert hint.order(candidates(3, 1, 2), []) == [1, 2, 3]
+
+    def test_ignores_observations(self):
+        hint = SortedHint()
+        observed = [({"x": 3.0}, 100.0)]
+        assert hint.order(candidates(2, 1), observed) == [1, 2]
+
+
+class TestRandomHint:
+    def test_permutation(self):
+        hint = RandomHint(seed=0)
+        out = hint.order(candidates(0, 1, 2, 3, 4), [])
+        assert sorted(out) == [0, 1, 2, 3, 4]
+
+    def test_seeded_reproducible(self):
+        a = RandomHint(seed=7).order(candidates(*range(10)), [])
+        b = RandomHint(seed=7).order(candidates(*range(10)), [])
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RandomHint(seed=1).order(candidates(*range(20)), [])
+        b = RandomHint(seed=2).order(candidates(*range(20)), [])
+        assert a != b
+
+
+class TestPriorityHint:
+    def test_highest_priority_first(self):
+        hint = PriorityHint(lambda p: p["x"])
+        assert hint.order(candidates(1, 3, 2), []) == [3, 2, 1]
+
+    def test_ties_break_by_index(self):
+        hint = PriorityHint(lambda p: 0.0)
+        assert hint.order(candidates(2, 0, 1), []) == [0, 1, 2]
+
+
+class TestModelBasedHint:
+    def test_falls_back_without_observations(self):
+        hint = ModelBasedHint(min_observations=3)
+        assert hint.order(candidates(2, 0, 1), []) == [0, 1, 2]
+
+    def test_learns_linear_trend(self):
+        # score = 10 * x: the model should schedule the largest x first
+        hint = ModelBasedHint(maximize=True, min_observations=3)
+        observed = [({"x": float(i)}, 10.0 * i) for i in range(4)]
+        out = hint.order(candidates(5, 9, 7), observed)
+        assert out == [9, 7, 5]
+
+    def test_minimize_direction(self):
+        hint = ModelBasedHint(maximize=False, min_observations=3)
+        observed = [({"x": float(i)}, 10.0 * i) for i in range(4)]
+        out = hint.order(candidates(5, 9, 7), observed)
+        assert out == [5, 7, 9]
+
+    def test_non_numeric_falls_back(self):
+        hint = ModelBasedHint(min_observations=1)
+        observed = [({"k": "gaussian"}, 1.0), ({"k": "tophat"}, 2.0)]
+        cands = [(1, {"k": "linear"}), (0, {"k": "cosine"})]
+        assert hint.order(cands, observed) == [0, 1]
+
+    def test_multi_feature(self):
+        # score = x + 100*y
+        hint = ModelBasedHint(maximize=True, min_observations=4)
+        observed = [
+            ({"x": float(i), "y": float(j)}, i + 100.0 * j)
+            for i in range(3)
+            for j in range(2)
+        ]
+        cands = [(0, {"x": 9.0, "y": 0.0}), (1, {"x": 0.0, "y": 9.0})]
+        assert hint.order(cands, observed) == [1, 0]

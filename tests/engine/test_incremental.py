@@ -1,0 +1,136 @@
+"""Tests for incremental choose evaluation and deferred stores (R1a, R3)."""
+
+import pytest
+
+from repro import (
+    CallableEvaluator,
+    Cluster,
+    GB,
+    MB,
+    MDFBuilder,
+    Min,
+    Mode,
+    TopK,
+)
+from repro.engine import EngineConfig, run_mdf
+
+
+def mdf_with_selection(selection, thresholds=(10, 100, 500)):
+    builder = MDFBuilder("sel-mdf")
+    src = builder.read_data(list(range(1000)), name="src", nominal_bytes=64 * MB)
+    result = src.explore(
+        {"threshold": list(thresholds)},
+        lambda pipe, p: pipe.transform(
+            lambda xs, t=p["threshold"]: [x for x in xs if x < t],
+            name=f"filter-{p['threshold']}",
+        ),
+        name="exp",
+    ).choose(CallableEvaluator(len, name="count"), selection, name="ch")
+    result.write(name="out")
+    return builder.build()
+
+
+class TestIncrementalDiscard:
+    def test_losers_never_stored(self, small_cluster):
+        """With a Min selection and sorted order, every branch after the
+        first loses immediately and is never materialised."""
+        mdf = mdf_with_selection(Min())
+        result = run_mdf(
+            mdf, small_cluster, config=EngineConfig(incremental_choose=True)
+        )
+        # only src + winner + (choose alias) + sink output stored;
+        # the two losing branch outputs never hit the cluster
+        decision = result.decision_for("ch")
+        assert len(decision.discarded) == 2
+        # stored datasets: src output, winning branch, sink stage output
+        assert result.metrics.peak_datasets_stored <= 4
+
+    def test_without_incremental_all_stored(self, small_cluster):
+        mdf = mdf_with_selection(Min())
+        result = run_mdf(
+            mdf, small_cluster, config=EngineConfig(incremental_choose=False)
+        )
+        # all three branch outputs coexist before the choose decides
+        assert result.metrics.peak_datasets_stored >= 4
+
+    def test_same_winner_either_way(self):
+        a = run_mdf(
+            mdf_with_selection(Min()),
+            Cluster(4, 1 * GB),
+            config=EngineConfig(incremental_choose=True),
+        )
+        b = run_mdf(
+            mdf_with_selection(Min()),
+            Cluster(4, 1 * GB),
+            config=EngineConfig(incremental_choose=False),
+        )
+        assert a.output == b.output
+        assert a.decision_for("ch").kept == b.decision_for("ch").kept
+
+    def test_incremental_not_slower(self):
+        a = run_mdf(
+            mdf_with_selection(Min()),
+            Cluster(4, 128 * MB),
+            config=EngineConfig(incremental_choose=True),
+        )
+        b = run_mdf(
+            mdf_with_selection(Min()),
+            Cluster(4, 128 * MB),
+            config=EngineConfig(incremental_choose=False),
+        )
+        assert a.completion_time <= b.completion_time
+
+    def test_topk_knockout_discards_previous(self, small_cluster):
+        """A new top-k winner evicts the previously kept branch's data."""
+        mdf = mdf_with_selection(TopK(1, largest=True))  # largest count wins
+        result = run_mdf(mdf, small_cluster)
+        decision = result.decision_for("ch")
+        assert decision.kept == ["exp#2"]
+        assert len(decision.discarded) == 2
+        assert result.output == list(range(500))
+
+
+class TestModeSelection:
+    def test_mode_needs_all_branches(self, small_cluster):
+        """Mode is not associative: nothing can be discarded early, but the
+        job still completes with every branch evaluated."""
+        builder = MDFBuilder("mode-mdf")
+        src = builder.read_data(list(range(1000)), name="src", nominal_bytes=64 * MB)
+        # bucket evaluator: small branches score 0.0, the big one 1.0
+        bucket = CallableEvaluator(lambda xs: float(len(xs) >= 200), name="bucket")
+        result = src.explore(
+            {"threshold": [100, 150, 500]},
+            lambda pipe, p: pipe.transform(
+                lambda xs, t=p["threshold"]: [x for x in xs if x < t],
+                name=f"filter-{p['threshold']}",
+            ),
+            name="exp",
+        ).choose(bucket, Mode(), name="ch")
+        result.write(name="out")
+        mdf = builder.build()
+        result = run_mdf(mdf, small_cluster)
+        decision = result.decision_for("ch")
+        assert len(decision.scores) == 3
+        assert set(decision.kept) == {"exp#0", "exp#1"}  # the two 0.0 scores
+        assert sorted(result.output) == sorted(list(range(100)) + list(range(150)))
+
+
+class TestMultiKeptComposite:
+    def test_threshold_keeps_several(self, small_cluster):
+        from repro.core.selection import Threshold
+
+        mdf = mdf_with_selection(Threshold(50.0))
+        result = run_mdf(mdf, small_cluster)
+        decision = result.decision_for("ch")
+        assert len(decision.kept) == 2  # counts 100 and 500 pass
+        assert sorted(result.output) == sorted(
+            [x for x in range(100)] + [x for x in range(500)]
+        )
+
+    def test_empty_selection_yields_empty_output(self, small_cluster):
+        from repro.core.selection import Threshold
+
+        mdf = mdf_with_selection(Threshold(10_000.0))
+        result = run_mdf(mdf, small_cluster)
+        assert result.decision_for("ch").kept == []
+        assert result.output == []

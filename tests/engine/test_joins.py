@@ -1,0 +1,102 @@
+"""Tests for two-input join operators in the engine (Appendix A, i = 2)."""
+
+import pytest
+
+from repro import CallableEvaluator, Cluster, GB, MB, MDFBuilder, Max
+from repro.core.errors import SchedulingError
+from repro.core.operators import Join
+from repro.core.stages import StageGraph
+from repro.engine import run_mdf
+
+
+def join_mdf(nominal=8 * MB):
+    b = MDFBuilder("join")
+    left = b.read_data([1, 2, 3], name="left", nominal_bytes=nominal)
+    right = b.read_data([10, 20], name="right", nominal_bytes=nominal)
+    joined = left.join(
+        right, lambda l, r: [x + y for x in l for y in r], name="cross"
+    )
+    joined.write(name="out")
+    return b.build()
+
+
+class TestJoinExecution:
+    def test_cross_join_result(self):
+        result = run_mdf(join_mdf(), Cluster(3, 1 * GB))
+        assert sorted(result.output) == [11, 12, 13, 21, 22, 23]
+
+    def test_schedulers_agree(self):
+        bas = run_mdf(join_mdf(), Cluster(3, 1 * GB), scheduler="bas")
+        bfs = run_mdf(join_mdf(), Cluster(3, 1 * GB), scheduler="bfs")
+        assert sorted(bas.output) == sorted(bfs.output)
+
+    def test_join_charges_network(self):
+        result = run_mdf(join_mdf(), Cluster(3, 1 * GB))
+        assert result.wall_network > 0
+
+    def test_join_is_own_stage(self):
+        mdf = join_mdf()
+        sg = StageGraph(mdf)
+        join_stage = sg.stage_of(mdf.operator("cross"))
+        assert join_stage.head.name == "cross"
+        assert len(sg.pre(join_stage)) == 2
+
+    def test_key_join_semantics(self):
+        b = MDFBuilder("kv-join")
+        users = b.read_data(
+            [("u1", "alice"), ("u2", "bob")], name="users", nominal_bytes=MB
+        )
+        orders = b.read_data(
+            [("u1", 10), ("u2", 20), ("u1", 30)], name="orders", nominal_bytes=MB
+        )
+
+        def inner_join(left, right):
+            names = dict(left)
+            return [(names[k], v) for k, v in right if k in names]
+
+        users.join(orders, inner_join, name="enrich").write(name="out")
+        result = run_mdf(b.build(), Cluster(2, 1 * GB))
+        assert sorted(result.output) == [("alice", 10), ("alice", 30), ("bob", 20)]
+
+    def test_unwired_join_rejected(self):
+        from repro.core.mdf import MDF
+        from repro.core.operators import Sink, Source
+
+        mdf = MDF("manual")
+        a = Source.from_data([1], name="a")
+        c = Source.from_data([2], name="c")
+        j = Join(lambda l, r: l + r, name="j")  # input_names never set
+        mdf.add_edge(a, j)
+        mdf.add_edge(c, j)
+        mdf.add_edge(j, Sink(name="out"))
+        with pytest.raises(SchedulingError, match="wired"):
+            run_mdf(mdf, Cluster(2, 1 * GB))
+
+
+class TestJoinInsideBranches:
+    def test_join_as_branch_operator(self):
+        """Each branch joins the explored stream against a reference."""
+        b = MDFBuilder("branch-join")
+        ref = b.read_data([100], name="ref", nominal_bytes=MB)
+        src = b.read_data([1, 2, 3], name="src", nominal_bytes=MB)
+
+        from repro.core.builder import Pipe
+
+        def body2(pipe, p):
+            scaled = pipe.transform(
+                lambda xs, m=p["m"]: [x * m for x in xs], name=f"scale-{p['m']}"
+            )
+            return scaled.join(
+                Pipe(b, ref.op),
+                lambda l, r: [x + r[0] for x in l],
+                name=f"add-ref-{p['m']}",
+            )
+
+        result_pipe = src.explore({"m": [2, 5]}, body2, name="exp").choose(
+            CallableEvaluator(lambda xs: float(sum(xs)), name="sum"), Max(), name="ch"
+        )
+        result_pipe.write(name="out")
+        mdf = b.build()
+        result = run_mdf(mdf, Cluster(2, 1 * GB))
+        # branch m=5 wins: [105, 110, 115]
+        assert sorted(result.output) == [105, 110, 115]

@@ -1,0 +1,154 @@
+"""Tests for superfluous-branch pruning (R1b, Table 1)."""
+
+import pytest
+
+from repro import (
+    CallableEvaluator,
+    Cluster,
+    GB,
+    KThreshold,
+    MB,
+    MDFBuilder,
+    Min,
+    TopK,
+)
+from repro.engine import EngineConfig, run_mdf
+
+
+CALLS = []
+
+
+def counting_mdf(selection, evaluator, thresholds=(10, 100, 200, 500, 900)):
+    """An MDF whose branch operators record their invocations."""
+    CALLS.clear()
+    builder = MDFBuilder("pruning-mdf")
+    src = builder.read_data(list(range(1000)), name="src", nominal_bytes=64 * MB)
+
+    def body(pipe, p):
+        t = p["threshold"]
+
+        def op(xs, t=t):
+            CALLS.append(t)
+            return [x for x in xs if x < t]
+
+        return pipe.transform(op, name=f"filter-{t}")
+
+    result = src.explore({"threshold": list(thresholds)}, body, name="exp").choose(
+        evaluator, selection, name="ch"
+    )
+    result.write(name="out")
+    return builder.build()
+
+
+def executed_thresholds(num_partitions=4):
+    """Branch thresholds whose operator actually ran (dedup partitions)."""
+    return sorted(set(CALLS))
+
+
+class TestNonExhaustivePruning:
+    def test_kthreshold_stops_after_k(self, small_cluster):
+        evaluator = CallableEvaluator(len, name="count")
+        mdf = counting_mdf(KThreshold(2, 150.0), evaluator)
+        result = run_mdf(mdf, small_cluster)
+        decision = result.decision_for("ch")
+        # sorted order: 10 (fail), 100 (fail), 200 (pass), 500 (pass) -> done
+        assert decision.kept == ["exp#2", "exp#3"]
+        assert executed_thresholds() == [10, 100, 200, 500]
+        assert decision.pruned == ["exp#4"]
+        assert result.metrics.branches_pruned == 1
+
+    def test_pruning_disabled_by_config(self, small_cluster):
+        evaluator = CallableEvaluator(len, name="count")
+        mdf = counting_mdf(KThreshold(2, 150.0), evaluator)
+        result = run_mdf(
+            mdf, small_cluster, config=EngineConfig(pruning=False)
+        )
+        assert executed_thresholds() == [10, 100, 200, 500, 900]
+        assert result.metrics.branches_pruned == 0
+
+    def test_pruned_branches_not_scored(self, small_cluster):
+        evaluator = CallableEvaluator(len, name="count")
+        mdf = counting_mdf(KThreshold(1, 5.0), evaluator)
+        result = run_mdf(mdf, small_cluster)
+        decision = result.decision_for("ch")
+        assert len(decision.scores) == 1
+        assert len(decision.pruned) == 4
+
+
+class TestMonotonePruning:
+    def test_monotone_min_stops_when_scores_rise(self, small_cluster):
+        """Monotone evaluator + Min selection: once counts grow past the
+        minimum, the remaining branches are provably worse."""
+        evaluator = CallableEvaluator(len, name="count", monotone=True)
+        mdf = counting_mdf(Min(), evaluator)
+        result = run_mdf(mdf, small_cluster)
+        # scores: 10, 100, ... monotone increasing -> prune after 2nd branch
+        assert executed_thresholds() == [10, 100]
+        decision = result.decision_for("ch")
+        assert decision.kept == ["exp#0"]
+        assert result.output == list(range(10))
+
+    def test_unflagged_evaluator_never_prunes(self, small_cluster):
+        evaluator = CallableEvaluator(len, name="count")  # no property flags
+        mdf = counting_mdf(Min(), evaluator)
+        run_mdf(mdf, small_cluster)
+        assert executed_thresholds() == [10, 100, 200, 500, 900]
+
+
+class TestConvexPruning:
+    def test_convex_stops_past_optimum(self, small_cluster):
+        """A convex score curve (distance from 200) lets the scheduler stop
+        once scores worsen twice in a row past the optimum."""
+        evaluator = CallableEvaluator(
+            lambda xs: abs(len(xs) - 200), name="dist", convex=True
+        )
+        mdf = counting_mdf(
+            Min(), evaluator, thresholds=(10, 100, 200, 500, 900, 950)
+        )
+        result = run_mdf(mdf, small_cluster)
+        # scores over sorted thresholds: 190, 100, 0, 300, 700, (750)
+        # two consecutive worsenings (300, 700) prune the last branch
+        assert 950 not in executed_thresholds()
+        assert result.decision_for("ch").kept == ["exp#2"]
+
+
+class TestNestedPruning:
+    def test_pruned_outer_branch_skips_inner_scope(self, small_cluster):
+        """Pruning an outer branch removes its nested explore entirely."""
+        CALLS.clear()
+        builder = MDFBuilder("nested-prune")
+        src = builder.read_data(list(range(100)), name="src", nominal_bytes=16 * MB)
+        count = CallableEvaluator(len, name="count", monotone=True)
+
+        def inner_body(pipe, p):
+            def op(xs, t=p["t2"], o=p["_o"]):
+                CALLS.append(("inner", o, t))
+                return xs[:t]
+
+            return pipe.transform(op, name=f"in-{p['_o']}-{p['t2']}")
+
+        def outer_body(pipe, p):
+            def op(xs, t=p["t1"]):
+                CALLS.append(("outer", t))
+                return xs[:t]
+
+            first = pipe.transform(op, name=f"out-{p['t1']}")
+            return first.explore(
+                {"t2": [p["t1"] // 2, p["t1"]], "_o": [p["t1"]]},
+                inner_body,
+                name=f"inner-{p['t1']}",
+            ).choose(count, Min(), name=f"ic-{p['t1']}")
+
+        result = src.explore({"t1": [10, 50, 90]}, outer_body, name="outer").choose(
+            count, Min(), name="oc"
+        )
+        result.write()
+        mdf = builder.build()
+        run_mdf(mdf, small_cluster)
+        outer_ran = sorted({c[1] for c in CALLS if c[0] == "outer"})
+        inner_ran = sorted({c[1] for c in CALLS if c[0] == "inner"})
+        # outer scores rise with t1 (10 -> 5, 50 -> 25, 90 -> 45): the Min
+        # selection with a monotone evaluator prunes the third branch, and
+        # with it the whole nested inner-90 scope
+        assert 90 not in outer_ran
+        assert 90 not in inner_ran

@@ -1,0 +1,89 @@
+"""Tests for the top-level run_mdf API."""
+
+import pytest
+
+from repro import Cluster, GB, MB
+from repro.cluster.memory import AMMPolicy, LRUPolicy
+from repro.engine import BFSScheduler, BranchAwareScheduler, EngineConfig, run_mdf
+from repro.engine.runner import make_scheduler
+
+from ..conftest import build_filter_mdf
+
+
+class TestMakeScheduler:
+    def test_bfs(self):
+        assert isinstance(make_scheduler("bfs"), BFSScheduler)
+
+    def test_bas(self):
+        assert isinstance(make_scheduler("bas"), BranchAwareScheduler)
+
+    def test_bas_inherits_hint(self):
+        from repro.engine import RandomHint
+
+        config = EngineConfig(hint=RandomHint(0))
+        sched = make_scheduler("bas", config)
+        assert isinstance(sched.hint, RandomHint)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_scheduler("dfs")
+
+
+class TestRunMdf:
+    def test_returns_result(self, small_cluster, filter_mdf):
+        result = run_mdf(filter_mdf, small_cluster)
+        assert result.completion_time > 0
+        assert result.output == list(range(10))
+
+    def test_scheduler_objects_accepted(self, small_cluster, filter_mdf):
+        result = run_mdf(filter_mdf, small_cluster, scheduler=BFSScheduler())
+        assert result.output == list(range(10))
+
+    def test_memory_string(self, small_cluster, filter_mdf):
+        run_mdf(filter_mdf, small_cluster, memory="amm")
+        assert isinstance(small_cluster.policy, AMMPolicy)
+
+    def test_memory_object(self, small_cluster, filter_mdf):
+        policy = LRUPolicy()
+        run_mdf(filter_mdf, small_cluster, memory=policy)
+        assert small_cluster.policy is policy
+
+    def test_memory_none_keeps_policy(self, filter_mdf):
+        cluster = Cluster(2, 1 * GB, policy=AMMPolicy())
+        run_mdf(filter_mdf, cluster, memory=None)
+        assert isinstance(cluster.policy, AMMPolicy)
+
+    def test_reset_clears_state(self, small_cluster, filter_mdf):
+        run_mdf(filter_mdf, small_cluster)
+        t1 = small_cluster.clock.now
+        result = run_mdf(filter_mdf, small_cluster)  # reset=True default
+        assert result.completion_time == pytest.approx(t1)
+
+    def test_no_reset_continues_clock(self, small_cluster, filter_mdf):
+        first = run_mdf(filter_mdf, small_cluster)
+        second = run_mdf(filter_mdf, small_cluster, reset=False)
+        assert second.completion_time > first.completion_time
+
+    def test_deterministic(self, filter_mdf):
+        a = run_mdf(filter_mdf, Cluster(4, 1 * GB))
+        b = run_mdf(filter_mdf, Cluster(4, 1 * GB))
+        assert a.completion_time == b.completion_time
+        assert a.output == b.output
+
+    def test_decisions_recorded(self, small_cluster, filter_mdf):
+        result = run_mdf(filter_mdf, small_cluster)
+        decision = result.decision_for("choose-min")
+        assert len(decision.scores) == 3
+        assert decision.kept  # one winner
+
+    def test_trace_recorded(self, small_cluster, filter_mdf):
+        result = run_mdf(filter_mdf, small_cluster)
+        assert result.trace
+        assert result.trace[0].started <= result.trace[0].finished
+
+    def test_invalid_mdf_rejected(self, small_cluster):
+        from repro.core.mdf import MDF
+        from repro.core.errors import MDFError
+
+        with pytest.raises(MDFError):
+            run_mdf(MDF("empty"), small_cluster)

@@ -1,0 +1,40 @@
+"""Coverage for task expansion and the explicit recovery-cost helper."""
+
+from repro.cluster import Cluster, MB
+from repro.cluster.fault import recover_partitions
+from repro.core.datasets import Dataset
+from repro.core.operators import Identity
+from repro.core.stages import Stage
+from repro.engine.tasks import Task, expand_stage
+
+
+class TestTasks:
+    def test_expand_one_task_per_partition(self):
+        stage = Stage([Identity(name="op")])
+        tasks = expand_stage(stage, ["w0", "w1", "w0"])
+        assert len(tasks) == 3
+        assert tasks[0] == Task(stage.id, 0, "w0")
+        assert tasks[2].partition_index == 2
+
+    def test_tasks_are_hashable(self):
+        stage = Stage([Identity(name="op")])
+        tasks = expand_stage(stage, ["w0", "w1"])
+        assert len(set(tasks)) == 2
+
+
+class TestRecoverPartitions:
+    def test_charges_disk_reads(self):
+        cluster = Cluster(2, 10 * MB)
+        ds = Dataset.from_data(
+            list(range(20)), num_partitions=2, dataset_id="d", nominal_bytes=4 * MB
+        )
+        cluster.register_dataset(ds)
+        lost = cluster.fail_node("worker-0")
+        seconds = recover_partitions(cluster, lost)
+        assert seconds > 0
+        assert cluster.metrics.recoveries == len(lost)
+
+    def test_missing_dataset_skipped(self):
+        cluster = Cluster(2, 10 * MB)
+        seconds = recover_partitions(cluster, [("ghost", 0)])
+        assert seconds == 0.0

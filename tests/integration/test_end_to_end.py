@@ -1,0 +1,166 @@
+"""Integration tests: full workloads end-to-end across execution modes."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GB, MB
+from repro.baselines import (
+    pick_best,
+    run_parallel,
+    run_sequential,
+    seep_bfs,
+    seep_mdf,
+    spark_cache,
+)
+from repro.engine import EngineConfig, run_mdf
+from repro.workloads import (
+    MLPTrainer,
+    cifar_like,
+    deep_learning_mdf,
+    granularity_grid,
+    kde_combinations,
+    kde_job,
+    kde_mdf,
+    normal_values,
+    oil_well_trace,
+    string_int_pairs,
+    synthetic_combinations,
+    synthetic_job,
+    synthetic_mdf,
+    time_series_combinations,
+    time_series_job,
+    time_series_mdf,
+)
+
+NOMINAL = 64 * MB
+
+
+class TestQuickstartDocExample:
+    def test_module_docstring_example_runs(self):
+        """The README/`repro` docstring example must work verbatim."""
+        from repro import CallableEvaluator, MDFBuilder, Min, run_mdf as run
+
+        b = MDFBuilder("quickstart")
+        src = b.read_data(list(range(1000)), nominal_bytes=64 * 1024 * 1024)
+        result = src.explore(
+            {"threshold": [10, 100, 500]},
+            lambda pipe, p: pipe.transform(
+                lambda xs, t=p["threshold"]: [x for x in xs if x < t],
+                name=f"filter-{p['threshold']}",
+            ),
+        ).choose(CallableEvaluator(len), Min())
+        result.write()
+        mdf = b.build()
+        job = run(mdf, Cluster(num_workers=4, mem_per_worker=GB))
+        assert job.output == list(range(10))
+        assert job.completion_time > 0
+
+
+class TestTimeSeriesEndToEnd:
+    def test_mdf_and_sequential_detect_same_sequences(self):
+        trace = oil_well_trace(8000)
+        grid = granularity_grid(16)
+        cluster = Cluster(4, 1 * GB)
+        mdf_result = seep_mdf(
+            time_series_mdf(trace, grid, nominal_bytes=NOMINAL), cluster
+        )
+        kept = mdf_result.decision_for("choose-mask").kept
+        # re-run the kept configurations as individual jobs: the union of
+        # their detections equals the MDF's output rows
+        combos = time_series_combinations(grid)
+        kept_indices = [int(b.split("#")[1]) for b in kept]
+        jobs = [
+            time_series_job(trace, combos[i], grid, nominal_bytes=NOMINAL)
+            for i in kept_indices
+        ]
+        family = run_sequential(jobs, cluster)
+        job_rows = sorted(
+            tuple(row) for out in family.outputs() for row in np.asarray(out)
+        )
+        mdf_rows = sorted(tuple(row) for row in np.asarray(mdf_result.output))
+        assert mdf_rows == job_rows
+
+    def test_mdf_fastest(self):
+        trace = oil_well_trace(5000)
+        grid = granularity_grid(16)
+        cluster = Cluster(4, 1 * GB)
+        jobs = [
+            time_series_job(trace, p, grid, nominal_bytes=NOMINAL)
+            for p in time_series_combinations(grid)
+        ]
+        seq = run_sequential(jobs, cluster)
+        mdf = seep_mdf(time_series_mdf(trace, grid, nominal_bytes=NOMINAL), cluster)
+        assert mdf.completion_time < seq.completion_time
+
+
+class TestKdeEndToEnd:
+    def test_mdf_winner_at_least_as_good_as_family_best(self):
+        values = normal_values(4000)
+        cluster = Cluster(4, 1 * GB)
+        mdf_result = seep_mdf(kde_mdf(values, nominal_bytes=NOMINAL), cluster)
+        winner = mdf_result.output[0]
+        jobs = [kde_job(values, p, nominal_bytes=NOMINAL) for p in kde_combinations()]
+        family = run_sequential(jobs, cluster)
+        holdout = normal_values(100, seed=99)
+        best = pick_best(
+            family, lambda out: out[0].log_likelihood(holdout), maximize=True
+        )
+        # the MDF's hold-out set differs, so allow a small tolerance
+        assert winner.log_likelihood(holdout) >= best[0].log_likelihood(holdout) - 0.25
+
+
+class TestDeepLearningEndToEnd:
+    def test_early_choose_much_cheaper_than_exhaustive(self):
+        data = cifar_like(300, features=32, seed=2)
+        trainer = MLPTrainer(hidden=8, epochs=1, seed=1)
+        cluster = Cluster(4, 1 * GB)
+        exhaustive = seep_mdf(
+            deep_learning_mdf(
+                data, mode="exhaustive", trainer=trainer, nominal_bytes=NOMINAL
+            ),
+            cluster,
+        )
+        early = seep_mdf(
+            deep_learning_mdf(
+                data, mode="early_choose", trainer=trainer, nominal_bytes=NOMINAL
+            ),
+            cluster,
+        )
+        assert early.completion_time < 0.5 * exhaustive.completion_time
+
+
+class TestSparkBaselinesEndToEnd:
+    def test_ordering_with_memory_pressure(self):
+        pairs = string_int_pairs(600)
+        nominal = int(2.5 * GB)
+        cluster = Cluster(8, 1 * GB)
+        mdf = synthetic_mdf(pairs, b1=4, b2=4, nominal_bytes=nominal)
+        jobs = [
+            synthetic_job(pairs, p, nominal_bytes=nominal)
+            for p in synthetic_combinations(4, 4)
+        ]
+        seq = run_sequential(jobs, cluster)
+        par = run_parallel(jobs, cluster, k=4)
+        cache = spark_cache(mdf, cluster)
+        bfs = seep_bfs(mdf, cluster)
+        best = seep_mdf(mdf, cluster)
+        assert best.completion_time <= cache.completion_time * 1.05
+        assert best.completion_time < bfs.completion_time
+        assert best.completion_time < par.completion_time < seq.completion_time
+
+
+class TestMetricsConsistency:
+    def test_bytes_accounting(self):
+        mdf = synthetic_mdf(string_int_pairs(300), b1=3, b2=3, nominal_bytes=NOMINAL)
+        result = seep_mdf(mdf, Cluster(4, 128 * MB))
+        m = result.metrics
+        assert m.bytes_read_memory >= 0 and m.bytes_read_disk >= 0
+        assert 0.0 <= m.memory_hit_ratio <= 1.0
+        assert m.stages_executed > 0
+        assert m.tasks_executed >= m.stages_executed
+
+    def test_walls_do_not_exceed_completion(self):
+        mdf = synthetic_mdf(string_int_pairs(300), b1=3, b2=3, nominal_bytes=NOMINAL)
+        result = seep_mdf(mdf, Cluster(4, 1 * GB))
+        assert result.wall_compute <= result.completion_time + 1e-9
+        assert result.wall_io <= result.completion_time + 1e-9

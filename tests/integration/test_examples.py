@@ -1,0 +1,62 @@
+"""Smoke tests running every example script end-to-end.
+
+Examples are documentation that executes; these tests keep them honest.
+Each runs in a subprocess exactly as a user would invoke it (with reduced
+workloads where the script supports arguments)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "kept branch" in out
+
+    def test_sensor_profiling(self):
+        out = run_example("sensor_profiling.py")
+        assert "winning estimate" in out
+        assert "pruned" in out
+
+    def test_oil_well_monitoring(self):
+        out = run_example("oil_well_monitoring.py")
+        assert "MDF (first-4, sorted hints)" in out
+        assert "event sequences" in out
+
+    def test_hyperparameter_search(self):
+        out = run_example("hyperparameter_search.py")
+        assert "early-choose saves" in out
+
+    def test_cross_validation(self):
+        out = run_example("cross_validation.py")
+        assert "learned slope" in out
+        assert "never executed" in out
+
+    def test_sensor_fusion(self):
+        out = run_example("sensor_fusion.py")
+        assert "fused points" in out
+
+    def test_cost_planning(self):
+        out = run_example("cost_planning.py")
+        assert "within bracket" in out
+        assert "OUTSIDE" not in out
+
+    def test_reproduce_paper_single_figure(self):
+        out = run_example("reproduce_paper.py", "table1", "appendix_b")
+        assert "all shape checks passed" in out

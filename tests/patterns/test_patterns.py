@@ -1,0 +1,151 @@
+"""Tests for the §3.2 patterns: cross validation and iterative explore."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GB, KThreshold, MB
+from repro.engine import run_mdf
+from repro.patterns import cross_validation_mdf, fold_splits, iterative_explore_mdf
+from repro.patterns.iterative import IterationState
+
+
+class TestFoldSplits:
+    def test_counts(self):
+        splits = fold_splits(10, 5)
+        assert len(splits) == 5
+        for train, val in splits:
+            assert len(train) == 8 and len(val) == 2
+            assert sorted(train + val) == list(range(10))
+
+    def test_uneven(self):
+        splits = fold_splits(10, 3)
+        val_sizes = sorted(len(v) for _, v in splits)
+        assert val_sizes == [3, 3, 4]
+
+    def test_disjoint_validation_folds(self):
+        splits = fold_splits(12, 4)
+        vals = [set(v) for _, v in splits]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (vals[i] & vals[j])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            fold_splits(10, 1)
+        with pytest.raises(ValueError):
+            fold_splits(3, 5)
+
+
+class TestCrossValidation:
+    def test_selects_best_fold(self):
+        # items are (x, y) pairs from y = 2x + noise; the "model" is the
+        # least-squares slope, scored by negative validation error
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(-1, 1, size=60)
+        items = [(float(x), float(2.0 * x + rng.normal(0, 0.1))) for x in xs]
+
+        def train(train_items, val_items):
+            tx = np.array([x for x, _ in train_items])
+            ty = np.array([y for _, y in train_items])
+            slope = float((tx * ty).sum() / (tx * tx).sum())
+            vx = np.array([x for x, _ in val_items])
+            vy = np.array([y for _, y in val_items])
+            err = float(np.mean((slope * vx - vy) ** 2))
+            return {"slope": slope, "val_error": err}
+
+        mdf = cross_validation_mdf(
+            items,
+            train_fn=train,
+            score_fn=lambda m: -m["val_error"],
+            k=5,
+            nominal_bytes=32 * MB,
+        )
+        result = run_mdf(mdf, Cluster(4, 1 * GB))
+        model = result.output[0]
+        assert abs(model["slope"] - 2.0) < 0.2
+        decision = result.decision_for("choose-fold")
+        assert len(decision.scores) == 5
+        best = max(decision.scores.values())
+        winning_branch = decision.kept[0]
+        assert decision.scores[winning_branch] == best
+
+    def test_structure(self):
+        mdf = cross_validation_mdf(
+            list(range(20)),
+            train_fn=lambda tr, va: sum(tr),
+            score_fn=float,
+            k=4,
+        )
+        assert len(mdf.scopes["explore-folds"].branches) == 4
+        mdf.validate()
+
+
+class TestIterativeExplore:
+    def test_fastest_converging_config_wins(self):
+        # state halves (rate r): converges when |x| < 0.01; larger r wins
+        mdf = iterative_explore_mdf(
+            initial=1.0,
+            configs=[0.9, 0.5, 0.1],
+            step_fn=lambda x, r: x * r,
+            converged_fn=lambda x, r: abs(x) < 0.01,
+            max_rounds=60,
+            nominal_bytes=16 * MB,
+        )
+        result = run_mdf(mdf, Cluster(2, 1 * GB))
+        state = result.output[0]
+        assert isinstance(state, IterationState)
+        assert state.converged
+        # config 0.1 converges fastest: 1 -> 0.1 -> 0.01 -> 0.001 (3 rounds)
+        assert state.rounds == 3
+        assert result.decision_for("choose-config").kept == ["explore-configs#2"]
+
+    def test_diverging_branch_marked(self):
+        mdf = iterative_explore_mdf(
+            initial=1.0,
+            configs=[2.0, 0.5],
+            step_fn=lambda x, r: x * r,
+            converged_fn=lambda x, r: abs(x) < 0.01,
+            diverged_fn=lambda x, r: abs(x) > 100.0,
+            max_rounds=20,
+            nominal_bytes=16 * MB,
+        )
+        result = run_mdf(mdf, Cluster(2, 1 * GB))
+        decision = result.decision_for("choose-config")
+        # config 2.0 diverges (huge penalty); 0.5 converges and wins
+        assert decision.kept == ["explore-configs#1"]
+        assert decision.scores["explore-configs#0"] <= -1e8
+
+    def test_short_circuit_stops_real_computation(self):
+        calls = []
+
+        def step(x, r):
+            calls.append(r)
+            return x * r
+
+        mdf = iterative_explore_mdf(
+            initial=1.0,
+            configs=[0.1, 0.2],
+            step_fn=step,
+            converged_fn=lambda x, r: abs(x) < 0.01,
+            max_rounds=50,
+            nominal_bytes=16 * MB,
+        )
+        calls.clear()
+        run_mdf(mdf, Cluster(2, 1 * GB))
+        # converged branches short-circuit: far fewer than 2*50 step calls
+        assert len(calls) <= 10
+
+    def test_first_k_converged_prunes_rest(self):
+        mdf = iterative_explore_mdf(
+            initial=1.0,
+            configs=[0.5, 0.4, 0.3, 0.2],
+            step_fn=lambda x, r: x * r,
+            converged_fn=lambda x, r: abs(x) < 0.01,
+            max_rounds=40,
+            selection=KThreshold(1, 0.0, above=True),
+            nominal_bytes=16 * MB,
+        )
+        result = run_mdf(mdf, Cluster(2, 1 * GB))
+        decision = result.decision_for("choose-config")
+        assert len(decision.kept) == 1
+        assert len(decision.pruned) == 3  # never executed

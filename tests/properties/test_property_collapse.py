@@ -1,0 +1,62 @@
+"""Property-based validation of Theorem 4.3 on collapsed MDFs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collapse import CollapsedMDF
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_dfs_peak_never_exceeds_bfs(branching, depth):
+    mdf = CollapsedMDF(branching, depth)
+    assert mdf.peak_datasets("dfs") <= mdf.peak_datasets("bfs")
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_dfs_total_never_exceeds_bfs(branching, depth):
+    mdf = CollapsedMDF(branching, depth)
+    assert mdf.total_dataset_steps("dfs") <= mdf.total_dataset_steps("bfs")
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_alive_counts_always_positive(branching, depth):
+    mdf = CollapsedMDF(branching, depth)
+    for strategy in ("dfs", "bfs"):
+        trace = mdf.simulate(strategy)
+        assert all(entry.alive_datasets >= 1 for entry in trace)
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_bfs_peak_formula(branching, depth):
+    """BFS must hold at least one full level of datasets at its peak."""
+    mdf = CollapsedMDF(branching, depth)
+    assert mdf.peak_datasets("bfs") >= branching**depth
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_both_end_with_single_result(branching, depth):
+    """After the root's choose, exactly one dataset remains."""
+    mdf = CollapsedMDF(branching, depth)
+    for strategy in ("dfs", "bfs"):
+        trace = mdf.simulate(strategy)
+        assert trace[-1].alive_datasets == 1

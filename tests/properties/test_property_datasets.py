@@ -1,0 +1,60 @@
+"""Property-based tests for the data model: split/concat roundtrips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.datasets import Dataset, concat_payloads, split_payload
+
+int_lists = st.lists(st.integers(min_value=-1000, max_value=1000), max_size=100)
+part_counts = st.integers(min_value=1, max_value=12)
+
+
+@given(int_lists, part_counts)
+def test_list_split_concat_roundtrip(data, n):
+    assert concat_payloads(split_payload(list(data), n)) == list(data)
+
+
+@given(int_lists, part_counts)
+def test_split_preserves_order_and_count(data, n):
+    chunks = split_payload(list(data), n)
+    flattened = [x for chunk in chunks for x in chunk]
+    assert flattened == list(data)
+
+
+@given(int_lists, part_counts)
+def test_chunk_sizes_balanced(data, n):
+    chunks = split_payload(list(data), n)
+    sizes = [len(c) for c in chunks]
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1
+
+
+@given(
+    arrays(np.int64, st.integers(min_value=0, max_value=200)),
+    part_counts,
+)
+@settings(max_examples=40)
+def test_numpy_split_concat_roundtrip(data, n):
+    out = concat_payloads(split_payload(data, n))
+    if data.size == 0 and not isinstance(out, np.ndarray):
+        return  # degenerate: empty arrays concat to empty
+    assert np.array_equal(out, data)
+
+
+@given(int_lists, part_counts, st.integers(min_value=1, max_value=10**9))
+def test_dataset_nominal_bytes_conserved(data, n, nominal):
+    ds = Dataset.from_data(list(data), num_partitions=n, nominal_bytes=nominal)
+    total = ds.nominal_bytes
+    # divided evenly: integer division loses at most n bytes, while the
+    # one-byte-per-partition floor can add at most n bytes
+    assert abs(nominal - total) <= ds.num_partitions * ds.num_partitions + ds.num_partitions
+    assert ds.collect() == list(data)
+
+
+@given(int_lists, int_lists)
+def test_concat_is_associative_on_collect(a, b):
+    da = Dataset.from_data(list(a), num_partitions=2)
+    db = Dataset.from_data(list(b), num_partitions=3)
+    assert (da + db).collect() == list(a) + list(b)

@@ -1,0 +1,132 @@
+"""Property-based tests for selection functions (hypothesis).
+
+Invariants: kept branches are a subset of the offered ones; the winner of
+Min/Max is the true extremum; top-k keeps exactly min(k, n); incremental
+decisions never resurrect a discarded branch; the non-exhaustive ``done``
+flag never fires before k acceptances.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import (
+    Interval,
+    KInterval,
+    KThreshold,
+    Max,
+    Min,
+    Mode,
+    Threshold,
+    TopK,
+)
+
+score_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+def scored(values):
+    return [(f"b{i}", v) for i, v in enumerate(values)]
+
+
+@given(score_lists, st.integers(min_value=1, max_value=10), st.booleans())
+def test_topk_size_and_membership(values, k, largest):
+    kept = TopK(k, largest).select(scored(values))
+    assert len(kept) == min(k, len(values))
+    ids = {f"b{i}" for i in range(len(values))}
+    assert set(kept) <= ids
+
+
+@given(score_lists, st.integers(min_value=1, max_value=10), st.booleans())
+def test_topk_keeps_extremes(values, k, largest):
+    kept = TopK(k, largest).select(scored(values))
+    kept_scores = sorted((values[int(b[1:])] for b in kept), reverse=largest)
+    all_sorted = sorted(values, reverse=largest)
+    assert kept_scores == all_sorted[: len(kept)]
+
+
+@given(score_lists)
+def test_max_is_argmax(values):
+    (winner,) = Max().select(scored(values))
+    assert values[int(winner[1:])] == max(values)
+
+
+@given(score_lists)
+def test_min_is_argmin(values):
+    (winner,) = Min().select(scored(values))
+    assert values[int(winner[1:])] == min(values)
+
+
+@given(score_lists, st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_threshold_keeps_exactly_passers(values, threshold):
+    kept = set(Threshold(threshold).select(scored(values)))
+    expected = {f"b{i}" for i, v in enumerate(values) if v >= threshold}
+    assert kept == expected
+
+
+@given(
+    score_lists,
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+def test_interval_membership(values, low, width):
+    kept = Interval(low, low + width).select(scored(values))
+    for b in kept:
+        v = values[int(b[1:])]
+        assert low <= v <= low + width
+
+
+@given(
+    score_lists,
+    st.integers(min_value=1, max_value=5),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+def test_kthreshold_prefix_property(values, k, threshold):
+    """Kept ids are exactly the first k passers in offer order."""
+    kept = KThreshold(k, threshold).select(scored(values))
+    passers = [f"b{i}" for i, v in enumerate(values) if v >= threshold]
+    assert kept == passers[:k]
+
+
+@given(score_lists, st.integers(min_value=1, max_value=5))
+def test_kthreshold_done_not_before_k(values, k):
+    selector = KThreshold(k, 0.0).incremental()
+    accepted = 0
+    for i, v in enumerate(values):
+        decision = selector.offer(f"b{i}", v)
+        if f"b{i}" not in decision.discarded and v >= 0.0 and accepted < k:
+            accepted += 1
+        if decision.done:
+            assert accepted >= k
+            break
+
+
+@given(score_lists)
+def test_mode_kept_share_one_score(values):
+    kept = Mode().select(scored(values))
+    assert kept, "mode always keeps at least one branch"
+    kept_scores = {round(values[int(b[1:])], 9) for b in kept}
+    assert len(kept_scores) == 1
+
+
+@given(score_lists, st.integers(min_value=1, max_value=10), st.booleans())
+@settings(max_examples=60)
+def test_incremental_never_resurrects(values, k, largest):
+    """Once a branch is discarded it never reappears in the final set."""
+    selector = TopK(k, largest).incremental()
+    discarded = set()
+    for i, v in enumerate(values):
+        decision = selector.offer(f"b{i}", v)
+        discarded |= decision.discarded
+    final = set(selector.finalize())
+    assert not (final & discarded)
+
+
+@given(score_lists, st.integers(min_value=1, max_value=8))
+def test_topk_insensitive_to_offer_order(values, k):
+    """The kept score multiset is order-independent for top-k."""
+    forward = TopK(k).select(scored(values))
+    backward = TopK(k).select(list(reversed(scored(values))))
+    f_scores = sorted(values[int(b[1:])] for b in forward)
+    b_scores = sorted(values[int(b[1:])] for b in backward)
+    assert f_scores == b_scores

@@ -1,0 +1,77 @@
+"""Property-based tests for stage derivation over random MDF shapes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CallableEvaluator, MDFBuilder, Max, MB
+from repro.core.stages import StageGraph
+
+branch_counts = st.integers(min_value=2, max_value=6)
+chain_lengths = st.integers(min_value=1, max_value=5)
+pre_lengths = st.integers(min_value=0, max_value=3)
+post_lengths = st.integers(min_value=0, max_value=3)
+
+
+def build(branches, chain, pre, post):
+    builder = MDFBuilder("random-shape")
+    pipe = builder.read_data(list(range(10)), name="src", nominal_bytes=MB)
+    for i in range(pre):
+        pipe = pipe.identity(name=f"pre-{i}")
+
+    def body(p, params):
+        for j in range(chain):
+            p = p.identity(name=f"b{params['i']}-{j}")
+        return p
+
+    pipe = pipe.explore(
+        {"i": list(range(branches))}, body, name="exp"
+    ).choose(CallableEvaluator(len, name="n"), Max(), name="ch")
+    for i in range(post):
+        pipe = pipe.identity(name=f"post-{i}")
+    pipe.write(name="out")
+    return builder.build()
+
+
+@given(branch_counts, chain_lengths, pre_lengths, post_lengths)
+@settings(max_examples=40, deadline=None)
+def test_stages_partition_operators(branches, chain, pre, post):
+    """Every operator belongs to exactly one stage."""
+    mdf = build(branches, chain, pre, post)
+    sg = StageGraph(mdf)
+    assigned = [op.name for stage in sg.stages for op in stage.ops]
+    assert sorted(assigned) == sorted(op.name for op in mdf.operators)
+    assert len(assigned) == len(set(assigned))
+
+
+@given(branch_counts, chain_lengths, pre_lengths, post_lengths)
+@settings(max_examples=40, deadline=None)
+def test_stage_count_formula(branches, chain, pre, post):
+    """src+pre chain | explore | B branch chains | choose | post+sink."""
+    mdf = build(branches, chain, pre, post)
+    sg = StageGraph(mdf)
+    assert len(sg) == 1 + 1 + branches + 1 + 1
+
+
+@given(branch_counts, chain_lengths, pre_lengths, post_lengths)
+@settings(max_examples=30, deadline=None)
+def test_stage_graph_is_acyclic_and_ordered(branches, chain, pre, post):
+    mdf = build(branches, chain, pre, post)
+    sg = StageGraph(mdf)
+    order = sg.topological_stages()
+    assert len(order) == len(sg.stages)
+    position = {s.id: i for i, s in enumerate(order)}
+    for stage in sg.stages:
+        for pred in sg.pre(stage):
+            assert position[pred.id] < position[stage.id]
+
+
+@given(branch_counts, chain_lengths)
+@settings(max_examples=30, deadline=None)
+def test_branch_chains_fuse_into_single_stages(branches, chain):
+    """All narrow operators of one branch share one stage."""
+    mdf = build(branches, chain, 0, 0)
+    sg = StageGraph(mdf)
+    for scope in mdf.scopes.values():
+        for branch in scope.branches:
+            stage_ids = {sg.stage_of(op).id for op in branch.ops}
+            assert len(stage_ids) == 1

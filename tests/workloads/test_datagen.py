@@ -1,0 +1,92 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datagen import (
+    LabelledImages,
+    cifar_like,
+    normal_values,
+    oil_well_trace,
+    string_int_pairs,
+)
+
+
+class TestNormalValues:
+    def test_shape_and_distribution(self):
+        values = normal_values(50_000, mu=2.0, sigma=3.0, seed=1)
+        assert values.shape == (50_000,)
+        assert abs(values.mean() - 2.0) < 0.1
+        assert abs(values.std() - 3.0) < 0.1
+
+    def test_deterministic(self):
+        assert np.array_equal(normal_values(100, seed=5), normal_values(100, seed=5))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(normal_values(100, seed=1), normal_values(100, seed=2))
+
+
+class TestOilWellTrace:
+    def test_length(self):
+        assert oil_well_trace(5000).shape == (5000,)
+
+    def test_contains_outlier_spikes(self):
+        trace = oil_well_trace(20_000, seed=3)
+        sigma = trace.std()
+        mu = trace.mean()
+        assert np.any(np.abs(trace - mu) > 4 * sigma)
+
+    def test_baseline_magnitude(self):
+        trace = oil_well_trace(10_000)
+        assert 50 < np.median(trace) < 150
+
+    def test_deterministic(self):
+        assert np.array_equal(oil_well_trace(1000, seed=2), oil_well_trace(1000, seed=2))
+
+
+class TestCifarLike:
+    def test_shape(self):
+        data = cifar_like(100, features=3072)
+        assert data.x.shape == (100, 3072)
+        assert data.y.shape == (100,)
+
+    def test_pixel_range(self):
+        data = cifar_like(200, features=64)
+        assert data.x.min() >= 0.0 and data.x.max() <= 255.0
+
+    def test_classes(self):
+        data = cifar_like(500, num_classes=10, features=32)
+        assert set(np.unique(data.y)) <= set(range(10))
+
+    def test_classes_separable(self):
+        """A nearest-centroid classifier must beat random guessing by far —
+        otherwise hyper-parameter choices would not move accuracy."""
+        data = cifar_like(1000, features=64, seed=9, class_separation=2.0)
+        centroids = np.stack([data.x[data.y == c].mean(axis=0) for c in range(10)])
+        dists = ((data.x[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        acc = (dists.argmin(axis=1) == data.y).mean()
+        assert acc > 0.5
+
+    def test_split(self):
+        data = cifar_like(100, features=16)
+        train, val = data.split(0.2, seed=0)
+        assert len(train) == 80 and len(val) == 20
+
+    def test_split_into_concat_roundtrip(self):
+        data = cifar_like(100, features=16)
+        parts = data.split_into(3)
+        assert sum(len(p) for p in parts) == 100
+        merged = parts[0]
+        for p in parts[1:]:
+            merged = merged.concat_with(p)
+        assert np.array_equal(merged.x, data.x)
+
+
+class TestStringIntPairs:
+    def test_structure(self):
+        pairs = string_int_pairs(100)
+        assert len(pairs) == 100
+        assert all(isinstance(k, str) and isinstance(v, int) for k, v in pairs)
+
+    def test_deterministic(self):
+        assert string_int_pairs(50, seed=1) == string_int_pairs(50, seed=1)

@@ -1,0 +1,109 @@
+"""Tests for the numpy MLP trainer and the deep-learning substrate."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datagen import cifar_like
+from repro.workloads.deeplearning import (
+    INIT_STRATEGIES,
+    LEARNING_RATES,
+    MOMENTA,
+    MLPTrainer,
+    TrainedModel,
+    accuracy_of_payload,
+    init_names,
+    preprocess_images,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return cifar_like(800, features=64, seed=11)
+
+
+@pytest.fixture(scope="module")
+def split(data):
+    return data.split(0.25, seed=0)
+
+
+class TestInitStrategies:
+    def test_eight_strategies(self):
+        assert len(INIT_STRATEGIES) == 8
+
+    def test_gaussian_and_uniform_families(self):
+        families = {fam for fam, _ in INIT_STRATEGIES.values()}
+        assert families == {"gaussian", "uniform"}
+
+    def test_paper_hyper_domains(self):
+        assert LEARNING_RATES == (0.0001, 0.001, 0.005, 0.01)
+        assert MOMENTA == (0.25, 0.5, 0.75, 0.9)
+
+
+class TestTraining:
+    def test_beats_random_guessing(self, split):
+        train, val = split
+        trainer = MLPTrainer(hidden=32, epochs=10, seed=1)
+        model = trainer.train(train, val, "gaussian-0.1", 0.01, 0.9)
+        assert model.accuracy > 0.3  # 10 classes -> random is 0.1
+
+    def test_accuracy_recorded(self, split):
+        train, val = split
+        model = MLPTrainer(hidden=8, epochs=1).train(train, val, "uniform-0.1", 0.005, 0.5)
+        assert 0.0 <= model.accuracy <= 1.0
+
+    def test_deterministic(self, split):
+        train, val = split
+        a = MLPTrainer(hidden=8, epochs=1, seed=4).train(train, val, "gaussian-0.1", 0.005, 0.5)
+        b = MLPTrainer(hidden=8, epochs=1, seed=4).train(train, val, "gaussian-0.1", 0.005, 0.5)
+        assert a.accuracy == b.accuracy
+        assert np.array_equal(a.weights1, b.weights1)
+
+    def test_hyper_parameters_matter(self, split):
+        """Different learning rates must produce different models —
+        otherwise the explore/choose decision would be vacuous."""
+        train, val = split
+        trainer = MLPTrainer(hidden=16, epochs=1, seed=2)
+        slow = trainer.train(train, val, "gaussian-0.1", 0.0001, 0.25)
+        fast = trainer.train(train, val, "gaussian-0.1", 0.01, 0.9)
+        assert slow.accuracy != fast.accuracy
+
+    def test_init_matters(self, split):
+        train, val = split
+        trainer = MLPTrainer(hidden=16, epochs=1, seed=2)
+        accs = {
+            name: trainer.train(train, val, name, 0.005, 0.5).accuracy
+            for name in list(INIT_STRATEGIES)[:4]
+        }
+        assert len(set(accs.values())) > 1
+
+    def test_model_metadata(self, split):
+        train, val = split
+        model = MLPTrainer(hidden=8, epochs=1).train(train, val, "uniform-0.5", 0.001, 0.75)
+        assert model.init == "uniform-0.5"
+        assert model.learning_rate == 0.001
+        assert model.momentum == 0.75
+
+
+class TestAdapters:
+    def test_accuracy_of_payload(self, split):
+        train, val = split
+        model = MLPTrainer(hidden=8, epochs=1).train(train, val, "gaussian-0.1", 0.005, 0.5)
+        assert accuracy_of_payload([model]) == model.accuracy
+
+    def test_accuracy_of_empty_payload(self):
+        assert accuracy_of_payload([]) == 0.0
+
+    def test_accuracy_filters_non_models(self, split):
+        train, val = split
+        model = MLPTrainer(hidden=8, epochs=1).train(train, val, "gaussian-0.1", 0.005, 0.5)
+        assert accuracy_of_payload(["junk", model]) == model.accuracy
+
+    def test_preprocess_standardises(self, data):
+        out = preprocess_images(data)
+        assert out.x.shape == data.x.shape
+        # standardised then rescaled: mean near 128
+        assert abs(out.x.mean() - 128.0) < 2.0
+
+    def test_preprocess_accepts_list(self, data):
+        out = preprocess_images([data])
+        assert out.x.shape == data.x.shape

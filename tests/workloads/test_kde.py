@@ -1,0 +1,135 @@
+"""Tests for kernel density estimation (the data-profiling substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datagen import normal_values
+from repro.workloads.kde import (
+    KERNELS,
+    DensityEstimate,
+    KernelDensityEstimator,
+    kde_fit_payload,
+    kernel_names,
+    loglik_of_payload,
+    mise_of_payload,
+    normal_pdf,
+)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_kernel_integrates_to_one(self, name):
+        """Every kernel is a density: ∫K(u)du = 1."""
+        u = np.linspace(-5, 5, 20_001)
+        k = KERNELS[name](u)
+        integral = np.trapezoid(k, u)
+        assert integral == pytest.approx(1.0, abs=0.01)
+
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_kernel_nonnegative(self, name):
+        u = np.linspace(-3, 3, 1001)
+        assert (KERNELS[name](u) >= -1e-12).all()
+
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_kernel_symmetric(self, name):
+        u = np.linspace(0.0, 2.0, 100)
+        assert np.allclose(KERNELS[name](u), KERNELS[name](-u))
+
+
+class TestEstimator:
+    def test_recovers_normal_density(self):
+        data = normal_values(20_000, seed=2)
+        est = KernelDensityEstimator("gaussian", 0.3).fit(data)
+        true = normal_pdf()(est.grid)
+        assert est.mise(normal_pdf()) < 0.01
+        assert np.max(np.abs(est.density - true)) < 0.1
+
+    def test_density_integrates_to_one(self):
+        data = normal_values(5000)
+        est = KernelDensityEstimator("epanechnikov", 0.4).fit(data)
+        dx = est.grid[1] - est.grid[0]
+        assert np.sum(est.density) * dx == pytest.approx(1.0, abs=0.05)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            KernelDensityEstimator("sinc", 0.2)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            KernelDensityEstimator("gaussian", 0.0)
+
+    def test_empty_data(self):
+        est = KernelDensityEstimator().fit(np.array([]))
+        assert est.sample_size == 0
+        assert np.all(est.density == 0)
+
+    def test_subsampling_bounded(self):
+        est = KernelDensityEstimator(max_fit_sample=100).fit(normal_values(10_000))
+        assert est.sample_size == 100
+
+    def test_bandwidth_affects_smoothness(self):
+        data = normal_values(3000)
+        grid = np.linspace(-4, 4, 256)
+        rough = KernelDensityEstimator("gaussian", 0.05).fit(data, grid)
+        smooth = KernelDensityEstimator("gaussian", 1.0).fit(data, grid)
+        assert np.var(np.diff(rough.density)) > np.var(np.diff(smooth.density))
+
+    def test_deterministic(self):
+        data = normal_values(5000)
+        a = KernelDensityEstimator("gaussian", 0.2).fit(data)
+        b = KernelDensityEstimator("gaussian", 0.2).fit(data)
+        assert np.array_equal(a.density, b.density)
+
+
+class TestDensityEstimate:
+    def test_pdf_interpolation(self):
+        est = DensityEstimate(
+            np.array([0.0, 1.0]), np.array([1.0, 3.0]), "gaussian", 0.1, 10
+        )
+        assert est.pdf(np.array([0.5]))[0] == pytest.approx(2.0)
+
+    def test_pdf_outside_grid_zero(self):
+        est = DensityEstimate(
+            np.array([0.0, 1.0]), np.array([1.0, 1.0]), "gaussian", 0.1, 10
+        )
+        assert est.pdf(np.array([-5.0, 5.0])).tolist() == [0.0, 0.0]
+
+    def test_log_likelihood_prefers_good_fit(self):
+        data = normal_values(10_000, seed=4)
+        holdout = normal_values(500, seed=5)
+        good = KernelDensityEstimator("gaussian", 0.3).fit(data)
+        bad = KernelDensityEstimator("gaussian", 5.0).fit(data)
+        assert good.log_likelihood(holdout) > bad.log_likelihood(holdout)
+
+    def test_mise_prefers_good_fit(self):
+        data = normal_values(10_000, seed=4)
+        good = KernelDensityEstimator("gaussian", 0.3).fit(data)
+        bad = KernelDensityEstimator("top-hat", 3.0).fit(data)
+        assert good.mise(normal_pdf()) < bad.mise(normal_pdf())
+
+
+class TestDataflowAdapters:
+    def test_fit_payload(self):
+        fit = kde_fit_payload("gaussian", 0.3)
+        out = fit(normal_values(2000))
+        assert len(out) == 1 and isinstance(out[0], DensityEstimate)
+
+    def test_mise_evaluator_payload(self):
+        fit = kde_fit_payload("gaussian", 0.3)
+        estimates = fit(normal_values(5000))
+        mise = mise_of_payload(normal_pdf())
+        assert 0 <= mise(estimates) < 0.05
+
+    def test_mise_empty_payload_inf(self):
+        mise = mise_of_payload(normal_pdf())
+        assert mise([]) == float("inf")
+
+    def test_loglik_evaluator_payload(self):
+        fit = kde_fit_payload("gaussian", 0.3)
+        estimates = fit(normal_values(5000))
+        loglik = loglik_of_payload(normal_values(200, seed=9))
+        assert loglik(estimates) > -5.0
+
+    def test_loglik_empty_payload(self):
+        loglik = loglik_of_payload(np.array([0.0]))
+        assert loglik([]) == float("-inf")

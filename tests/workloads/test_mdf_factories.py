@@ -1,0 +1,206 @@
+"""End-to-end tests for the ready-made workload MDFs (App. C listings)."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GB, MB
+from repro.baselines import run_sequential, seep_mdf
+from repro.engine import run_mdf
+from repro.workloads import (
+    DensityEstimate,
+    MLPTrainer,
+    TrainedModel,
+    cifar_like,
+    deep_learning_combinations,
+    deep_learning_job,
+    deep_learning_mdf,
+    granularity_grid,
+    kde_combinations,
+    kde_job,
+    kde_mdf,
+    kde_scoped_mdf,
+    normal_values,
+    oil_well_trace,
+    string_int_pairs,
+    synthetic_combinations,
+    synthetic_job,
+    synthetic_mdf,
+    time_series_combinations,
+    time_series_job,
+    time_series_mdf,
+)
+
+NOMINAL = 64 * MB
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(4, 1 * GB)
+
+
+class TestKdeMdf:
+    def test_structure(self):
+        mdf = kde_mdf(normal_values(2000), nominal_bytes=NOMINAL)
+        # one outer scope (preprocess) + two inner scopes (kernels)
+        assert len(mdf.scopes) == 3
+        mdf.validate()
+
+    def test_executes_and_returns_estimate(self, cluster):
+        mdf = kde_mdf(normal_values(4000), nominal_bytes=NOMINAL)
+        result = run_mdf(mdf, cluster)
+        estimate = result.output[0]
+        assert isinstance(estimate, DensityEstimate)
+        assert estimate.kernel in ("gaussian", "top-hat", "biweight", "triweight")
+
+    def test_winner_close_to_truth(self, cluster):
+        from repro.workloads import normal_pdf
+
+        values = normal_values(8000)
+        mdf = kde_mdf(values, nominal_bytes=NOMINAL)
+        result = run_mdf(mdf, cluster)
+        estimate = result.output[0]
+        # the chosen estimate over standardised/normalised data is a real
+        # density and scores finitely on its own grid
+        assert np.all(np.isfinite(estimate.density))
+
+    def test_combinations_count(self):
+        combos = kde_combinations()
+        assert len(combos) == 2 * 4 * 3
+
+    def test_concrete_job(self, cluster):
+        values = normal_values(3000)
+        job = kde_job(values, kde_combinations()[0], nominal_bytes=NOMINAL)
+        result = run_mdf(job, cluster)
+        assert isinstance(result.output[0], DensityEstimate)
+
+
+class TestScopedKdeMdf:
+    def test_early_choose_prunes_thresholds(self, cluster):
+        mdf = kde_scoped_mdf(normal_values(4000), nominal_bytes=NOMINAL)
+        result = run_mdf(mdf, cluster)
+        decision = result.decision_for("choose-outlier")
+        # first-k threshold selection: one kept, the rest pruned/discarded
+        assert len(decision.kept) == 1
+        assert len(decision.pruned) >= 1
+
+    def test_final_output_estimate(self, cluster):
+        mdf = kde_scoped_mdf(normal_values(4000), nominal_bytes=NOMINAL)
+        result = run_mdf(mdf, cluster)
+        assert isinstance(result.output[0], DensityEstimate)
+
+
+class TestTimeSeriesMdf:
+    def test_structure(self):
+        grid = granularity_grid(16)
+        mdf = time_series_mdf(oil_well_trace(3000), grid, nominal_bytes=NOMINAL)
+        assert len(mdf.scopes) == 1
+        assert len(mdf.scopes["explore-mask"].branches) == 16
+
+    def test_executes(self, cluster):
+        grid = granularity_grid(16)
+        trace = oil_well_trace(5000)
+        mdf = time_series_mdf(trace, grid, nominal_bytes=NOMINAL)
+        result = run_mdf(mdf, cluster)
+        assert isinstance(result.output, np.ndarray)
+        decision = result.decision_for("choose-mask")
+        assert 0 < len(decision.kept) <= 16
+
+    def test_concrete_jobs_match_family(self, cluster):
+        grid = granularity_grid(16)
+        combos = time_series_combinations(grid)
+        assert len(combos) == 16
+        job = time_series_job(oil_well_trace(2000), combos[0], grid, nominal_bytes=NOMINAL)
+        result = run_mdf(job, cluster)
+        assert result.output is not None
+
+
+class TestDeepLearningMdf:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return cifar_like(400, features=32, seed=6)
+
+    @pytest.fixture(scope="class")
+    def trainer(self):
+        return MLPTrainer(hidden=8, epochs=1, seed=1)
+
+    def test_modes_path_counts(self, data, trainer):
+        for mode, expected in (
+            ("weights_only", 8),
+            ("hyper_only", 16),
+            ("exhaustive", 128),
+        ):
+            mdf = deep_learning_mdf(
+                data, mode=mode, trainer=trainer, nominal_bytes=NOMINAL
+            )
+            total = sum(len(s.branches) for s in mdf.scopes.values())
+            assert total == expected
+
+    def test_early_choose_paths(self, data, trainer):
+        mdf = deep_learning_mdf(
+            data, mode="early_choose", trainer=trainer, nominal_bytes=NOMINAL
+        )
+        total = sum(len(s.branches) for s in mdf.scopes.values())
+        assert total == 8 + 16
+
+    def test_weights_only_executes(self, cluster, data, trainer):
+        mdf = deep_learning_mdf(
+            data, mode="weights_only", trainer=trainer, nominal_bytes=NOMINAL
+        )
+        result = run_mdf(mdf, cluster)
+        model = result.output[0]
+        assert isinstance(model, TrainedModel)
+
+    def test_early_choose_propagates_winner_init(self, cluster, data, trainer):
+        mdf = deep_learning_mdf(
+            data, mode="early_choose", trainer=trainer, nominal_bytes=NOMINAL
+        )
+        result = run_mdf(mdf, cluster)
+        weights_decision = result.decision_for("choose-weights")
+        winner_scores = weights_decision.scores
+        final = result.output[0]
+        # the final model's init must be one the first stage explored
+        assert final.init in set(list(__import__("repro.workloads", fromlist=["INIT_STRATEGIES"]).INIT_STRATEGIES))
+
+    def test_unknown_mode(self, data, trainer):
+        with pytest.raises(ValueError):
+            deep_learning_mdf(data, mode="grid_search", trainer=trainer)
+
+    def test_combination_counts(self):
+        assert len(deep_learning_combinations("weights_only")) == 8
+        assert len(deep_learning_combinations("hyper_only")) == 16
+        assert len(deep_learning_combinations("exhaustive")) == 128
+        assert len(deep_learning_combinations("early_choose")) == 128
+
+    def test_concrete_job(self, cluster, data, trainer):
+        combo = deep_learning_combinations("weights_only")[0]
+        job = deep_learning_job(data, combo, trainer=trainer, nominal_bytes=NOMINAL)
+        result = run_mdf(job, cluster)
+        assert isinstance(result.output[0], TrainedModel)
+
+
+class TestSyntheticMdf:
+    def test_structure(self):
+        mdf = synthetic_mdf(string_int_pairs(200), b1=3, b2=2, nominal_bytes=NOMINAL)
+        assert len(mdf.scopes) == 1 + 3  # outer + one inner per outer branch
+
+    def test_mdf_equals_best_job(self, cluster):
+        pairs = string_int_pairs(300)
+        mdf = synthetic_mdf(pairs, b1=2, b2=2, nominal_bytes=NOMINAL)
+        mdf_result = seep_mdf(mdf, cluster)
+        jobs = [
+            synthetic_job(pairs, p, nominal_bytes=NOMINAL)
+            for p in synthetic_combinations(2, 2)
+        ]
+        family = run_sequential(jobs, cluster)
+        best = max(
+            (sum(v for _, v in out) for out in family.outputs()),
+        )
+        assert sum(v for _, v in mdf_result.output) == best
+
+    def test_work_parameter(self, cluster):
+        pairs = string_int_pairs(100)
+        light = synthetic_mdf(pairs, b1=2, b2=2, work=1, nominal_bytes=NOMINAL)
+        heavy = synthetic_mdf(pairs, b1=2, b2=2, work=8, nominal_bytes=NOMINAL)
+        t_light = run_mdf(light, cluster).completion_time
+        t_heavy = run_mdf(heavy, Cluster(4, 1 * GB)).completion_time
+        assert t_heavy > t_light

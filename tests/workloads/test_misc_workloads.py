@@ -1,0 +1,108 @@
+"""Tests for outlier filtering, preprocessing, and the synthetic job."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datagen import normal_values
+from repro.workloads.outliers import sigma_filter, surviving_fraction
+from repro.workloads.preprocess import normalize, preprocessor, standardize
+from repro.workloads.synthetic import (
+    DEFAULT_MULTIPLIERS,
+    int_value,
+    math_op,
+    multipliers,
+)
+
+
+class TestSigmaFilter:
+    def test_outliers_removed(self):
+        data = np.r_[normal_values(1000, seed=1), [50.0, -50.0]]
+        out = sigma_filter(3.0)(data)
+        assert len(out) < len(data)
+        assert np.abs(out).max() < 10.0
+
+    def test_monotone_in_threshold(self):
+        data = normal_values(5000)
+        counts = [len(sigma_filter(t)(data)) for t in (0.5, 1.0, 2.0, 3.0)]
+        assert counts == sorted(counts)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            sigma_filter(0.0)
+
+    def test_constant_data_kept(self):
+        data = np.full(100, 7.0)
+        assert len(sigma_filter(1.0)(data)) == 100
+
+    def test_empty(self):
+        assert len(sigma_filter(1.0)(np.array([]))) == 0
+
+    def test_surviving_fraction(self):
+        frac = surviving_fraction(100)
+        assert frac(list(range(50))) == 0.5
+
+
+class TestPreprocess:
+    def test_normalize_range(self):
+        out = normalize(np.array([2.0, 4.0, 6.0]))
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_normalize_constant(self):
+        out = normalize(np.full(5, 3.0))
+        assert np.all(out == 0.0)
+
+    def test_standardize_moments(self):
+        out = standardize(normal_values(10_000, mu=5, sigma=2))
+        assert abs(out.mean()) < 0.01
+        assert abs(out.std() - 1.0) < 0.01
+
+    def test_standardize_constant(self):
+        out = standardize(np.full(5, 3.0))
+        assert np.all(out == 0.0)
+
+    def test_empty(self):
+        assert normalize(np.array([])).size == 0
+        assert standardize(np.array([])).size == 0
+
+    def test_factory(self):
+        assert preprocessor("normalize") is normalize
+        assert preprocessor("standardize") is standardize
+        with pytest.raises(ValueError):
+            preprocessor("whiten")
+
+
+class TestSyntheticJob:
+    def test_math_op_updates_values(self):
+        op = math_op(10)
+        out = op([("k", 5)])
+        assert out == [("k", 57)]  # (5*10+7) % 1_000_003
+
+    def test_work_repeats(self):
+        once = math_op(10, work=1)([("k", 5)])
+        twice = math_op(10, work=2)([("k", 5)])
+        assert twice == math_op(10)(once)
+
+    def test_keys_preserved(self):
+        op = math_op(100)
+        out = op([("a", 1), ("b", 2)])
+        assert [k for k, _ in out] == ["a", "b"]
+
+    def test_invalid_work(self):
+        with pytest.raises(ValueError):
+            math_op(10, work=0)
+
+    def test_int_value_sum(self):
+        assert int_value([("a", 1), ("b", 2)]) == 3.0
+
+    def test_multipliers_extends_paper_domain(self):
+        assert tuple(multipliers(4)) == DEFAULT_MULTIPLIERS
+        longer = multipliers(10)
+        assert len(longer) == 10
+        assert len(set(longer)) == 10
+
+    def test_multipliers_truncates(self):
+        assert multipliers(2) == [10, 100]
+
+    def test_multipliers_invalid(self):
+        with pytest.raises(ValueError):
+            multipliers(0)

@@ -1,0 +1,123 @@
+"""Tests for the time-series operators: masking, marking, detection."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datagen import oil_well_trace
+from repro.workloads.timeseries import (
+    TimeSeriesGrid,
+    detect_sequences,
+    granularity_grid,
+    mark_events,
+    mask_series,
+)
+
+
+class TestMasking:
+    def test_flat_series_survives(self):
+        mask = mask_series(4, 1.01)
+        out = mask(np.full(100, 10.0))
+        assert out.shape[0] == 97  # n - window + 1 positions
+
+    def test_volatile_series_masked(self):
+        rng = np.random.default_rng(0)
+        mask = mask_series(4, 1.0001)
+        noisy = 10.0 + rng.normal(0, 5.0, size=100)
+        out = mask(noisy)
+        assert out.shape[0] < 50
+
+    def test_threshold_monotone(self):
+        """Looser thresholds keep at least as many points — the property
+        Fig. 3c's monotone evaluator relies on."""
+        trace = oil_well_trace(5000)
+        counts = [
+            mask_series(4, t)(trace).shape[0] for t in (1.001, 1.01, 1.1, 1.5)
+        ]
+        assert counts == sorted(counts)
+
+    def test_short_input(self):
+        assert mask_series(5, 1.1)(np.array([1.0, 2.0])).shape == (0, 2)
+
+    def test_output_rows_are_index_value(self):
+        mask = mask_series(2, 2.0)
+        out = mask(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert out[:, 0].tolist() == [1.0, 2.0, 3.0]
+        assert out[:, 1].tolist() == [1.0, 1.0, 1.0]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            mask_series(1, 1.1)
+        with pytest.raises(ValueError):
+            mask_series(3, 0.5)
+
+    def test_negative_values_handled(self):
+        mask = mask_series(3, 1.5)
+        out = mask(np.array([-5.0, -5.0, -5.0, -5.0]))
+        assert out.shape[0] == 2  # flat series survives even below zero
+
+
+class TestMarking:
+    def test_step_change_marked(self):
+        rows = np.column_stack([np.arange(20.0), np.r_[np.zeros(10), np.full(10, 8.0)]])
+        marked = mark_events(2, 5.0)(rows)
+        assert marked.shape[0] == 1
+        assert marked[0, 0] == 10.0  # the step position
+
+    def test_no_events_in_flat(self):
+        rows = np.column_stack([np.arange(20.0), np.zeros(20)])
+        assert mark_events(3, 1.0)(rows).shape[0] == 0
+
+    def test_magnitude_threshold(self):
+        rows = np.column_stack([np.arange(20.0), np.r_[np.zeros(10), np.full(10, 3.0)]])
+        assert mark_events(2, 5.0)(rows).shape[0] == 0
+        assert mark_events(2, 2.0)(rows).shape[0] == 1
+
+    def test_empty_input(self):
+        assert mark_events(3, 1.0)(np.empty((0, 2))).shape == (0, 2)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            mark_events(1, 1.0)
+
+
+class TestDetection:
+    def test_dense_run_detected(self):
+        events = np.column_stack([np.arange(0, 50, 5.0), np.ones(10)])
+        out = detect_sequences(duration=100.0, min_events=3)(events)
+        assert out.shape[0] == 1
+        start, end, count = out[0]
+        assert count == 10
+
+    def test_sparse_events_not_detected(self):
+        events = np.column_stack([np.arange(0, 10_000, 1000.0), np.ones(10)])
+        out = detect_sequences(duration=50.0, min_events=3)(events)
+        assert out.shape[0] == 0
+
+    def test_two_separate_sequences(self):
+        idx = np.r_[np.arange(0, 30, 10.0), np.arange(5000, 5030, 10.0)]
+        events = np.column_stack([idx, np.ones_like(idx)])
+        out = detect_sequences(duration=100.0, min_events=3)(events)
+        assert out.shape[0] == 2
+
+    def test_empty(self):
+        assert detect_sequences(10.0)(np.empty((0, 2))).shape == (0, 3)
+
+
+class TestGrids:
+    @pytest.mark.parametrize("n", [16, 64, 256, 1024])
+    def test_granularity_sizes(self, n):
+        grid = granularity_grid(n)
+        assert grid.num_branches == n
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            granularity_grid(20)
+
+    def test_thresholds_span_paper_range(self):
+        grid = granularity_grid(64)
+        assert grid.thresholds[0] == pytest.approx(1.0001)
+        assert grid.thresholds[-1] == pytest.approx(1.5)
+
+    def test_windows_distinct(self):
+        grid = granularity_grid(1024)
+        assert len(set(grid.windows)) == 32
