@@ -20,8 +20,8 @@ from repro import (
 )
 
 
-def main() -> None:
-    # 1. build the meta-dataflow -------------------------------------------
+def build_quickstart_mdf():
+    """The quickstart MDF: one explore over three filter thresholds."""
     builder = MDFBuilder("quickstart")
     source = builder.read_data(
         list(range(1000)), name="numbers", nominal_bytes=256 * MB
@@ -44,7 +44,12 @@ def main() -> None:
         name="keep-smallest",
     )
     result.write(name="result")
-    mdf = builder.build()
+    return builder.build()
+
+
+def main() -> None:
+    # 1. build the meta-dataflow -------------------------------------------
+    mdf = build_quickstart_mdf()
 
     # 2. execute on a simulated cluster ------------------------------------
     cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)

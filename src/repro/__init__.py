@@ -105,6 +105,19 @@ from .engine import (
     estimate_mdf,
     run_mdf,
 )
+from .trace import (
+    InvariantViolation,
+    Trace,
+    TraceEvent,
+    Violation,
+    assert_valid,
+    check_amm_ranking,
+    check_depth_first,
+    check_no_use_after_discard,
+    check_pruning_sound,
+    set_auto_validate,
+    validate_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -133,6 +146,7 @@ __all__ = [
     "GroupBy",
     "Identity",
     "Interval",
+    "InvariantViolation",
     "JobResult",
     "Join",
     "KInterval",
@@ -167,7 +181,15 @@ __all__ = [
     "StragglerProfile",
     "Threshold",
     "TopK",
+    "Trace",
+    "TraceEvent",
     "Transform",
+    "Violation",
+    "assert_valid",
+    "check_amm_ranking",
+    "check_depth_first",
+    "check_no_use_after_discard",
+    "check_pruning_sound",
     "cross_validation_mdf",
     "estimate_mdf",
     "fold_splits",
@@ -175,4 +197,6 @@ __all__ = [
     "make_policy",
     "plan_optimizations",
     "run_mdf",
+    "set_auto_validate",
+    "validate_trace",
 ]

@@ -1,29 +1,44 @@
-"""Command-line entry: ``python -m repro.bench [figure ...]``.
+"""Command-line entry: ``python -m repro.bench [--validate] [figure ...]``.
 
 Regenerates the requested tables/figures (all of them by default),
-printing the paper-style rows and the shape-check verdicts.
+printing the paper-style rows and the shape-check verdicts.  With
+``--validate``, every ``run_mdf`` call performed while building the
+figures additionally runs the paper-invariant trace validators
+(:mod:`repro.trace.validate`) and aborts on the first violation.
 """
 
 from __future__ import annotations
 
 import sys
 
+from ..trace.validate import set_auto_validate
 from .figures import ALL_FIGURES
 
 
 def main(argv) -> int:
+    argv = list(argv)
+    validate = "--validate" in argv
+    if validate:
+        argv = [a for a in argv if a != "--validate"]
     names = argv or list(ALL_FIGURES)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
         print(f"unknown figures: {unknown}")
         print(f"available: {', '.join(ALL_FIGURES)}")
         return 2
+    if validate:
+        set_auto_validate(True)
+        print("trace validation: on (every run checked against the paper invariants)")
     failed = []
-    for name in names:
-        result = ALL_FIGURES[name]()
-        print(result.render())
-        if not result.all_checks_pass:
-            failed.append(name)
+    try:
+        for name in names:
+            result = ALL_FIGURES[name]()
+            print(result.render())
+            if not result.all_checks_pass:
+                failed.append(name)
+    finally:
+        if validate:
+            set_auto_validate(False)
     if failed:
         print(f"shape-check failures: {failed}")
         return 1

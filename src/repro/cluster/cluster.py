@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.datasets import Dataset, Partition
 from ..core.state import ExecutionState
+from ..trace import Trace
 from .clock import SimClock
 from .costmodel import CostModel, GB
 from .memory import LRUPolicy, MemoryPolicy
@@ -76,6 +77,7 @@ class Cluster:
         self.policy = policy or LRUPolicy()
         self.clock = SimClock()
         self.metrics = Metrics()
+        self.trace = Trace(clock=self.clock)
         self.nodes: List[Node] = [
             Node(f"worker-{i}", mem_per_worker) for i in range(num_workers)
         ]
@@ -127,6 +129,13 @@ class Cluster:
         self.metrics.peak_datasets_stored = max(
             self.metrics.peak_datasets_stored, len(self._records)
         )
+        self.trace.emit(
+            "dataset_registered",
+            dataset=dataset.id,
+            producer=dataset.producer,
+            nbytes=self._records[dataset.id].nbytes,
+            partitions=len(nodes),
+        )
         return per_node
 
     def _store(self, node: Node, partition: Partition) -> float:
@@ -167,6 +176,12 @@ class Cluster:
         self.metrics.peak_datasets_stored = max(
             self.metrics.peak_datasets_stored, len(self._records)
         )
+        self.trace.emit(
+            "composite_registered",
+            dataset=dataset_id,
+            members=list(member_ids),
+            producer=producer,
+        )
 
     def load_partition(self, dataset_id: str, index: int) -> Tuple[Any, float, str]:
         """Read one partition; returns ``(payload, seconds, node_id)``.
@@ -184,6 +199,14 @@ class Cluster:
             node.touch(key, self.clock.now)
             self.metrics.partition_hits += 1
             self.metrics.bytes_read_memory += nbytes
+            self.trace.emit(
+                "dataset_access",
+                dataset=dataset_id,
+                index=index,
+                node=node.id,
+                hit=True,
+                nbytes=nbytes,
+            )
             return slot.payload, self.cost_model.mem_read_time(nbytes), node.id
         # miss: stream the partition from disk.  It is *not* promoted back
         # into memory — tasks stream spilled inputs (as Spark does); data
@@ -193,6 +216,14 @@ class Cluster:
         self.metrics.partition_misses += 1
         self.metrics.bytes_read_disk += nbytes
         node.touch(key, self.clock.now)
+        self.trace.emit(
+            "dataset_access",
+            dataset=dataset_id,
+            index=index,
+            node=node.id,
+            hit=False,
+            nbytes=nbytes,
+        )
         seconds = self.cost_model.disk_read_time(nbytes)
         return slot.payload, seconds, node.id
 
@@ -227,6 +258,7 @@ class Cluster:
         for key, node_id in zip(record.partition_keys, record.partition_nodes):
             self.node(node_id).remove(key)
         self.metrics.datasets_discarded += 1
+        self.trace.emit("dataset_discarded", dataset=dataset_id)
 
     def pin_dataset(self, dataset_id: str) -> None:
         """Mark every partition as pinned (Spark ``cache()`` emulation)."""
@@ -246,9 +278,24 @@ class Cluster:
                 # the capacity check; protected slots stay resident.
                 break
             victim = self.policy.select_victim(node, candidates)
+            # the ranking snapshot is taken before the demotion mutates the
+            # node, so the validator sees exactly what the policy ranked
+            ranking = self.policy.ranking_snapshot(candidates)
+            spilled = self.policy.should_spill(victim)
+            self.trace.emit(
+                "partition_evicted",
+                node=node.id,
+                dataset=victim.dataset_id,
+                index=victim.key[1],
+                nbytes=victim.nbytes,
+                spilled=spilled,
+                policy=self.policy.name,
+                alpha=getattr(self.policy, "_alpha", None),
+                ranking=ranking,
+            )
             node.demote(victim.key)
             self.metrics.evictions += 1
-            if self.policy.should_spill(victim):
+            if spilled:
                 self.metrics.bytes_written_disk += victim.nbytes
                 seconds += self.cost_model.disk_write_time(victim.nbytes)
             # else: the policy knows the data is dead — dropped for free
@@ -276,7 +323,9 @@ class Cluster:
     # -------------------------------------------------------------- faults
     def fail_node(self, node_id: str) -> List[PartitionKey]:
         """Crash a node: its memory contents are lost, disk survives."""
-        return self.node(node_id).drop_memory_contents()
+        lost = self.node(node_id).drop_memory_contents()
+        self.trace.emit("node_failed", node=node_id, lost=len(lost))
+        return lost
 
     # ------------------------------------------------------------ snapshot
     def snapshot_state(self) -> ExecutionState:
@@ -308,6 +357,7 @@ class Cluster:
         self._records.clear()
         self.clock.reset()
         self.metrics = Metrics()
+        self.trace = Trace(clock=self.clock)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

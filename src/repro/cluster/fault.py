@@ -126,6 +126,8 @@ def recover_partitions(cluster: Cluster, lost: List[PartitionKey]) -> float:
         seconds += cluster.cost_model.disk_read_time(nbytes)
         cluster.metrics.bytes_read_disk += nbytes
         cluster.metrics.recoveries += 1
+        cluster.metrics.recovery_reexecutions += 1
+        cluster.trace.emit("recovery", dataset=dataset_id, index=index, nbytes=nbytes)
         # Reinstall the partition on its node as a disk-resident copy; the
         # next access promotes it like any other miss.  The payload itself
         # is unrecoverable in memory terms, so we mark the slot as lost by

@@ -19,7 +19,7 @@ ablation DESIGN.md §5 calls out.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .node import Node, Slot
 
@@ -49,6 +49,24 @@ class MemoryPolicy:
         for free instead — requirement R4 in action.
         """
         return True
+
+    def ranking_snapshot(self, candidates: List[Slot]) -> List[Dict[str, Any]]:
+        """What this policy ranked an eviction's candidates by.
+
+        Recorded into every ``partition_evicted`` trace event so invariant
+        validators can re-derive the decision.  Workflow-oblivious policies
+        only expose recency; AMM overrides this to expose the full
+        ``pre(d)`` inputs.
+        """
+        return [
+            {
+                "dataset": slot.dataset_id,
+                "index": slot.key[1],
+                "nbytes": slot.nbytes,
+                "last_access": slot.last_access,
+            }
+            for slot in candidates
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}()"
@@ -96,6 +114,27 @@ class AMMPolicy(MemoryPolicy):
         if self._access_counter is None:
             return True
         return self._access_counter(slot.dataset_id) > 0
+
+    def ranking_snapshot(self, candidates: List[Slot]) -> List[Dict[str, Any]]:
+        """The full ``pre(d) = acc(d)·δ(n,d)·α`` inputs per candidate."""
+        out: List[Dict[str, Any]] = []
+        for slot in candidates:
+            acc = (
+                self._access_counter(slot.dataset_id)
+                if self._access_counter is not None
+                else None
+            )
+            out.append(
+                {
+                    "dataset": slot.dataset_id,
+                    "index": slot.key[1],
+                    "nbytes": slot.nbytes,
+                    "last_access": slot.last_access,
+                    "acc": acc,
+                    "pre": self.preference(slot),
+                }
+            )
+        return out
 
     def preference_order(self, node: Node) -> List[Slot]:
         """All in-memory slots ordered by rising preference (eviction order).

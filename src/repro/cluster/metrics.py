@@ -35,6 +35,9 @@ class Metrics:
     time_network: float = 0.0
     peak_datasets_stored: int = 0
     recoveries: int = 0
+    #: recoveries that had to restore partitions lost from a node's memory
+    #: (re-secured from checkpoints / re-execution, not a plain reload)
+    recovery_reexecutions: int = 0
     speculative_tasks: int = 0
 
     @property
@@ -67,6 +70,7 @@ class Metrics:
             "tasks_executed",
             "choose_evaluations",
             "recoveries",
+            "recovery_reexecutions",
             "speculative_tasks",
         ):
             setattr(merged, name, getattr(self, name) + getattr(other, name))

@@ -94,6 +94,11 @@ class StageGraph:
                 if isinstance(self.graph, MDF):
                     branch_id = self.graph.branch_of(op)
                 stage = Stage([op], branch_id)
+                # renumber per graph: stage ids must be deterministic across
+                # re-derivations of the same dataflow (golden decision traces
+                # compare byte-for-byte), not process-lifetime unique
+                stage.index = len(self.stages)
+                stage.id = f"stage-{stage.index}"
                 self.stages.append(stage)
                 self._stage_of[op.name] = stage
             else:

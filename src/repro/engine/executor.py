@@ -336,6 +336,12 @@ class StageExecutor:
             )
         score = evaluator.score(dataset)
         self.cluster.metrics.choose_evaluations += 1
+        self.cluster.trace.emit(
+            "choose_evaluation",
+            evaluator=evaluator.name,
+            dataset=dataset.id,
+            pipelined=True,
+        )
         times = self._wall({}, per_node_compute, 0.0, 0)
         return score, times
 
@@ -371,6 +377,12 @@ class StageExecutor:
             serial = sum(per_node_compute.values())
             per_node_compute = {"master": serial}
         self.cluster.metrics.choose_evaluations += 1
+        self.cluster.trace.emit(
+            "choose_evaluation",
+            evaluator=evaluator.name,
+            dataset=dataset_id,
+            pipelined=False,
+        )
         times = self._wall(per_node_io, per_node_compute, network, record.num_partitions)
         return score, times
 

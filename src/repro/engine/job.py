@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional
 from ..cluster.fault import CheckpointConfig, FailureInjector
 from ..cluster.metrics import Metrics
 from ..cluster.stragglers import SpeculationConfig, StragglerProfile
+from ..trace import Trace
 from .hints import SchedulingHint, SortedHint
 
 
@@ -89,6 +90,9 @@ class JobResult:
     outputs: Dict[str, Any] = field(default_factory=dict)
     decisions: Dict[str, ChooseDecision] = field(default_factory=dict)
     trace: List[StageTrace] = field(default_factory=list)
+    #: full decision trace of the run (``repro.trace``); None when the
+    #: cluster recorded no events (tracing disabled)
+    events: Optional[Trace] = None
 
     @property
     def output(self) -> Any:

@@ -88,7 +88,7 @@ class Master:
         self.executor = StageExecutor(cluster, self.config)
         self.stage_graph = StageGraph(mdf)
         self.score_store = ChooseScoreStore()
-        self.result = JobResult(metrics=cluster.metrics)
+        self.result = JobResult(metrics=cluster.metrics, events=cluster.trace)
 
         # --- schedule state
         self._executed: Set[str] = set()
@@ -234,19 +234,28 @@ class Master:
         stage_index = 0
         while self._ready:
             self._maybe_fail(stage_index)
-            stage = self.scheduler.select(
-                list(self._ready),
-                self._last_executed,
+            ready = list(self._ready)
+            successors = (
                 sorted(
                     self.stage_graph.post(self._last_executed),
                     key=lambda s: s.index,
                 )
                 if self._last_executed is not None
-                else [],
-                self._context,
+                else []
             )
+            stage = self.scheduler.select(ready, self._last_executed, successors, self._context)
             if stage.id not in self._ready_ids:  # pragma: no cover - guard
                 raise SchedulingError(f"scheduler picked non-ready stage {stage.id}")
+            self.cluster.trace.emit(
+                "stage_scheduled",
+                stage=stage.id,
+                branch=stage.branch_id,
+                scheduler=self.scheduler.name,
+                rationale=getattr(self.scheduler, "last_rationale", None),
+                ready=[s.id for s in ready],
+                ready_choose=[s.id for s in ready if s.is_choose],
+                successors_ready=[s.id for s in successors if s.id in self._ready_ids],
+            )
             if stage.is_choose:
                 self._execute_choose_stage(stage)
             else:
@@ -273,6 +282,19 @@ class Master:
         lost = injector.maybe_fail(self.cluster, stage_index)
         if lost:
             self.cluster.metrics.recoveries += len(lost)
+            # partitions of still-live datasets must be re-secured (reloaded
+            # from their checkpoint copies on next access) — the recovery
+            # re-executions §5's master bookkeeping avoids for choose scores
+            for dataset_id, index in lost:
+                if not self.cluster.has_dataset(dataset_id):
+                    continue
+                self.cluster.metrics.recovery_reexecutions += 1
+                self.cluster.trace.emit(
+                    "recovery",
+                    dataset=dataset_id,
+                    index=index,
+                    nbytes=self.cluster.record(dataset_id).partition_bytes[index],
+                )
 
     # --------------------------------------------------------- stage kinds
     def _execute_stage(self, stage: Stage) -> None:
@@ -305,6 +327,9 @@ class Master:
             f"d:{stage.tail.name}", set()
         ).update(self._effective_consumers(stage.tail))
         outcome = self.executor.execute(stage, input_id, defer_store=defer)
+        self.cluster.trace.emit(
+            "task_dispatched", stage=stage.id, num_tasks=outcome.num_tasks
+        )
         self._advance(outcome.times, stage, started)
         self.cluster.metrics.stages_executed += 1
         if input_id is not None:
@@ -337,6 +362,9 @@ class Master:
             f"d:{stage.tail.name}", set()
         ).update(self._effective_consumers(stage.tail))
         outcome = self.executor.execute_join(stage, left_id, right_id, defer_store=defer)
+        self.cluster.trace.emit(
+            "task_dispatched", stage=stage.id, num_tasks=outcome.num_tasks
+        )
         self._advance(outcome.times, stage, started)
         self.cluster.metrics.stages_executed += 1
         for input_id in (left_id, right_id):
@@ -385,6 +413,11 @@ class Master:
         self.cluster.metrics.bytes_written_disk += int(
             record.nbytes * config.overhead_fraction
         )
+        self.cluster.trace.emit(
+            "checkpoint_written",
+            dataset=output_dataset_id,
+            nbytes=int(record.nbytes * config.overhead_fraction),
+        )
         self._advance(StageTimes(io=seconds), None, self.cluster.clock.now)
 
     def _finalize_sinks(self, stage: Stage, output_dataset_id: Optional[str]) -> None:
@@ -412,6 +445,13 @@ class Master:
         self._advance(times, None, started)
         runtime.scores[branch.id] = score
         self.score_store.put(choose.name, branch.id, score)
+        self.cluster.trace.emit(
+            "branch_evaluated",
+            choose=choose.name,
+            branch=branch.id,
+            score=score,
+            pipelined=True,
+        )
         self._context.observed_scores.setdefault(branch.explore_name, []).append(
             (branch.params, score)
         )
@@ -421,6 +461,13 @@ class Master:
                 self._discard_branch_dataset(runtime, discarded_id)
         if branch.id in decision.discarded:
             runtime.discarded.add(branch.id)  # never stored: nothing to free
+            self.cluster.trace.emit(
+                "branch_discarded",
+                choose=choose.name,
+                branch=branch.id,
+                dataset=None,
+                materialized=False,
+            )
         else:
             runtime.alive.add(branch.id)
             store_started = self.cluster.clock.now
@@ -431,9 +478,9 @@ class Master:
             self._maybe_checkpoint(outcome.pending.id)
         can_prune = self.config.pruning and runtime.plan.prune_superfluous
         if decision.done and can_prune:
-            self._prune_remaining(runtime)
+            self._prune_remaining(runtime, reason="selection-done")
         elif runtime.pruner is not None and can_prune and runtime.pruner.observe(score):
-            self._prune_remaining(runtime)
+            self._prune_remaining(runtime, reason=self._pruner_reason(runtime))
         self._maybe_finalize(runtime)
 
     def _after_stage(self, stage: Stage, output_dataset_id: str) -> None:
@@ -489,6 +536,13 @@ class Master:
         runtime.scores[branch.id] = score
         runtime.alive.add(branch.id)
         self.score_store.put(choose.name, branch.id, score)
+        self.cluster.trace.emit(
+            "branch_evaluated",
+            choose=choose.name,
+            branch=branch.id,
+            score=score,
+            pipelined=False,
+        )
         self._context.observed_scores.setdefault(branch.explore_name, []).append(
             (branch.params, score)
         )
@@ -497,10 +551,10 @@ class Master:
             self._discard_branch_dataset(runtime, discarded_id)
         can_prune = self.config.pruning and runtime.plan.prune_superfluous
         if decision.done and can_prune:
-            self._prune_remaining(runtime)
+            self._prune_remaining(runtime, reason="selection-done")
         elif runtime.pruner is not None and can_prune:
             if runtime.pruner.observe(score):
-                self._prune_remaining(runtime)
+                self._prune_remaining(runtime, reason=self._pruner_reason(runtime))
 
     def _discard_branch_dataset(self, runtime: _ScopeRuntime, branch_id: str) -> None:
         if branch_id in runtime.discarded:
@@ -508,30 +562,71 @@ class Master:
         runtime.discarded.add(branch_id)
         runtime.alive.discard(branch_id)
         dataset_id = runtime.tail_dataset.get(branch_id)
+        self.cluster.trace.emit(
+            "branch_discarded",
+            choose=runtime.choose.name,
+            branch=branch_id,
+            dataset=dataset_id,
+            materialized=dataset_id is not None,
+        )
         if dataset_id is not None:
             self._release(dataset_id)
 
-    def _prune_remaining(self, runtime: _ScopeRuntime) -> None:
+    def _pruner_reason(self, runtime: _ScopeRuntime) -> str:
+        """Which Table 1 evaluator property the active pruner exploited."""
+        if runtime.choose.evaluator.convex:
+            return "convex-trend"
+        return "monotone-trend"
+
+    def _prune_justification(self, runtime: _ScopeRuntime) -> Tuple[Dict, Dict]:
+        """The Table 1 row behind a prune: recorded plan + raw properties."""
+        evaluator = runtime.choose.evaluator
+        selection = runtime.choose.selection
+        plan = {
+            "discard_incrementally": runtime.plan.discard_incrementally,
+            "prune_superfluous": runtime.plan.prune_superfluous,
+        }
+        properties = {
+            "associative": selection.associative,
+            "non_exhaustive": selection.non_exhaustive,
+            "monotone": evaluator.monotone,
+            "convex": evaluator.convex,
+        }
+        return plan, properties
+
+    def _prune_remaining(self, runtime: _ScopeRuntime, reason: str) -> None:
         """Superfluous-branch pruning: dynamic topology rewrite (§5)."""
         for branch in runtime.unexecuted_branches():
-            self._prune_branch(runtime, branch)
+            self._prune_branch(runtime, branch, reason)
         self._maybe_finalize(runtime)
 
-    def _prune_branch(self, runtime: _ScopeRuntime, branch: Branch) -> None:
+    def _prune_branch(self, runtime: _ScopeRuntime, branch: Branch, reason: str) -> None:
         runtime.pruned.add(branch.id)
         self.cluster.metrics.branches_pruned += 1
         pruned_ops: Set[str] = set()
+        pruned_stage_ids: List[str] = []
         for stage_id in self._branch_stage_ids[branch.id]:
             if stage_id in self._executed or stage_id in self._pruned_stages:
                 continue
             stage = self._stage_by_id[stage_id]
             pruned_ops.update(op.name for op in stage.ops)
+            pruned_stage_ids.append(stage_id)
             self._mark_done(stage, pruned=True)
             # nested scopes inside the pruned branch will never finalize
             inner = self._tail_stage_to_branch.get(stage_id)
             if inner is not None:
                 inner_scope, inner_branch = inner
                 self._scopes[inner_scope].pruned.add(inner_branch.id)
+        plan, properties = self._prune_justification(runtime)
+        self.cluster.trace.emit(
+            "branch_pruned",
+            choose=runtime.choose.name,
+            branch=branch.id,
+            reason=reason,
+            stages=sorted(pruned_stage_ids),
+            plan=plan,
+            properties=properties,
+        )
         # datasets whose only remaining readers were pruned are freed now
         for dataset_id in list(self._consumers):
             consumers = self._consumers[dataset_id]
@@ -565,6 +660,14 @@ class Master:
             pruned=sorted(runtime.pruned),
         )
         self.result.decisions[choose.name] = decision
+        self.cluster.trace.emit(
+            "choose_finalized",
+            choose=choose.name,
+            kept=list(kept_ids),
+            discarded=sorted(runtime.discarded),
+            pruned=sorted(runtime.pruned),
+            scores=dict(runtime.scores),
+        )
         stage = self.stage_graph.stage_of(choose)
         self._mark_done(stage)
         # a choose may itself be the tail of an enclosing branch: feed the
@@ -628,4 +731,12 @@ class Master:
                     started=started,
                     finished=self.cluster.clock.now,
                 )
+            )
+            self.cluster.trace.emit(
+                "stage_completed",
+                stage=stage.id,
+                ops=[op.name for op in stage.ops],
+                branch=stage.branch_id,
+                started=started,
+                finished=self.cluster.clock.now,
             )

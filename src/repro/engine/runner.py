@@ -21,6 +21,7 @@ from typing import Optional, Union
 from ..cluster.cluster import Cluster
 from ..cluster.memory import MemoryPolicy, make_policy
 from ..core.mdf import MDF
+from ..trace.validate import assert_valid, auto_validate_enabled
 from .job import EngineConfig, JobResult
 from .master import Master
 from .scheduler import BFSScheduler, BranchAwareScheduler, Scheduler
@@ -43,6 +44,7 @@ def run_mdf(
     memory: Union[str, MemoryPolicy, None] = None,
     config: Optional[EngineConfig] = None,
     reset: bool = True,
+    validate: Optional[bool] = None,
 ) -> JobResult:
     """Execute an MDF on a cluster and return the job result.
 
@@ -60,6 +62,13 @@ def run_mdf(
         cluster's current policy.
     config:
         Engine knobs; defaults to incremental choose + pruning on.
+    validate:
+        Run the paper-invariant checkers (:mod:`repro.trace.validate`)
+        over the recorded decision trace after the job finishes, raising
+        :class:`~repro.trace.validate.InvariantViolation` on any breach.
+        ``None`` (default) defers to the process-wide auto-validate flag
+        (``repro.trace.set_auto_validate`` / ``python -m repro.bench
+        --validate``).
     """
     config = config or EngineConfig()
     if reset:
@@ -69,4 +78,9 @@ def run_mdf(
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, config)
     master = Master(mdf, cluster, scheduler=scheduler, config=config)
-    return master.run()
+    result = master.run()
+    if validate is None:
+        validate = auto_validate_enabled()
+    if validate:
+        assert_valid(result.events)
+    return result

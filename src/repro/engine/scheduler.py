@@ -46,6 +46,9 @@ class Scheduler:
     """Picks the next stage to execute from the ready set."""
 
     name = "base"
+    #: why the last ``select`` picked its stage — recorded into the
+    #: ``stage_scheduled`` trace event for observability
+    last_rationale: Optional[str] = None
 
     def select(
         self,
@@ -67,6 +70,7 @@ class BFSScheduler(Scheduler):
 
     def select(self, ready, last_executed, successors_of_last, context) -> Stage:
         # `ready` is maintained in became-ready order by the master.
+        self.last_rationale = "fifo"
         return ready[0]
 
 
@@ -81,12 +85,15 @@ class BranchAwareScheduler(Scheduler):
     def select(self, ready, last_executed, successors_of_last, context) -> Stage:
         ready_ids = {s.id for s in ready}
         candidates = [s for s in successors_of_last if s.id in ready_ids]
-        if not candidates:
+        fell_back = not candidates
+        if fell_back:
             candidates = list(ready)  # fall back to T_open
         # Choose stages run as early as possible (finalise scopes, free data).
         chooses = [s for s in candidates if s.is_choose]
         if chooses:
+            self.last_rationale = "choose-first"
             return chooses[0]
+        self.last_rationale = "open-queue" if fell_back else "dfs-successor"
         return self._hinted(candidates, context)
 
     def _hinted(self, candidates: List[Stage], context: SchedulerContext) -> Stage:

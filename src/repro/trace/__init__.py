@@ -1,0 +1,37 @@
+"""Decision-trace observability: typed events, exports, invariant checkers.
+
+See docs/tracing.md for the event schema and the validator API, and
+docs/paper_mapping.md for the algorithm → validator correspondence.
+"""
+
+from .events import EVENT_SCHEMA, Trace, TraceEvent
+from .validate import (
+    ALL_CHECKS,
+    InvariantViolation,
+    Violation,
+    assert_valid,
+    auto_validate_enabled,
+    check_amm_ranking,
+    check_depth_first,
+    check_no_use_after_discard,
+    check_pruning_sound,
+    set_auto_validate,
+    validate_trace,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "EVENT_SCHEMA",
+    "InvariantViolation",
+    "Trace",
+    "TraceEvent",
+    "Violation",
+    "assert_valid",
+    "auto_validate_enabled",
+    "check_amm_ranking",
+    "check_depth_first",
+    "check_no_use_after_discard",
+    "check_pruning_sound",
+    "set_auto_validate",
+    "validate_trace",
+]

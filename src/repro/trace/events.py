@@ -1,0 +1,227 @@
+"""Typed decision-trace events and the per-job :class:`Trace`.
+
+The engine's two contributions — branch-aware scheduling (Algorithm 1) and
+anticipatory memory management (Algorithm 2) — are *decision procedures*.
+Aggregate counters (``cluster/metrics.py``) can say *how many* evictions
+happened but not *whether each one ranked partitions by*
+``pre(d) = acc(d) · δ(n, d) · α``.  This module records every consequential
+decision as a typed event with a simulated-clock timestamp, so invariant
+checkers (:mod:`repro.trace.validate`) and regression tests can replay the
+exact decision sequence after a run.
+
+Every event kind has a fixed payload schema (:data:`EVENT_SCHEMA`); the
+trace rejects unknown kinds and malformed payloads at emission time, which
+keeps instrumentation drift from silently invalidating the validators.
+
+Exports: canonical JSONL (byte-stable across runs — only simulated time is
+recorded, never wall-clock) and the Chrome ``trace_event`` format for
+visual inspection in ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: kind -> exact payload field set.  Emission is strict both ways: missing
+#: and unexpected fields are errors, so the schema documented in
+#: docs/tracing.md is enforced, not advisory.
+EVENT_SCHEMA: Dict[str, frozenset] = {
+    # -- scheduling decisions (Algorithm 1)
+    "stage_scheduled": frozenset(
+        {"stage", "branch", "scheduler", "rationale", "ready", "ready_choose", "successors_ready"}
+    ),
+    "stage_completed": frozenset({"stage", "ops", "branch", "started", "finished"}),
+    "task_dispatched": frozenset({"stage", "num_tasks"}),
+    # -- choose protocol (Definition 3.3, §4.2)
+    "choose_evaluation": frozenset({"evaluator", "dataset", "pipelined"}),
+    "branch_evaluated": frozenset({"choose", "branch", "score", "pipelined"}),
+    "branch_discarded": frozenset({"choose", "branch", "dataset", "materialized"}),
+    "branch_pruned": frozenset({"choose", "branch", "reason", "stages", "plan", "properties"}),
+    "choose_finalized": frozenset({"choose", "kept", "discarded", "pruned", "scores"}),
+    # -- dataset lifecycle (R3)
+    "dataset_registered": frozenset({"dataset", "producer", "nbytes", "partitions"}),
+    "composite_registered": frozenset({"dataset", "members", "producer"}),
+    "dataset_discarded": frozenset({"dataset"}),
+    "dataset_access": frozenset({"dataset", "index", "node", "hit", "nbytes"}),
+    # -- memory management (Algorithm 2)
+    "partition_evicted": frozenset(
+        {"node", "dataset", "index", "nbytes", "spilled", "policy", "alpha", "ranking"}
+    ),
+    # -- fault tolerance (§5)
+    "checkpoint_written": frozenset({"dataset", "nbytes"}),
+    "node_failed": frozenset({"node", "lost"}),
+    "recovery": frozenset({"dataset", "index", "nbytes"}),
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded decision: sequence number, simulated time, kind, payload."""
+
+    seq: int
+    t: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "t": self.t, "kind": self.kind, "data": self.data}
+
+    def to_json(self) -> str:
+        """Canonical one-line JSON: sorted keys, compact separators."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
+class Trace:
+    """An append-only, strictly-typed event log for one job execution.
+
+    The cluster owns one trace per run (reset with the cluster); the master,
+    executor and memory manager all emit into it through the cluster.  A
+    disabled trace (``enabled = False``) turns every emit into a no-op.
+    """
+
+    def __init__(self, clock=None, strict: bool = True):
+        self.events: List[TraceEvent] = []
+        self._clock = clock  # duck-typed: anything with a ``.now`` float
+        self.strict = strict
+        self.enabled = True
+
+    # ------------------------------------------------------------- recording
+    def emit(self, kind: str, **data: Any) -> Optional[TraceEvent]:
+        """Append one event, timestamped with the bound simulated clock."""
+        if not self.enabled:
+            return None
+        if self.strict:
+            schema = EVENT_SCHEMA.get(kind)
+            if schema is None:
+                raise ValueError(f"unknown trace event kind {kind!r}")
+            missing = schema - data.keys()
+            extra = data.keys() - schema
+            if missing or extra:
+                raise ValueError(
+                    f"malformed {kind!r} event: missing={sorted(missing)} "
+                    f"unexpected={sorted(extra)}"
+                )
+        t = float(self._clock.now) if self._clock is not None else 0.0
+        event = TraceEvent(len(self.events), t, kind, data)
+        self.events.append(event)
+        return event
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def filter(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """Event-count histogram by kind (debug/report helper)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    # --------------------------------------------------------------- exports
+    def to_jsonl(self) -> str:
+        """Canonical JSONL: one sorted-key compact JSON object per line.
+
+        Byte-stable across re-executions of the same job: timestamps are
+        simulated seconds and all payloads are deterministic, so golden
+        traces can be compared byte-for-byte.
+        """
+        return "".join(event.to_json() + "\n" for event in self.events)
+
+    def save_jsonl(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Rebuild a trace from its JSONL export (validators accept it)."""
+        trace = cls(strict=False)
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            raw = json.loads(line)
+            trace.events.append(
+                TraceEvent(raw["seq"], raw["t"], raw["kind"], raw.get("data", {}))
+            )
+        return trace
+
+    @classmethod
+    def load_jsonl(cls, path) -> "Trace":
+        with open(path) as fh:
+            return cls.from_jsonl(fh.read())
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` JSON object (open in chrome://tracing).
+
+        Stage executions become complete ("X") events — one timeline row per
+        branch — and every decision (prune, evict, discard, failure, choose)
+        becomes a global instant ("i") event, so depth-first traversal and
+        eviction storms are visible at a glance.
+        """
+        tids: Dict[str, int] = {}
+
+        def tid_of(branch: Optional[str]) -> int:
+            key = branch or "main"
+            if key not in tids:
+                tids[key] = len(tids) + 1
+            return tids[key]
+
+        instants = {
+            "branch_pruned",
+            "branch_discarded",
+            "partition_evicted",
+            "dataset_discarded",
+            "choose_finalized",
+            "checkpoint_written",
+            "node_failed",
+            "recovery",
+        }
+        out: List[Dict[str, Any]] = []
+        for event in self.events:
+            data = event.data
+            if event.kind == "stage_completed":
+                out.append(
+                    {
+                        "name": data["stage"],
+                        "cat": "stage",
+                        "ph": "X",
+                        "ts": data["started"] * 1e6,
+                        "dur": max(data["finished"] - data["started"], 0.0) * 1e6,
+                        "pid": 0,
+                        "tid": tid_of(data.get("branch")),
+                        "args": data,
+                    }
+                )
+            elif event.kind in instants:
+                out.append(
+                    {
+                        "name": event.kind,
+                        "cat": "decision",
+                        "ph": "i",
+                        "s": "g",
+                        "ts": event.t * 1e6,
+                        "pid": 0,
+                        "tid": 0,
+                        "args": data,
+                    }
+                )
+        meta = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "args": {"name": name}}
+            for name, tid in sorted(tids.items(), key=lambda kv: kv[1])
+        ]
+        return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+
+    def save_chrome(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Trace(events={len(self.events)})"

@@ -1,0 +1,374 @@
+"""Paper-invariant validators over decision traces.
+
+Each checker replays a :class:`~repro.trace.events.Trace` and returns the
+list of :class:`Violation` records it found (empty = invariant holds):
+
+* :func:`check_depth_first` — Algorithm 1: between an explore and its
+  choose the schedule is depth-first.  Whenever a ready successor of the
+  last executed stage existed, the scheduler must have taken one of them
+  (a ready choose stage may preempt, as the algorithm finalises scopes as
+  early as possible); only with no ready successor may it fall back to the
+  pending branch queue.
+* :func:`check_amm_ranking` — Algorithm 2: every AMM eviction picked the
+  in-memory partition minimising ``pre(d) = acc(d) · δ(n, d) · α`` (ties
+  broken towards least-recently-used, then key order), the recorded
+  preferences are consistent with the recorded ``acc``/size/``α`` inputs,
+  and dead data (``acc = 0``) was dropped without a spill (R4).
+* :func:`check_pruning_sound` — Table 1: every pruned branch carries the
+  evaluator/selection properties that justify pruning (associative
+  selection plus monotone/convex evaluator or non-exhaustive selection),
+  and no pruned stage or branch shows any activity afterwards.
+* :func:`check_no_use_after_discard` — R3 safety: no partition of a
+  dataset is ever read after the dataset was discarded (or absorbed into
+  a composite and then discarded).
+
+``validate_trace`` runs all four; ``assert_valid`` raises
+:class:`InvariantViolation` listing every violation.  The module-level
+auto-validate flag lets the benchmark harness (``python -m repro.bench
+--validate``) check every figure-reproduction run for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from .events import Trace
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, anchored to the offending event."""
+
+    check: str
+    seq: int
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"[{self.check}] event #{self.seq}: {self.message}"
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :func:`assert_valid` when any invariant checker fails."""
+
+    def __init__(self, violations: List[Violation]):
+        self.violations = violations
+        lines = "\n".join(f"  [{v.check}] event #{v.seq}: {v.message}" for v in violations)
+        super().__init__(f"{len(violations)} trace invariant violation(s):\n{lines}")
+
+
+# ----------------------------------------------------------------- Algorithm 1
+
+
+def check_depth_first(trace: Trace) -> List[Violation]:
+    """Algorithm 1's depth-first discipline over ``stage_scheduled`` events.
+
+    Only decisions made by a branch-aware scheduler (``scheduler == "bas"``)
+    are constrained; BFS and custom schedulers pass vacuously.
+    """
+    violations: List[Violation] = []
+    for event in trace.filter("stage_scheduled"):
+        data = event.data
+        if data.get("scheduler") != "bas":
+            continue
+        picked = data["stage"]
+        successors = list(data["successors_ready"])
+        ready = list(data["ready"])
+        chooses = set(data["ready_choose"])
+        candidates = successors if successors else ready
+        candidate_chooses = [c for c in candidates if c in chooses]
+        if candidate_chooses:
+            if picked not in candidate_chooses:
+                violations.append(
+                    Violation(
+                        "depth_first",
+                        event.seq,
+                        f"a choose stage {candidate_chooses} was a candidate but "
+                        f"{picked!r} was scheduled (chooses must run as early as possible)",
+                    )
+                )
+        elif picked not in candidates:
+            violations.append(
+                Violation(
+                    "depth_first",
+                    event.seq,
+                    f"ready successors {successors} of the last stage existed but "
+                    f"{picked!r} was scheduled (schedule is not depth-first)",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------- Algorithm 2
+
+
+def check_amm_ranking(trace: Trace, alpha: Optional[float] = None) -> List[Violation]:
+    """Algorithm 2's eviction ranking over ``partition_evicted`` events.
+
+    ``alpha`` overrides the recorded hardware cost ratio (useful when
+    validating a trace against the cost model it *should* have used);
+    by default each event's own recorded ``α`` is used.  Only evictions
+    decided by the full AMM policy (``policy == "amm"``) are constrained —
+    LRU and the ablation policies make no ``pre(d)`` promise.
+    """
+    violations: List[Violation] = []
+    for event in trace.filter("partition_evicted"):
+        data = event.data
+        if data.get("policy") != "amm":
+            continue
+        ranking = data["ranking"]
+        if not ranking or any("pre" not in entry for entry in ranking):
+            violations.append(
+                Violation(
+                    "amm_ranking",
+                    event.seq,
+                    "eviction by an 'amm' policy recorded no pre(d) ranking snapshot",
+                )
+            )
+            continue
+        a = alpha if alpha is not None else data["alpha"]
+        # the recorded preferences must be the formula applied to the inputs
+        for entry in ranking:
+            if entry.get("acc") is None:
+                continue
+            expected = entry["acc"] * entry["nbytes"] * a
+            if not math.isclose(expected, entry["pre"], rel_tol=1e-9, abs_tol=1e-12):
+                violations.append(
+                    Violation(
+                        "amm_ranking",
+                        event.seq,
+                        f"recorded pre={entry['pre']} for {entry['dataset']!r}[{entry['index']}] "
+                        f"does not match acc·size·α = {entry['acc']}·{entry['nbytes']}·{a} "
+                        f"= {expected}",
+                    )
+                )
+        # the victim must minimise (pre, last_access, key) over the candidates
+        def order_key(entry: Dict[str, Any]):
+            return (entry["pre"], entry["last_access"], (entry["dataset"], entry["index"]))
+
+        victim_key = (data["dataset"], data["index"])
+        victim = next(
+            (e for e in ranking if (e["dataset"], e["index"]) == victim_key), None
+        )
+        if victim is None:
+            violations.append(
+                Violation(
+                    "amm_ranking",
+                    event.seq,
+                    f"victim {victim_key} is not among the eviction candidates",
+                )
+            )
+            continue
+        best = min(ranking, key=order_key)
+        if order_key(victim) != order_key(best):
+            violations.append(
+                Violation(
+                    "amm_ranking",
+                    event.seq,
+                    f"evicted {victim_key} with pre={victim['pre']} but "
+                    f"({best['dataset']!r}, {best['index']}) had lower preference "
+                    f"pre={best['pre']}",
+                )
+            )
+        # R4: dead data (acc = 0) is dropped for free, live data is spilled
+        if victim.get("acc") is not None:
+            should_spill = victim["acc"] > 0
+            if bool(data["spilled"]) != should_spill:
+                violations.append(
+                    Violation(
+                        "amm_ranking",
+                        event.seq,
+                        f"victim {victim_key} has acc={victim['acc']} but "
+                        f"spilled={data['spilled']} (dead data must drop free, "
+                        f"live data must spill)",
+                    )
+                )
+    return violations
+
+
+# -------------------------------------------------------------------- Table 1
+
+
+def _prune_justified(properties: Mapping[str, Any]) -> bool:
+    """Table 1: associative selection AND (monotone | convex | non-exhaustive)."""
+    return bool(properties.get("associative")) and (
+        bool(properties.get("monotone"))
+        or bool(properties.get("convex"))
+        or bool(properties.get("non_exhaustive"))
+    )
+
+
+def check_pruning_sound(
+    trace: Trace, table1: Optional[Mapping[str, Any]] = None
+) -> List[Violation]:
+    """Every ``branch_pruned`` event must be justified by the Table 1 matrix.
+
+    ``table1`` optionally maps choose names to the expected optimisation
+    plan (an :class:`~repro.core.optimizations.OptimizationPlan` or a dict
+    with ``prune_superfluous``/``discard_incrementally``); recorded plans
+    are checked against it.  Pruned branches and their stages must show no
+    later activity (no evaluation, scheduling or completion).
+    """
+    violations: List[Violation] = []
+    pruned_stages: Dict[str, int] = {}  # stage id -> seq of the prune event
+    pruned_branches: Dict[tuple, int] = {}  # (choose, branch) -> seq
+    for event in trace:
+        data = event.data
+        if event.kind == "branch_pruned":
+            properties = data["properties"]
+            plan = data["plan"]
+            if not plan.get("prune_superfluous"):
+                violations.append(
+                    Violation(
+                        "pruning_sound",
+                        event.seq,
+                        f"branch {data['branch']!r} pruned although the recorded "
+                        f"optimisation plan forbids superfluous-branch pruning",
+                    )
+                )
+            if not _prune_justified(properties):
+                violations.append(
+                    Violation(
+                        "pruning_sound",
+                        event.seq,
+                        f"branch {data['branch']!r} pruned but the evaluator/selection "
+                        f"properties {properties} do not justify it (Table 1)",
+                    )
+                )
+            if table1 is not None and data["choose"] in table1:
+                expected = table1[data["choose"]]
+                expected_prune = (
+                    expected.get("prune_superfluous")
+                    if isinstance(expected, Mapping)
+                    else getattr(expected, "prune_superfluous")
+                )
+                if not expected_prune:
+                    violations.append(
+                        Violation(
+                            "pruning_sound",
+                            event.seq,
+                            f"choose {data['choose']!r} must not prune per the "
+                            f"provided Table 1 row, yet branch {data['branch']!r} "
+                            f"was pruned",
+                        )
+                    )
+            for stage_id in data["stages"]:
+                pruned_stages.setdefault(stage_id, event.seq)
+            pruned_branches.setdefault((data["choose"], data["branch"]), event.seq)
+        elif event.kind in ("stage_scheduled", "stage_completed"):
+            stage_id = data["stage"]
+            if stage_id in pruned_stages:
+                violations.append(
+                    Violation(
+                        "pruning_sound",
+                        event.seq,
+                        f"stage {stage_id!r} was pruned at event "
+                        f"#{pruned_stages[stage_id]} but later {event.kind}",
+                    )
+                )
+        elif event.kind == "branch_evaluated":
+            key = (data["choose"], data["branch"])
+            if key in pruned_branches:
+                violations.append(
+                    Violation(
+                        "pruning_sound",
+                        event.seq,
+                        f"branch {data['branch']!r} was pruned at event "
+                        f"#{pruned_branches[key]} but later evaluated",
+                    )
+                )
+    return violations
+
+
+# ------------------------------------------------------------------ R3 safety
+
+
+def check_no_use_after_discard(trace: Trace) -> List[Violation]:
+    """No ``dataset_access`` may target a discarded (or absorbed) dataset."""
+    violations: List[Violation] = []
+    live: set = set()
+    gone: Dict[str, int] = {}  # dataset id -> seq of discard/absorb event
+    for event in trace:
+        data = event.data
+        if event.kind == "dataset_registered":
+            live.add(data["dataset"])
+            gone.pop(data["dataset"], None)
+        elif event.kind == "composite_registered":
+            live.add(data["dataset"])
+            gone.pop(data["dataset"], None)
+            for member in data["members"]:
+                # members are absorbed: future reads must go via the composite
+                live.discard(member)
+                gone[member] = event.seq
+        elif event.kind == "dataset_discarded":
+            live.discard(data["dataset"])
+            gone[data["dataset"]] = event.seq
+        elif event.kind == "dataset_access":
+            dataset = data["dataset"]
+            if dataset not in live:
+                where = (
+                    f"discarded at event #{gone[dataset]}"
+                    if dataset in gone
+                    else "never registered"
+                )
+                violations.append(
+                    Violation(
+                        "no_use_after_discard",
+                        event.seq,
+                        f"partition {data['index']} of dataset {dataset!r} "
+                        f"read on {data['node']!r} but the dataset was {where}",
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------- aggregation
+
+ALL_CHECKS = {
+    "depth_first": check_depth_first,
+    "amm_ranking": check_amm_ranking,
+    "pruning_sound": check_pruning_sound,
+    "no_use_after_discard": check_no_use_after_discard,
+}
+
+
+def validate_trace(
+    trace: Optional[Trace],
+    alpha: Optional[float] = None,
+    table1: Optional[Mapping[str, Any]] = None,
+) -> List[Violation]:
+    """Run all four invariant checkers; returns every violation found."""
+    if trace is None:
+        return []
+    violations: List[Violation] = []
+    violations.extend(check_depth_first(trace))
+    violations.extend(check_amm_ranking(trace, alpha=alpha))
+    violations.extend(check_pruning_sound(trace, table1=table1))
+    violations.extend(check_no_use_after_discard(trace))
+    return violations
+
+
+def assert_valid(
+    trace: Optional[Trace],
+    alpha: Optional[float] = None,
+    table1: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """Raise :class:`InvariantViolation` if any invariant is violated."""
+    violations = validate_trace(trace, alpha=alpha, table1=table1)
+    if violations:
+        raise InvariantViolation(violations)
+
+
+# Benchmark-harness hook: with auto-validation on, every ``run_mdf`` call
+# asserts the invariants after execution (``python -m repro.bench --validate``).
+_AUTO_VALIDATE = False
+
+
+def set_auto_validate(enabled: bool) -> None:
+    global _AUTO_VALIDATE
+    _AUTO_VALIDATE = bool(enabled)
+
+
+def auto_validate_enabled() -> bool:
+    return _AUTO_VALIDATE

@@ -1,0 +1,84 @@
+"""Metrics accounting for recovery re-executions and choose evaluations.
+
+``recovery_reexecutions`` counts partitions lost from a failed node's
+memory that had to be re-secured (the work §5's master-side score store
+avoids for choose decisions); ``choose_evaluations`` counts evaluator
+invocations.  Both must move under fault injection / choose execution and
+both must survive :meth:`Metrics.merge`.
+"""
+
+from repro import Cluster, FailureInjector, GB, MB, Metrics
+from repro.cluster.fault import recover_partitions
+from repro.engine import EngineConfig, run_mdf
+
+from ..conftest import build_filter_mdf, build_nested_mdf
+
+
+class TestRecoveryReexecutions:
+    def test_clean_run_counts_zero(self, small_cluster):
+        result = run_mdf(build_filter_mdf(), small_cluster)
+        assert result.metrics.recovery_reexecutions == 0
+
+    def test_fault_injection_increments(self, small_cluster):
+        config = EngineConfig(failures=FailureInjector.at_stages([(2, "worker-0")]))
+        result = run_mdf(build_filter_mdf(), small_cluster, config=config)
+        assert result.metrics.recovery_reexecutions > 0
+        assert result.metrics.recoveries >= result.metrics.recovery_reexecutions
+
+    def test_each_reexecution_traced(self, small_cluster):
+        config = EngineConfig(failures=FailureInjector.at_stages([(2, "worker-0")]))
+        result = run_mdf(build_filter_mdf(), small_cluster, config=config)
+        assert (
+            len(result.events.filter("recovery"))
+            == result.metrics.recovery_reexecutions
+        )
+        assert len(result.events.filter("node_failed")) == 1
+
+    def test_recover_partitions_helper_increments(self):
+        from repro.core.datasets import Dataset
+
+        cluster = Cluster(num_workers=2, mem_per_worker=1 * GB)
+        dataset = Dataset.from_data(
+            list(range(20)), num_partitions=2, dataset_id="d:a", nominal_bytes=8 * MB
+        )
+        cluster.register_dataset(dataset)
+        lost = cluster.fail_node("worker-0")
+        assert lost
+        before = cluster.metrics.recovery_reexecutions
+        recover_partitions(cluster, lost)
+        assert cluster.metrics.recovery_reexecutions == before + len(lost)
+
+
+class TestChooseEvaluations:
+    def test_counts_one_per_branch(self, small_cluster):
+        result = run_mdf(build_filter_mdf(), small_cluster)
+        # three branches, each scored exactly once
+        assert result.metrics.choose_evaluations == 3
+        assert (
+            len(result.events.filter("choose_evaluation"))
+            == result.metrics.choose_evaluations
+        )
+
+    def test_nested_explores_count_every_scope(self, small_cluster):
+        result = run_mdf(build_nested_mdf(), small_cluster)
+        # 2 outer branches x 2 inner branches + 2 outer evaluations
+        assert result.metrics.choose_evaluations == 6
+
+    def test_counted_under_fault_injection(self, small_cluster):
+        config = EngineConfig(failures=FailureInjector.at_stages([(2, "worker-0")]))
+        result = run_mdf(build_filter_mdf(), small_cluster, config=config)
+        assert result.metrics.choose_evaluations == 3
+
+
+class TestMerge:
+    def test_merge_sums_both_counters(self):
+        a = Metrics(recovery_reexecutions=2, choose_evaluations=3)
+        b = Metrics(recovery_reexecutions=5, choose_evaluations=7)
+        merged = a.merge(b)
+        assert merged.recovery_reexecutions == 7
+        assert merged.choose_evaluations == 10
+
+    def test_as_dict_exposes_both(self):
+        data = Metrics(recovery_reexecutions=1, choose_evaluations=2).as_dict()
+        assert data["recovery_reexecutions"] == 1
+        assert data["choose_evaluations"] == 2

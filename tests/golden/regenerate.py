@@ -1,0 +1,96 @@
+"""Golden decision traces: canonical recordings + regeneration entry point.
+
+The two recorded workloads:
+
+* ``quickstart`` — ``examples/quickstart.py`` on a roomy 4-worker cluster
+  (the exact job every new user runs first);
+* ``explore_choose`` — a monotone-pruning explore/choose job on a starved
+  cluster, so the golden trace also pins evictions, spills and pruning.
+
+Traces are byte-stable: timestamps are simulated seconds, stage ids are
+per-graph, and the JSONL encoding is canonical (sorted keys, compact
+separators).  Any engine change that alters a decision — scheduling
+order, eviction victim, pruning point — shows up as a byte diff.
+
+Regenerate after an *intended* decision change with::
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+
+then review the diff like any other golden update.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+from repro import CallableEvaluator, Cluster, GB, MB, MDFBuilder, Min, run_mdf
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+REPO_ROOT = GOLDEN_DIR.parents[1]
+
+GOLDEN_FILES = {
+    "quickstart": GOLDEN_DIR / "quickstart.trace.jsonl",
+    "explore_choose": GOLDEN_DIR / "explore_choose.trace.jsonl",
+}
+
+
+def load_quickstart_module():
+    """Import ``examples/quickstart.py`` (not a package) by file path."""
+    path = REPO_ROOT / "examples" / "quickstart.py"
+    spec = importlib.util.spec_from_file_location("quickstart_example", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def build_explore_choose_mdf():
+    """Five filter branches, monotone count evaluator, Min selection.
+
+    Sorted thresholds give monotonically rising scores, so the engine
+    prunes the tail branches (Table 1); the tight cluster used by
+    :func:`record_explore_choose` forces evictions and spills.
+    """
+    builder = MDFBuilder("golden-explore-choose")
+    src = builder.read_data(list(range(1000)), name="src", nominal_bytes=96 * MB)
+    evaluator = CallableEvaluator(len, name="count", monotone=True)
+    result = src.explore(
+        {"threshold": [50, 150, 400, 700, 900]},
+        lambda pipe, p: pipe.transform(
+            lambda xs, t=p["threshold"]: [x for x in xs if x < t],
+            name=f"filter-{p['threshold']}",
+        ),
+        name="explore-threshold",
+    ).choose(evaluator, Min(), name="keep-smallest")
+    result.write(name="out")
+    return builder.build()
+
+
+def record_quickstart():
+    mdf = load_quickstart_module().build_quickstart_mdf()
+    cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+    return run_mdf(mdf, cluster, scheduler="bas", memory="amm", validate=True)
+
+
+def record_explore_choose():
+    mdf = build_explore_choose_mdf()
+    cluster = Cluster(num_workers=2, mem_per_worker=48 * MB)
+    return run_mdf(mdf, cluster, scheduler="bas", memory="amm", validate=True)
+
+
+RECORDERS = {
+    "quickstart": record_quickstart,
+    "explore_choose": record_explore_choose,
+}
+
+
+def main() -> None:
+    for name, record in RECORDERS.items():
+        result = record()
+        path = GOLDEN_FILES[name]
+        result.events.save_jsonl(path)
+        print(f"{name}: {len(result.events)} events -> {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Acceptance sweep: the four paper-invariant validators pass on every
+ready-made workload MDF (App. C listings) and on the examples' quickstart,
+under both schedulers, both memory policies and under memory pressure.
+"""
+
+import pytest
+
+from repro import Cluster, GB, MB, validate_trace
+from repro.engine import run_mdf
+from repro.workloads import (
+    granularity_grid,
+    kde_mdf,
+    kde_scoped_mdf,
+    normal_values,
+    oil_well_trace,
+    string_int_pairs,
+    synthetic_mdf,
+    time_series_mdf,
+)
+
+from ..golden.regenerate import load_quickstart_module
+
+NOMINAL = 64 * MB
+
+
+def workload_mdfs():
+    return {
+        "quickstart": load_quickstart_module().build_quickstart_mdf(),
+        "kde": kde_mdf(normal_values(2000), nominal_bytes=NOMINAL),
+        "kde_scoped": kde_scoped_mdf(normal_values(2000), nominal_bytes=NOMINAL),
+        "time_series": time_series_mdf(
+            oil_well_trace(4000), granularity_grid(9), nominal_bytes=NOMINAL
+        ),
+        "synthetic": synthetic_mdf(
+            string_int_pairs(200), b1=3, b2=3, nominal_bytes=NOMINAL
+        ),
+    }
+
+
+@pytest.mark.parametrize("name,mdf", sorted(workload_mdfs().items()))
+@pytest.mark.parametrize("scheduler", ["bas", "bfs"])
+@pytest.mark.parametrize("memory", ["amm", "lru"])
+def test_workload_validates_cleanly(name, mdf, scheduler, memory):
+    cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+    result = run_mdf(mdf, cluster, scheduler=scheduler, memory=memory)
+    violations = validate_trace(result.events)
+    assert violations == [], f"{name} under {scheduler}/{memory}: {violations}"
+
+
+@pytest.mark.parametrize("name,mdf", sorted(workload_mdfs().items()))
+def test_workload_validates_under_memory_pressure(name, mdf):
+    cluster = Cluster(num_workers=4, mem_per_worker=96 * MB)
+    result = run_mdf(mdf, cluster, scheduler="bas", memory="amm")
+    violations = validate_trace(result.events)
+    assert violations == [], f"{name} under pressure: {violations}"

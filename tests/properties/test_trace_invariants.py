@@ -1,0 +1,161 @@
+"""Property tests: the four paper invariants hold on random MDF graphs.
+
+Random one- and two-level explore/choose MDFs are executed under every
+scheduler × memory-policy × incremental-choose combination — with and
+without memory pressure and with monotone evaluators that trigger pruning
+— and each run's decision trace must satisfy all four validators:
+depth-first scheduling (Alg. 1), AMM's ``pre(d)`` eviction ranking
+(Alg. 2), Table 1 pruning soundness, and no use-after-discard (R3).
+
+Run just these with ``pytest -m trace_invariants``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CallableEvaluator,
+    Cluster,
+    GB,
+    MB,
+    MDFBuilder,
+    Min,
+    TopK,
+    validate_trace,
+)
+from repro.engine import EngineConfig, run_mdf
+
+pytestmark = pytest.mark.trace_invariants
+
+multipliers = st.lists(
+    st.integers(min_value=1, max_value=97), min_size=2, max_size=5, unique=True
+)
+thresholds = st.lists(
+    st.integers(min_value=1, max_value=400), min_size=2, max_size=6, unique=True
+)
+schedulers = st.sampled_from(["bas", "bfs"])
+policies = st.sampled_from(["amm", "lru"])
+
+
+def flat_mdf(mults, monotone):
+    """One explore over multipliers; Min over sums (monotone ⇒ pruning)."""
+    builder = MDFBuilder("prop-flat")
+    src = builder.read_data(list(range(1, 40)), name="src", nominal_bytes=32 * MB)
+    score = CallableEvaluator(lambda xs: float(sum(xs)), name="sum", monotone=monotone)
+    result = src.explore(
+        {"m": list(mults)},
+        lambda pipe, p: pipe.transform(
+            lambda xs, m=p["m"]: [x * m for x in xs], name=f"mul-{p['m']}"
+        ),
+        name="exp",
+    ).choose(score, Min(), name="ch")
+    result.write(name="out")
+    return builder.build()
+
+
+def nested_mdf(mults, ts):
+    """Outer explore over multipliers, inner explore over filter thresholds."""
+    builder = MDFBuilder("prop-nested")
+    src = builder.read_data(list(range(1, 60)), name="src", nominal_bytes=32 * MB)
+    score = CallableEvaluator(lambda xs: float(sum(xs)), name="sum")
+
+    def inner_branch(pipe, p):
+        return pipe.transform(
+            lambda xs, t=p["t"]: [x for x in xs if x < t], name=f"f-{p['_o']}-{p['t']}"
+        )
+
+    def outer_branch(pipe, p):
+        first = pipe.transform(
+            lambda xs, m=p["m"]: [x * m for x in xs], name=f"mul-{p['m']}"
+        )
+        return first.explore(
+            {"t": list(ts), "_o": [p["m"]]}, inner_branch, name=f"inner-{p['m']}"
+        ).choose(score, TopK(1), name=f"ic-{p['m']}")
+
+    result = src.explore({"m": list(mults)}, outer_branch, name="outer").choose(
+        score, TopK(1), name="oc"
+    )
+    result.write(name="out")
+    return builder.build()
+
+
+@given(multipliers, schedulers, policies, st.booleans(), st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_flat_mdf_satisfies_all_invariants(mults, scheduler, policy, incremental, monotone):
+    mdf = flat_mdf(mults, monotone)
+    result = run_mdf(
+        mdf,
+        Cluster(3, 1 * GB),
+        scheduler=scheduler,
+        memory=policy,
+        config=EngineConfig(incremental_choose=incremental),
+    )
+    assert validate_trace(result.events) == []
+
+
+@given(multipliers, thresholds, schedulers, policies)
+@settings(max_examples=20, deadline=None)
+def test_nested_mdf_satisfies_all_invariants(mults, ts, scheduler, policy):
+    mdf = nested_mdf(mults, ts)
+    result = run_mdf(mdf, Cluster(3, 1 * GB), scheduler=scheduler, memory=policy)
+    assert validate_trace(result.events) == []
+
+
+@given(multipliers, schedulers, policies)
+@settings(max_examples=15, deadline=None)
+def test_memory_pressure_preserves_invariants(mults, scheduler, policy):
+    """A starved cluster evicts constantly; every eviction must still obey
+    the recorded policy's ranking and R3/R4."""
+    mdf = flat_mdf(mults, monotone=False)
+    result = run_mdf(mdf, Cluster(3, 16 * MB), scheduler=scheduler, memory=policy)
+    assert len(result.events.filter("partition_evicted")) > 0
+    assert validate_trace(result.events) == []
+
+
+@given(multipliers, thresholds, schedulers)
+@settings(max_examples=10, deadline=None)
+def test_nested_under_pressure_with_amm(mults, ts, scheduler):
+    mdf = nested_mdf(mults, ts)
+    result = run_mdf(mdf, Cluster(3, 24 * MB), scheduler=scheduler, memory="amm")
+    assert validate_trace(result.events) == []
+
+
+def concrete_job(m):
+    """One member of the flat family as an independent dataflow job."""
+    builder = MDFBuilder(f"job-{m}")
+    src = builder.read_data(list(range(1, 40)), name="src", nominal_bytes=32 * MB)
+    src.transform(lambda xs, m=m: [x * m for x in xs], name=f"mul-{m}").write(name="out")
+    return builder.build()
+
+
+@given(multipliers, policies, st.sampled_from(["sequential", "parallel"]))
+@settings(max_examples=10, deadline=None)
+def test_baseline_runners_satisfy_invariants(mults, policy, baseline):
+    """The seq/k-parallel baselines route through run_mdf too; every
+    constituent job's trace must validate (vacuously for bfs/lru)."""
+    from repro.baselines import run_parallel, run_sequential
+
+    jobs = [concrete_job(m) for m in mults]
+    cluster = Cluster(3, 1 * GB)
+    if baseline == "sequential":
+        result = run_sequential(jobs, cluster, memory=policy)
+    else:
+        result = run_parallel(jobs, cluster, k=2, memory=policy)
+    assert result.jobs
+    for job_result in result.jobs:
+        assert validate_trace(job_result.events) == []
+
+
+@given(multipliers, st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_pruning_runs_emit_justified_prunes_only(mults, incremental):
+    """Monotone Min pruning fires on sorted multiplier branches; every
+    prune event must carry a Table 1 justification that checks out."""
+    mdf = flat_mdf(mults, monotone=True)
+    result = run_mdf(
+        mdf, Cluster(3, 1 * GB), config=EngineConfig(incremental_choose=incremental)
+    )
+    pruned = result.events.filter("branch_pruned")
+    assert len(pruned) == result.metrics.branches_pruned
+    assert validate_trace(result.events) == []

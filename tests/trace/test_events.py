@@ -1,0 +1,176 @@
+"""Unit tests for the decision-trace event log (repro.trace.events)."""
+
+import json
+
+import pytest
+
+from repro import Cluster, GB, run_mdf
+from repro.trace import EVENT_SCHEMA, Trace, TraceEvent
+
+from ..conftest import build_filter_mdf, build_nested_mdf
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class TestEmission:
+    def test_events_are_sequenced_and_timestamped(self):
+        clock = FakeClock(1.5)
+        trace = Trace(clock=clock)
+        e0 = trace.emit("dataset_discarded", dataset="d:a")
+        clock.now = 2.25
+        e1 = trace.emit("dataset_discarded", dataset="d:b")
+        assert (e0.seq, e0.t) == (0, 1.5)
+        assert (e1.seq, e1.t) == (1, 2.25)
+        assert len(trace) == 2
+
+    def test_unknown_kind_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            trace.emit("made_up_kind", foo=1)
+
+    def test_missing_payload_field_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError, match="missing=\\['nbytes'\\]"):
+            trace.emit("checkpoint_written", dataset="d:a")
+
+    def test_unexpected_payload_field_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError, match="unexpected=\\['bogus'\\]"):
+            trace.emit("checkpoint_written", dataset="d:a", nbytes=1, bogus=2)
+
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace()
+        trace.enabled = False
+        assert trace.emit("dataset_discarded", dataset="d:a") is None
+        assert len(trace) == 0
+
+    def test_every_schema_kind_emittable(self):
+        trace = Trace()
+        for kind, fields in EVENT_SCHEMA.items():
+            trace.emit(kind, **{name: None for name in fields})
+        assert len(trace) == len(EVENT_SCHEMA)
+
+    def test_filter_and_kinds(self):
+        trace = Trace()
+        trace.emit("dataset_discarded", dataset="d:a")
+        trace.emit("checkpoint_written", dataset="d:a", nbytes=1)
+        trace.emit("dataset_discarded", dataset="d:b")
+        assert [e.data["dataset"] for e in trace.filter("dataset_discarded")] == [
+            "d:a",
+            "d:b",
+        ]
+        assert trace.kinds() == {"dataset_discarded": 2, "checkpoint_written": 1}
+
+
+class TestJsonlExport:
+    def test_lines_are_canonical_json(self):
+        trace = Trace(clock=FakeClock(0.5))
+        trace.emit("dataset_discarded", dataset="d:a")
+        line = trace.to_jsonl().rstrip("\n")
+        # canonical: sorted keys, compact separators, one line per event
+        assert line == '{"data":{"dataset":"d:a"},"kind":"dataset_discarded","seq":0,"t":0.5}'
+
+    def test_roundtrip_preserves_events(self):
+        trace = Trace(clock=FakeClock(1.0))
+        trace.emit("checkpoint_written", dataset="d:a", nbytes=42)
+        trace.emit("node_failed", node="worker-0", lost=[["d:a", 0]])
+        back = Trace.from_jsonl(trace.to_jsonl())
+        assert [e.as_dict() for e in back] == [e.as_dict() for e in trace]
+
+    def test_save_and_load(self, tmp_path):
+        trace = Trace()
+        trace.emit("dataset_discarded", dataset="d:a")
+        path = tmp_path / "t.jsonl"
+        trace.save_jsonl(path)
+        back = Trace.load_jsonl(path)
+        assert back.to_jsonl() == trace.to_jsonl()
+
+    def test_identical_runs_export_identical_bytes(self):
+        """The property golden-trace regression relies on."""
+        mdf = build_filter_mdf()
+        runs = []
+        for _ in range(2):
+            cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+            result = run_mdf(mdf, cluster, scheduler="bas", memory="amm")
+            runs.append(result.events.to_jsonl())
+        assert runs[0] == runs[1]
+        assert len(runs[0]) > 0
+
+
+class TestChromeExport:
+    def run_trace(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        return run_mdf(build_filter_mdf(), cluster, scheduler="bas", memory="amm").events
+
+    def test_stages_become_complete_events_per_branch(self):
+        trace = self.run_trace()
+        chrome = trace.to_chrome()
+        events = chrome["traceEvents"]
+        stages = [e for e in events if e["ph"] == "X"]
+        assert len(stages) == len(trace.filter("stage_completed"))
+        for e in stages:
+            assert e["dur"] >= 0.0
+        # one timeline row (tid) per branch plus the main row
+        branch_tids = {e["tid"] for e in stages}
+        branches = {e.data["branch"] for e in trace.filter("stage_completed")}
+        assert len(branch_tids) == len(branches)
+
+    def test_decisions_become_instant_events(self):
+        trace = self.run_trace()
+        events = self.run_trace().to_chrome()["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in instants} >= {"branch_discarded", "choose_finalized"}
+
+    def test_thread_names_metadata_present(self):
+        events = self.run_trace().to_chrome()["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and all(e["name"] == "thread_name" for e in meta)
+
+    def test_save_chrome_writes_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self.run_trace().save_chrome(path)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert "traceEvents" in loaded and loaded["displayTimeUnit"] == "ms"
+
+
+class TestJobResultIntegration:
+    def test_result_events_is_the_cluster_trace(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        result = run_mdf(build_filter_mdf(), cluster)
+        assert result.events is cluster.trace
+        assert len(result.events) > 0
+
+    def test_cluster_reset_starts_a_fresh_trace(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        first = run_mdf(build_filter_mdf(), cluster)
+        n_first = len(first.events)
+        second = run_mdf(build_filter_mdf(), cluster)
+        assert len(second.events) == n_first  # not doubled by accumulation
+
+    def test_trace_covers_the_decision_surface(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        result = run_mdf(build_nested_mdf(), cluster)
+        kinds = result.events.kinds()
+        for expected in (
+            "stage_scheduled",
+            "stage_completed",
+            "task_dispatched",
+            "dataset_registered",
+            "dataset_access",
+            "choose_evaluation",
+            "branch_evaluated",
+            "branch_discarded",
+            "choose_finalized",
+            "dataset_discarded",
+        ):
+            assert kinds.get(expected, 0) > 0, f"no {expected} events recorded"
+
+
+class TestTraceEvent:
+    def test_as_dict_and_to_json_agree(self):
+        event = TraceEvent(3, 1.25, "dataset_discarded", {"dataset": "d:a"})
+        assert json.loads(event.to_json()) == event.as_dict()
