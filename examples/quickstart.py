@@ -51,9 +51,9 @@ def main() -> None:
     # 1. build the meta-dataflow -------------------------------------------
     mdf = build_quickstart_mdf()
 
-    # 2. execute on a simulated cluster ------------------------------------
+    # 2. execute on a simulated cluster, telemetry on ----------------------
     cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
-    job = run_mdf(mdf, cluster, scheduler="bas", memory="amm")
+    job = run_mdf(mdf, cluster, scheduler="bas", memory="amm", telemetry=True)
 
     # 3. inspect the outcome -------------------------------------------------
     decision = job.decision_for("keep-smallest")
@@ -63,6 +63,10 @@ def main() -> None:
     print(f"result (head)   : {job.output[:10]}")
     print(f"memory hit ratio: {job.memory_hit_ratio:.2f}")
     assert job.output == list(range(10))
+
+    # 4. where did the work go?  per-branch telemetry attribution ------------
+    print()
+    print(job.telemetry.branch_breakdown())
 
 
 if __name__ == "__main__":

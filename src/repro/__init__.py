@@ -86,6 +86,14 @@ from .core import (
     Transform,
     plan_optimizations,
 )
+from .obs import (
+    MetricsRegistry,
+    Telemetry,
+    TelemetryConfig,
+    TimelineSampler,
+    prometheus_text,
+    registry_from_trace,
+)
 from .patterns import (
     cross_validation_mdf,
     fold_splits,
@@ -161,6 +169,7 @@ __all__ = [
     "Max",
     "MetadataEvaluator",
     "Metrics",
+    "MetricsRegistry",
     "Min",
     "Mode",
     "ModelBasedHint",
@@ -179,7 +188,10 @@ __all__ = [
     "SpeculationConfig",
     "StageGraph",
     "StragglerProfile",
+    "Telemetry",
+    "TelemetryConfig",
     "Threshold",
+    "TimelineSampler",
     "TopK",
     "Trace",
     "TraceEvent",
@@ -196,6 +208,8 @@ __all__ = [
     "iterative_explore_mdf",
     "make_policy",
     "plan_optimizations",
+    "prometheus_text",
+    "registry_from_trace",
     "run_mdf",
     "set_auto_validate",
     "validate_trace",

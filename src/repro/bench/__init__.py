@@ -18,7 +18,14 @@ from .figures import (
     supplementary_full_time_series,
     table1_optimizations,
 )
-from .report import improvement, render_table, rows_to_dict
+from .report import (
+    improvement,
+    render_table,
+    rows_to_dict,
+    telemetry_breakdown,
+    timeline_table,
+)
+from .telemetry import telemetry_report
 
 __all__ = [
     "ALL_FIGURES",
@@ -40,4 +47,7 @@ __all__ = [
     "rows_to_dict",
     "supplementary_full_time_series",
     "table1_optimizations",
+    "telemetry_breakdown",
+    "telemetry_report",
+    "timeline_table",
 ]

@@ -1,10 +1,13 @@
-"""Command-line entry: ``python -m repro.bench [--validate] [figure ...]``.
+"""Command-line entry: ``python -m repro.bench [--validate] [--telemetry] [figure ...]``.
 
 Regenerates the requested tables/figures (all of them by default),
 printing the paper-style rows and the shape-check verdicts.  With
 ``--validate``, every ``run_mdf`` call performed while building the
 figures additionally runs the paper-invariant trace validators
-(:mod:`repro.trace.validate`) and aborts on the first violation.
+(:mod:`repro.trace.validate`) and aborts on the first violation.  With
+``--telemetry``, prints the observability demo report (Fig 17-style
+timelines, per-branch/node attribution, Prometheus and JSON expositions)
+— on its own it replaces the figure run.
 """
 
 from __future__ import annotations
@@ -20,6 +23,14 @@ def main(argv) -> int:
     validate = "--validate" in argv
     if validate:
         argv = [a for a in argv if a != "--validate"]
+    telemetry = "--telemetry" in argv
+    if telemetry:
+        argv = [a for a in argv if a != "--telemetry"]
+        from .telemetry import telemetry_report
+
+        print(telemetry_report())
+        if not argv:
+            return 0
     names = argv or list(ALL_FIGURES)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:

@@ -43,12 +43,92 @@ def _fmt(cell: Any) -> str:
 
 
 def improvement(base: float, new: float) -> float:
-    """Relative improvement of ``new`` over ``base`` in percent."""
+    """Relative improvement of ``new`` over ``base`` in percent.
+
+    A non-positive baseline makes the ratio meaningless, so the result is
+    NaN (rendered as ``-`` by the tables) rather than a fake 0%.
+    """
     if base <= 0:
-        return 0.0
+        return float("nan")
     return 100.0 * (1.0 - new / base)
 
 
 def rows_to_dict(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[Dict[str, Any]]:
     """Rows as dictionaries, for pytest-benchmark ``extra_info``."""
     return [dict(zip(columns, row)) for row in rows]
+
+
+# --------------------------------------------------------------- telemetry
+#: instrument -> column header for the breakdown tables; bytes columns are
+#: summed across memory/disk tiers, time across io/compute
+_BREAKDOWN_COLUMNS = (
+    ("tasks", ("tasks_executed",)),
+    ("evictions", ("evictions",)),
+    ("bytes read", ("bytes_read_memory", "bytes_read_disk")),
+    ("bytes written", ("bytes_written_memory", "bytes_written_disk")),
+    ("time (s)", ("time_io", "time_compute")),
+)
+
+
+def telemetry_breakdown(registry, dim: str) -> str:
+    """Per-``dim`` (branch/node/stage/...) attribution table.
+
+    Every row is one value of the chosen label dimension; the unlabeled
+    remainder (observations with no ``dim`` label, e.g. scheduling overhead
+    for a branch breakdown) appears as ``(unattributed)``.  Column totals
+    equal the job-global :class:`~repro.cluster.metrics.Metrics` by
+    construction — the registry is the single source of both.
+    """
+    keys: set = set()
+    per_column: List[Dict[str, float]] = []
+    for _, instruments in _BREAKDOWN_COLUMNS:
+        merged: Dict[str, float] = {}
+        for name in instruments:
+            for key, amount in registry.aggregate(name, (dim,)).items():
+                merged[key[0]] = merged.get(key[0], 0.0) + amount
+        per_column.append(merged)
+        keys.update(merged)
+
+    def label_of(key: str) -> str:
+        return key if key else "(unattributed)"
+
+    rows: List[List[Any]] = []
+    for key in sorted(keys):
+        rows.append([label_of(key)] + [col.get(key, 0.0) for col in per_column])
+    rows.append(["total"] + [sum(col.values()) for col in per_column])
+    columns = [dim] + [header for header, _ in _BREAKDOWN_COLUMNS]
+    return render_table(f"telemetry breakdown by {dim}", columns, rows)
+
+
+def timeline_table(samples: Sequence[Any], max_rows: int = 24) -> str:
+    """The Fig 17-style memory-over-time series as a text table.
+
+    When the series is longer than ``max_rows`` it is decimated evenly
+    (first and last samples always kept) — the table is for eyeballing the
+    LRU-vs-AMM shape, not for plotting.
+    """
+    shown = list(samples)
+    if max_rows >= 2 and len(shown) > max_rows:
+        step = (len(shown) - 1) / (max_rows - 1)
+        shown = [shown[round(i * step)] for i in range(max_rows)]
+    rows = [
+        [
+            s.t,
+            s.memory_in_use,
+            s.memory_capacity,
+            s.hit_ratio,
+            s.live_branches,
+            s.live_datasets,
+            s.evictions,
+        ]
+        for s in shown
+    ]
+    note = None
+    if len(shown) < len(samples):
+        note = f"showing {len(shown)} of {len(samples)} samples"
+    return render_table(
+        "timeline (memory over simulated time)",
+        ["t (s)", "mem in use", "capacity", "hit ratio", "branches", "datasets", "evictions"],
+        rows,
+        note=note,
+    )

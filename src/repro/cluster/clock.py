@@ -4,9 +4,15 @@ All completion times reported by the engine are simulated seconds advanced
 through this clock, never wall-clock time.  This keeps every benchmark
 deterministic and lets laptop-scale runs reproduce the *shape* of the
 paper's cluster-scale results.
+
+Subscribers (the telemetry timeline sampler) are notified after every
+advance with the new time; they observe the clock, never drive it, so a
+subscribed clock behaves identically to an unsubscribed one.
 """
 
 from __future__ import annotations
+
+from typing import Callable, List
 
 
 class SimClock:
@@ -14,6 +20,7 @@ class SimClock:
 
     def __init__(self):
         self._now = 0.0
+        self._subscribers: List[Callable[[float], None]] = []
 
     @property
     def now(self) -> float:
@@ -24,9 +31,21 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds}")
         self._now += seconds
+        for subscriber in tuple(self._subscribers):
+            subscriber(self._now)
         return self._now
 
+    def subscribe(self, callback: Callable[[float], None]) -> None:
+        """Call ``callback(now)`` after every advance."""
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[float], None]) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
     def reset(self) -> None:
+        """Rewind to t=0.  Subscribers survive (they track runs, not time)."""
         self._now = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover

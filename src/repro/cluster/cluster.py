@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.datasets import Dataset, Partition
 from ..core.state import ExecutionState
+from ..obs.registry import MetricsRegistry
 from ..trace import Trace
 from .clock import SimClock
 from .costmodel import CostModel, GB
@@ -76,12 +77,21 @@ class Cluster:
         self.cost_model = cost_model or CostModel()
         self.policy = policy or LRUPolicy()
         self.clock = SimClock()
-        self.metrics = Metrics()
+        self.obs = MetricsRegistry()
+        self.metrics = Metrics().bind(self.obs)
         self.trace = Trace(clock=self.clock)
         self.nodes: List[Node] = [
             Node(f"worker-{i}", mem_per_worker) for i in range(num_workers)
         ]
         self._records: Dict[str, DatasetRecord] = {}
+        self._watch_nodes()
+
+    def _watch_nodes(self) -> None:
+        """Wire each node's memory changes into its per-node gauge."""
+        for node in self.nodes:
+            gauge = self.obs.gauge("node_memory_in_use", node=node.id)
+            node.observer = (lambda n=node, g=gauge: g.set(n.mem_used))
+            node.observer()
 
     # ------------------------------------------------------------ topology
     @property
@@ -144,11 +154,31 @@ class Cluster:
         seconds = 0.0
         if nbytes > node.mem_capacity:
             node.put(key, partition.data, nbytes, self.clock.now, in_memory=False)
-            self.metrics.bytes_written_disk += nbytes
+            self.obs.counter(
+                "bytes_written_disk", node=node.id, dataset=key[0]
+            ).inc(nbytes)
+            self.trace.emit(
+                "partition_stored",
+                dataset=key[0],
+                index=key[1],
+                node=node.id,
+                nbytes=nbytes,
+                tier="disk",
+            )
             return self.cost_model.disk_write_time(nbytes)
         seconds += self._ensure_space(node, nbytes)
         node.put(key, partition.data, nbytes, self.clock.now, in_memory=True)
-        self.metrics.bytes_written_memory += nbytes
+        self.obs.counter(
+            "bytes_written_memory", node=node.id, dataset=key[0]
+        ).inc(nbytes)
+        self.trace.emit(
+            "partition_stored",
+            dataset=key[0],
+            index=key[1],
+            node=node.id,
+            nbytes=nbytes,
+            tier="memory",
+        )
         seconds += self.cost_model.mem_write_time(nbytes)
         return seconds
 
@@ -197,8 +227,9 @@ class Cluster:
         nbytes = slot.nbytes
         if slot.in_memory:
             node.touch(key, self.clock.now)
-            self.metrics.partition_hits += 1
-            self.metrics.bytes_read_memory += nbytes
+            access = dict(node=node.id, dataset=dataset_id)
+            self.obs.counter("partition_hits", **access).inc()
+            self.obs.counter("bytes_read_memory", **access).inc(nbytes)
             self.trace.emit(
                 "dataset_access",
                 dataset=dataset_id,
@@ -213,8 +244,9 @@ class Cluster:
         # only re-enters memory as part of newly produced outputs.  An
         # eviction of still-needed data therefore costs one disk read per
         # future access, which is exactly what AMM's preference weighs.
-        self.metrics.partition_misses += 1
-        self.metrics.bytes_read_disk += nbytes
+        access = dict(node=node.id, dataset=dataset_id)
+        self.obs.counter("partition_misses", **access).inc()
+        self.obs.counter("bytes_read_disk", **access).inc(nbytes)
         node.touch(key, self.clock.now)
         self.trace.emit(
             "dataset_access",
@@ -257,7 +289,7 @@ class Cluster:
             return
         for key, node_id in zip(record.partition_keys, record.partition_nodes):
             self.node(node_id).remove(key)
-        self.metrics.datasets_discarded += 1
+        self.obs.counter("datasets_discarded", dataset=dataset_id).inc()
         self.trace.emit("dataset_discarded", dataset=dataset_id)
 
     def pin_dataset(self, dataset_id: str) -> None:
@@ -294,9 +326,8 @@ class Cluster:
                 ranking=ranking,
             )
             node.demote(victim.key)
-            self.metrics.evictions += 1
+            self.policy.record_eviction(self.obs, node, victim, spilled)
             if spilled:
-                self.metrics.bytes_written_disk += victim.nbytes
                 seconds += self.cost_model.disk_write_time(victim.nbytes)
             # else: the policy knows the data is dead — dropped for free
         return seconds
@@ -356,8 +387,10 @@ class Cluster:
             node.protected.clear()
         self._records.clear()
         self.clock.reset()
-        self.metrics = Metrics()
+        self.obs = MetricsRegistry()
+        self.metrics = Metrics().bind(self.obs)
         self.trace = Trace(clock=self.clock)
+        self._watch_nodes()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

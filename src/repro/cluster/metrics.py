@@ -5,12 +5,26 @@ the fraction of data accesses that read data residing in memory (§6.2).
 This module tracks both, plus eviction counts, byte volumes, per-category
 time breakdowns, and pruning statistics, so every figure of §6.2–§6.4 can
 be regenerated.
+
+Since the labeled registry landed (:mod:`repro.obs.registry`), a cluster's
+``Metrics`` is a *derived view*: :meth:`Metrics.bind` attaches it to the
+cluster's :class:`~repro.obs.registry.MetricsRegistry`, after which every
+field read aggregates the labeled series (sum for counters, max for
+peaks) and every field write is forwarded as a counter increment / gauge
+ratchet.  Existing callers — ``as_dict()`` consumers, ``merge()`` over
+baseline runs, plain ``Metrics()`` literals in tests — keep working
+unchanged: an unbound instance behaves exactly as the old dataclass did.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict
+
+#: fields merged/read by maximum instead of sum (gauge-backed peaks)
+_MAX_FIELDS = frozenset({"peak_datasets_stored"})
+#: fields reported as floats (everything else is an integer count)
+_FLOAT_FIELDS = frozenset({"time_compute", "time_io", "time_network"})
 
 
 @dataclass
@@ -40,6 +54,42 @@ class Metrics:
     recovery_reexecutions: int = 0
     speculative_tasks: int = 0
 
+    # --------------------------------------------------------- registry view
+    def bind(self, registry) -> "Metrics":
+        """Turn this instance into a live view over a metrics registry.
+
+        Bound, every field read aggregates the registry's labeled series
+        under the same name and every write forwards the delta, so the two
+        observability layers cannot drift apart.
+        """
+        object.__setattr__(self, "_registry", registry)
+        return self
+
+    def __getattribute__(self, name: str):
+        if name in _FIELD_NAMES:
+            registry = object.__getattribute__(self, "__dict__").get("_registry")
+            if registry is not None:
+                if name in _MAX_FIELDS:
+                    value = registry.max_value(name)
+                else:
+                    value = registry.value(name)
+                return value if name in _FLOAT_FIELDS else int(value)
+        return object.__getattribute__(self, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _FIELD_NAMES:
+            registry = object.__getattribute__(self, "__dict__").get("_registry")
+            if registry is not None:
+                if name in _MAX_FIELDS:
+                    registry.gauge(name).set_max(value)
+                else:
+                    delta = value - registry.value(name)
+                    if delta:
+                        registry.counter(name).inc(delta)
+                return
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------ aggregates
     @property
     def memory_hit_ratio(self) -> float:
         """Fraction of read bytes served from memory (1.0 when nothing read)."""
@@ -53,35 +103,24 @@ class Metrics:
         return self.time_compute + self.time_io + self.time_network
 
     def merge(self, other: "Metrics") -> "Metrics":
-        """Element-wise sum of two metric sets (peaks take the maximum)."""
+        """Element-wise sum of two metric sets (peaks take the maximum).
+
+        Iterates the dataclass fields so a newly added metric participates
+        automatically instead of silently dropping out of merged reports.
+        """
         merged = Metrics()
-        for name in (
-            "bytes_read_memory",
-            "bytes_read_disk",
-            "bytes_written_memory",
-            "bytes_written_disk",
-            "partition_hits",
-            "partition_misses",
-            "evictions",
-            "datasets_discarded",
-            "branches_pruned",
-            "branches_executed",
-            "stages_executed",
-            "tasks_executed",
-            "choose_evaluations",
-            "recoveries",
-            "recovery_reexecutions",
-            "speculative_tasks",
-        ):
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
-        for name in ("time_compute", "time_io", "time_network"):
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
-        merged.peak_datasets_stored = max(self.peak_datasets_stored, other.peak_datasets_stored)
+        for name in _FIELD_NAMES:
+            mine, theirs = getattr(self, name), getattr(other, name)
+            combined = max(mine, theirs) if name in _MAX_FIELDS else mine + theirs
+            object.__setattr__(merged, name, combined)
         return merged
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for reporting."""
-        data = dict(self.__dict__)
+        data = {name: getattr(self, name) for name in _FIELD_NAMES}
         data["memory_hit_ratio"] = self.memory_hit_ratio
         data["total_time"] = self.total_time
         return data
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(Metrics))

@@ -9,7 +9,7 @@ for the LRU policy and can be pinned (Spark ``cache()`` emulation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 PartitionKey = Tuple[str, int]  # (dataset_id, partition_index)
 
@@ -43,6 +43,13 @@ class Node:
         #: keys that must not be evicted right now (inputs/outputs of the
         #: currently executing stage)
         self.protected: set = set()
+        #: zero-arg callback invoked after every ``mem_used`` change (the
+        #: cluster wires this to its per-node memory gauge)
+        self.observer: Optional[Callable[[], None]] = None
+
+    def _notify(self) -> None:
+        if self.observer is not None:
+            self.observer()
 
     # -------------------------------------------------------------- queries
     def has(self, key: PartitionKey) -> bool:
@@ -73,6 +80,7 @@ class Node:
         self.slots[key] = slot
         if in_memory:
             self.mem_used += slot.nbytes
+        self._notify()
         return slot
 
     def promote(self, key: PartitionKey, now: float) -> Slot:
@@ -81,6 +89,7 @@ class Node:
         if not slot.in_memory:
             slot.in_memory = True
             self.mem_used += slot.nbytes
+            self._notify()
         slot.last_access = now
         return slot
 
@@ -90,6 +99,7 @@ class Node:
         if slot.in_memory:
             slot.in_memory = False
             self.mem_used -= slot.nbytes
+            self._notify()
         return slot
 
     def touch(self, key: PartitionKey, now: float) -> None:
@@ -100,6 +110,7 @@ class Node:
         slot = self.slots.pop(key, None)
         if slot is not None and slot.in_memory:
             self.mem_used -= slot.nbytes
+            self._notify()
         return slot
 
     def drop_memory_contents(self) -> List[PartitionKey]:
@@ -116,6 +127,7 @@ class Node:
                 lost.append(key)
                 slot.in_memory = False
         self.mem_used = 0
+        self._notify()
         return lost
 
     def eviction_candidates(self) -> List[Slot]:

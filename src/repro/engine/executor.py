@@ -72,8 +72,14 @@ class StageExecutor:
         per_node_compute: Dict[str, float],
         network: float,
         num_tasks: int,
+        per_node_tasks: Optional[Dict[str, int]] = None,
     ) -> StageTimes:
-        """Combine per-node times into stage walls, honouring stragglers."""
+        """Combine per-node times into stage walls, honouring stragglers.
+
+        Also attributes the (straggler-adjusted) per-node times, the task
+        counts, and a per-task latency estimate to the labeled registry;
+        the ambient label context supplies stage/branch.
+        """
         profile = self.config.stragglers
         if profile is not None:
             per_node_io = apply_stragglers(
@@ -85,11 +91,28 @@ class StageExecutor:
         io = max(per_node_io.values(), default=0.0)
         compute = max(per_node_compute.values(), default=0.0)
         overhead = num_tasks * self.config.task_overhead
-        metrics = self.cluster.metrics
-        metrics.time_io += sum(per_node_io.values())
-        metrics.time_compute += sum(per_node_compute.values())
-        metrics.time_network += network
-        metrics.tasks_executed += num_tasks
+        obs = self.cluster.obs
+        for node_id, seconds in per_node_io.items():
+            obs.counter("time_io", node=node_id).inc(seconds)
+        for node_id, seconds in per_node_compute.items():
+            obs.counter("time_compute", node=node_id).inc(seconds)
+        if network:
+            obs.counter("time_network").inc(network)
+        attributed = 0
+        if per_node_tasks:
+            for node_id, count in per_node_tasks.items():
+                if count <= 0:
+                    continue
+                obs.counter("tasks_executed", node=node_id).inc(count)
+                attributed += count
+                per_task = (
+                    per_node_io.get(node_id, 0.0) + per_node_compute.get(node_id, 0.0)
+                ) / count
+                histogram = obs.histogram("task_seconds", node=node_id)
+                for _ in range(count):
+                    histogram.observe(per_task)
+        if num_tasks > attributed:
+            obs.counter("tasks_executed").inc(num_tasks - attributed)
         return StageTimes(io=io, compute=compute, network=network, overhead=overhead)
 
     def _run_chain(
@@ -146,6 +169,7 @@ class StageExecutor:
         assert isinstance(head, Join)
         per_node_io: Dict[str, float] = {}
         per_node_compute: Dict[str, float] = {}
+        per_node_tasks: Dict[str, int] = {}
         operands = []
         total_bytes = 0
         with self.cluster.protect([left_id, right_id]):
@@ -157,6 +181,7 @@ class StageExecutor:
                         dataset_id, index
                     )
                     per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                    per_node_tasks[node_id] = per_node_tasks.get(node_id, 0) + 1
                     payloads.append(payload)
                 total_bytes += record.nbytes
                 operands.append(payloads)
@@ -191,18 +216,23 @@ class StageExecutor:
                 store_seconds = self.cluster.register_dataset(output)
         num_tasks = sum(len(p) for p in operands)
         if defer_store:
-            times = self._wall(per_node_io, per_node_compute, network, num_tasks)
+            times = self._wall(
+                per_node_io, per_node_compute, network, num_tasks, per_node_tasks
+            )
             return StageOutcome(output.id, times, num_tasks, pending=output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
-        times = self._wall(per_node_io, per_node_compute, network, num_tasks)
+        times = self._wall(
+            per_node_io, per_node_compute, network, num_tasks, per_node_tasks
+        )
         return StageOutcome(output.id, times, num_tasks)
 
     def commit_store(self, dataset: Dataset) -> StageTimes:
         """Materialise a deferred stage output (charge the store)."""
         store_seconds = self.cluster.register_dataset(dataset)
         io = max(store_seconds.values(), default=0.0)
-        self.cluster.metrics.time_io += sum(store_seconds.values())
+        for node_id, seconds in store_seconds.items():
+            self.cluster.obs.counter("time_io", node=node_id).inc(seconds)
         return StageTimes(io=io)
 
     def _execute_source_stage(self, stage: Stage) -> StageOutcome:
@@ -212,14 +242,25 @@ class StageExecutor:
         raw = source.generate(nparts, producer=stage.tail.name)
         per_node_io: Dict[str, float] = {}
         per_node_compute: Dict[str, float] = {}
+        per_node_tasks: Dict[str, int] = {}
         # Reading the job input from distributed storage is a disk read.
         out_parts: List[Partition] = []
         for partition in raw.partitions:
             node = self.cluster.node_for_partition(partition.index)
-            self.cluster.metrics.bytes_read_disk += partition.nominal_bytes
+            self.cluster.obs.counter(
+                "bytes_read_disk", node=node.id, dataset=raw.id
+            ).inc(partition.nominal_bytes)
+            self.cluster.trace.emit(
+                "source_read",
+                dataset=raw.id,
+                index=partition.index,
+                node=node.id,
+                nbytes=partition.nominal_bytes,
+            )
             per_node_io[node.id] = per_node_io.get(node.id, 0.0) + (
                 self.cluster.cost_model.disk_read_time(partition.nominal_bytes)
             )
+            per_node_tasks[node.id] = per_node_tasks.get(node.id, 0) + 1
             payload, nbytes = self._run_chain(
                 stage.ops[1:], partition.data, partition.nominal_bytes, node.id, per_node_compute
             )
@@ -228,7 +269,9 @@ class StageExecutor:
         store_seconds = self.cluster.register_dataset(output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
-        times = self._wall(per_node_io, per_node_compute, 0.0, len(out_parts))
+        times = self._wall(
+            per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
+        )
         return StageOutcome(output.id, times, len(out_parts))
 
     def _execute_narrow_stage(
@@ -237,6 +280,7 @@ class StageExecutor:
         record = self.cluster.record(input_dataset_id)
         per_node_io: Dict[str, float] = {}
         per_node_compute: Dict[str, float] = {}
+        per_node_tasks: Dict[str, int] = {}
         out_parts: List[Partition] = []
         with self.cluster.protect([input_dataset_id]):
             for index in range(record.num_partitions):
@@ -244,6 +288,7 @@ class StageExecutor:
                     input_dataset_id, index
                 )
                 per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                per_node_tasks[node_id] = per_node_tasks.get(node_id, 0) + 1
                 nbytes = record.partition_bytes[index]
                 out_payload, out_bytes = self._run_chain(
                     stage.ops, payload, nbytes, node_id, per_node_compute
@@ -255,11 +300,15 @@ class StageExecutor:
             if not defer_store:
                 store_seconds = self.cluster.register_dataset(output)
         if defer_store:
-            times = self._wall(per_node_io, per_node_compute, 0.0, len(out_parts))
+            times = self._wall(
+                per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
+            )
             return StageOutcome(output.id, times, len(out_parts), pending=output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
-        times = self._wall(per_node_io, per_node_compute, 0.0, len(out_parts))
+        times = self._wall(
+            per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
+        )
         return StageOutcome(output.id, times, len(out_parts))
 
     def _execute_wide_stage(
@@ -270,6 +319,7 @@ class StageExecutor:
         head, rest = stage.ops[0], stage.ops[1:]
         per_node_io: Dict[str, float] = {}
         per_node_compute: Dict[str, float] = {}
+        per_node_tasks: Dict[str, int] = {}
         payloads: List[Any] = []
         total_bytes = 0
         with self.cluster.protect([input_dataset_id]):
@@ -278,6 +328,7 @@ class StageExecutor:
                     input_dataset_id, index
                 )
                 per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                per_node_tasks[node_id] = per_node_tasks.get(node_id, 0) + 1
                 payloads.append(payload)
                 total_bytes += record.partition_bytes[index]
             # all-to-all shuffle: every byte crosses the network once; each
@@ -309,11 +360,15 @@ class StageExecutor:
             if not defer_store:
                 store_seconds = self.cluster.register_dataset(output)
         if defer_store:
-            times = self._wall(per_node_io, per_node_compute, network, len(payloads))
+            times = self._wall(
+                per_node_io, per_node_compute, network, len(payloads), per_node_tasks
+            )
             return StageOutcome(output.id, times, len(payloads), pending=output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
-        times = self._wall(per_node_io, per_node_compute, network, len(payloads))
+        times = self._wall(
+            per_node_io, per_node_compute, network, len(payloads), per_node_tasks
+        )
         return StageOutcome(output.id, times, len(payloads))
 
     # ------------------------------------------------------------ evaluate
@@ -335,7 +390,7 @@ class StageExecutor:
                 self.cluster.cost_model.compute_time(cost)
             )
         score = evaluator.score(dataset)
-        self.cluster.metrics.choose_evaluations += 1
+        self.cluster.obs.counter("choose_evaluations", dataset=dataset.id).inc()
         self.cluster.trace.emit(
             "choose_evaluation",
             evaluator=evaluator.name,
@@ -343,6 +398,9 @@ class StageExecutor:
             pipelined=True,
         )
         times = self._wall({}, per_node_compute, 0.0, 0)
+        self.cluster.obs.histogram(
+            "choose_evaluation_seconds", dataset=dataset.id
+        ).observe(times.total)
         return score, times
 
     def evaluate_branch(self, evaluator, dataset_id: str) -> Tuple[float, StageTimes]:
@@ -357,11 +415,13 @@ class StageExecutor:
         record = self.cluster.record(dataset_id)
         per_node_io: Dict[str, float] = {}
         per_node_compute: Dict[str, float] = {}
+        per_node_tasks: Dict[str, int] = {}
         parts: List[Partition] = []
         with self.cluster.protect([dataset_id]):
             for index in range(record.num_partitions):
                 payload, seconds, node_id = self.cluster.load_partition(dataset_id, index)
                 per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                per_node_tasks[node_id] = per_node_tasks.get(node_id, 0) + 1
                 nbytes = record.partition_bytes[index]
                 parts.append(Partition(dataset_id, index, payload, nbytes))
                 cost = evaluator.cost_factor * nbytes
@@ -376,27 +436,35 @@ class StageExecutor:
             network = self.cluster.cost_model.network_time(record.nbytes)
             serial = sum(per_node_compute.values())
             per_node_compute = {"master": serial}
-        self.cluster.metrics.choose_evaluations += 1
+            per_node_tasks = {"master": record.num_partitions}
+        self.cluster.obs.counter("choose_evaluations", dataset=dataset_id).inc()
         self.cluster.trace.emit(
             "choose_evaluation",
             evaluator=evaluator.name,
             dataset=dataset_id,
             pipelined=False,
         )
-        times = self._wall(per_node_io, per_node_compute, network, record.num_partitions)
+        times = self._wall(
+            per_node_io, per_node_compute, network, record.num_partitions, per_node_tasks
+        )
+        self.cluster.obs.histogram(
+            "choose_evaluation_seconds", dataset=dataset_id
+        ).observe(times.total)
         return score, times
 
     def finalize_sink(self, sink: Sink, dataset_id: str) -> Tuple[Any, StageTimes]:
         """Collect a dataset at the sink and run the sink function."""
         record = self.cluster.record(dataset_id)
         per_node_io: Dict[str, float] = {}
+        per_node_tasks: Dict[str, int] = {}
         parts: List[Partition] = []
         with self.cluster.protect([dataset_id]):
             for index in range(record.num_partitions):
                 payload, seconds, node_id = self.cluster.load_partition(dataset_id, index)
                 per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                per_node_tasks[node_id] = per_node_tasks.get(node_id, 0) + 1
                 parts.append(Partition(dataset_id, index, payload, record.partition_bytes[index]))
         dataset = Dataset(parts, dataset_id=dataset_id, producer=record.producer)
         value = sink.finalize(dataset)
-        times = self._wall(per_node_io, {}, 0.0, record.num_partitions)
+        times = self._wall(per_node_io, {}, 0.0, record.num_partitions, per_node_tasks)
         return value, times

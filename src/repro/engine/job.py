@@ -93,6 +93,9 @@ class JobResult:
     #: full decision trace of the run (``repro.trace``); None when the
     #: cluster recorded no events (tracing disabled)
     events: Optional[Trace] = None
+    #: :class:`~repro.obs.telemetry.Telemetry` bundle (labeled registry +
+    #: timeline samples + exporters); None unless ``run_mdf(telemetry=...)``
+    telemetry: Optional[Any] = None
 
     @property
     def output(self) -> Any:

@@ -31,6 +31,10 @@ from .executor import StageExecutor, StageTimes
 from .job import ChooseDecision, EngineConfig, JobResult, StageTrace
 from .scheduler import BFSScheduler, Scheduler, SchedulerContext
 
+#: ready-queue depths are small integers; the default log-scale latency
+#: buckets would lump them all together
+_QUEUE_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
 
 class _ScopeRuntime:
     """Execution-time state of one explore/choose scope."""
@@ -113,6 +117,7 @@ class Master:
         self._branch_stage_ids: Dict[str, Set[str]] = {}
         self._tail_stage_to_branch: Dict[str, Tuple[str, Branch]] = {}
         self._context = SchedulerContext()
+        self._context.registry = cluster.obs
         self._prepare_scopes()
         self._prepare_schedule()
         self._bind_policy()
@@ -232,9 +237,14 @@ class Master:
     def run(self) -> JobResult:
         """Execute the MDF to completion and return the job result."""
         stage_index = 0
+        obs = self.cluster.obs
         while self._ready:
             self._maybe_fail(stage_index)
             ready = list(self._ready)
+            obs.gauge("ready_queue_depth").set(len(ready))
+            obs.histogram(
+                "ready_queue_depth_samples", buckets=_QUEUE_DEPTH_BUCKETS
+            ).observe(len(ready))
             successors = (
                 sorted(
                     self.stage_graph.post(self._last_executed),
@@ -256,12 +266,18 @@ class Master:
                 ready_choose=[s.id for s in ready if s.is_choose],
                 successors_ready=[s.id for s in successors if s.id in self._ready_ids],
             )
-            if stage.is_choose:
-                self._execute_choose_stage(stage)
-            else:
-                self._execute_stage(stage)
+            # Everything the stage causes — loads, stores, evictions, the
+            # deferred choose evaluation — is attributed to it through the
+            # ambient label context (the trace→metrics bridge applies the
+            # same rule: events after a stage_scheduled belong to it).
+            with obs.label_context(stage=stage.id, branch=stage.branch_id):
+                if stage.is_choose:
+                    self._execute_choose_stage(stage)
+                else:
+                    self._execute_stage(stage)
             self._last_executed = stage
             stage_index += 1
+        obs.gauge("ready_queue_depth").set(0)
         if any(
             s.id not in self._executed and s.id not in self._pruned_stages
             for s in self.stage_graph.stages
@@ -410,9 +426,9 @@ class Master:
             self.cluster.cost_model.disk_write_time(record.nbytes)
             * config.overhead_fraction
         )
-        self.cluster.metrics.bytes_written_disk += int(
-            record.nbytes * config.overhead_fraction
-        )
+        self.cluster.obs.counter(
+            "bytes_written_disk", dataset=output_dataset_id
+        ).inc(int(record.nbytes * config.overhead_fraction))
         self.cluster.trace.emit(
             "checkpoint_written",
             dataset=output_dataset_id,
@@ -437,7 +453,7 @@ class Master:
         """
         explore_name, branch = self._tail_stage_to_branch[stage.id]
         runtime = self._scopes[explore_name]
-        self.cluster.metrics.branches_executed += 1
+        self.cluster.obs.counter("branches_executed", branch=branch.id).inc()
         choose = runtime.choose
         started = self.cluster.clock.now
         score, times = self.executor.evaluate_pipelined(choose.evaluator, outcome.pending)
@@ -482,6 +498,7 @@ class Master:
         elif runtime.pruner is not None and can_prune and runtime.pruner.observe(score):
             self._prune_remaining(runtime, reason=self._pruner_reason(runtime))
         self._maybe_finalize(runtime)
+        self._update_live_branches()
 
     def _after_stage(self, stage: Stage, output_dataset_id: str) -> None:
         """Event hook: incremental choose evaluation at branch completion.
@@ -496,10 +513,11 @@ class Master:
         explore_name, branch = entry
         runtime = self._scopes[explore_name]
         runtime.tail_dataset[branch.id] = output_dataset_id
-        self.cluster.metrics.branches_executed += 1
+        self.cluster.obs.counter("branches_executed", branch=branch.id).inc()
         if self.config.incremental_choose:
             self._evaluate_branch(runtime, branch)
             self._maybe_finalize(runtime)
+        self._update_live_branches()
 
     # -------------------------------------------------------------- choose
     def _execute_choose_stage(self, stage: Stage) -> None:
@@ -555,12 +573,23 @@ class Master:
         elif runtime.pruner is not None and can_prune:
             if runtime.pruner.observe(score):
                 self._prune_remaining(runtime, reason=self._pruner_reason(runtime))
+        self._update_live_branches()
+
+    def _update_live_branches(self) -> None:
+        """Maintain the live-branch gauge the timeline sampler reads.
+
+        A branch is *live* while its evaluated result is still materialised
+        on the cluster (not yet discarded by its choose's selection).
+        """
+        total = sum(len(rt.alive) for rt in self._scopes.values())
+        self.cluster.obs.gauge("live_branches").set(total)
 
     def _discard_branch_dataset(self, runtime: _ScopeRuntime, branch_id: str) -> None:
         if branch_id in runtime.discarded:
             return
         runtime.discarded.add(branch_id)
         runtime.alive.discard(branch_id)
+        self._update_live_branches()
         dataset_id = runtime.tail_dataset.get(branch_id)
         self.cluster.trace.emit(
             "branch_discarded",
@@ -602,7 +631,7 @@ class Master:
 
     def _prune_branch(self, runtime: _ScopeRuntime, branch: Branch, reason: str) -> None:
         runtime.pruned.add(branch.id)
-        self.cluster.metrics.branches_pruned += 1
+        self.cluster.obs.counter("branches_pruned", branch=branch.id).inc()
         pruned_ops: Set[str] = set()
         pruned_stage_ids: List[str] = []
         for stage_id in self._branch_stage_ids[branch.id]:
@@ -723,6 +752,9 @@ class Master:
         self.result.wall_io += times.io
         self.result.wall_network += times.network
         if stage is not None:
+            self.cluster.obs.histogram(
+                "stage_seconds", stage=stage.id, branch=stage.branch_id
+            ).observe(times.total)
             self.result.trace.append(
                 StageTrace(
                     stage_id=stage.id,

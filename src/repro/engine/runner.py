@@ -21,6 +21,8 @@ from typing import Optional, Union
 from ..cluster.cluster import Cluster
 from ..cluster.memory import MemoryPolicy, make_policy
 from ..core.mdf import MDF
+from ..obs.telemetry import Telemetry
+from ..obs.timeline import TelemetryConfig, TimelineSampler
 from ..trace.validate import assert_valid, auto_validate_enabled
 from .job import EngineConfig, JobResult
 from .master import Master
@@ -45,6 +47,7 @@ def run_mdf(
     config: Optional[EngineConfig] = None,
     reset: bool = True,
     validate: Optional[bool] = None,
+    telemetry: Union[bool, float, TelemetryConfig, None] = None,
 ) -> JobResult:
     """Execute an MDF on a cluster and return the job result.
 
@@ -69,6 +72,14 @@ def run_mdf(
         ``None`` (default) defers to the process-wide auto-validate flag
         (``repro.trace.set_auto_validate`` / ``python -m repro.bench
         --validate``).
+    telemetry:
+        Attach a :class:`~repro.obs.telemetry.Telemetry` bundle to the
+        result (labeled registry, simulated-clock timeline, exporters).
+        ``True`` samples at the default interval, a float sets the
+        sampling interval in simulated seconds, and a
+        :class:`~repro.obs.timeline.TelemetryConfig` gives full control.
+        ``None``/``False`` (default) skips the sampler; the registry is
+        always recorded and reachable as ``cluster.obs``.
     """
     config = config or EngineConfig()
     if reset:
@@ -77,8 +88,25 @@ def run_mdf(
         cluster.policy = make_policy(memory) if isinstance(memory, str) else memory
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, config)
+    sampler: Optional[TimelineSampler] = None
+    if telemetry is not None and telemetry is not False:
+        if isinstance(telemetry, TelemetryConfig):
+            tconfig = telemetry
+        elif telemetry is True:
+            tconfig = TelemetryConfig()
+        else:
+            tconfig = TelemetryConfig(interval=float(telemetry))
+        sampler = TimelineSampler(
+            cluster, interval=tconfig.interval, max_samples=tconfig.max_samples
+        ).attach()
     master = Master(mdf, cluster, scheduler=scheduler, config=config)
-    result = master.run()
+    try:
+        result = master.run()
+    finally:
+        if sampler is not None:
+            sampler.detach()
+    if sampler is not None:
+        result.telemetry = Telemetry(cluster.obs, sampler, metrics=cluster.metrics)
     if validate is None:
         validate = auto_validate_enabled()
     if validate:

@@ -1,0 +1,49 @@
+"""``repro.obs``: labeled metrics, timeline sampling, and exporters.
+
+The observability layer on top of the PR-1 decision trace:
+
+* :mod:`repro.obs.registry` — Counter/Gauge/Histogram instruments labeled
+  with ``{node, branch, stage, dataset, policy}`` plus the ambient label
+  context the master uses for per-branch attribution;
+* :mod:`repro.obs.timeline` — the simulated-clock sampler behind the
+  Fig 17 memory-over-time series;
+* :mod:`repro.obs.export` — deterministic Prometheus-text and JSON exports;
+* :mod:`repro.obs.bridge` — rebuilds a registry from a JSONL decision
+  trace so both observability layers can be checked against each other;
+* :mod:`repro.obs.telemetry` — the bundle ``run_mdf(telemetry=...)``
+  attaches to :class:`~repro.engine.job.JobResult`.
+"""
+
+from .bridge import CONSISTENCY_VIEWS, diff_registries, registry_from_trace
+from .export import prometheus_text, registry_json, registry_to_dict
+from .registry import (
+    DEFAULT_BUCKETS,
+    LABEL_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labels_dict,
+)
+from .telemetry import Telemetry
+from .timeline import TelemetryConfig, TimelineSample, TimelineSampler
+
+__all__ = [
+    "CONSISTENCY_VIEWS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LABEL_NAMES",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryConfig",
+    "TimelineSample",
+    "TimelineSampler",
+    "diff_registries",
+    "labels_dict",
+    "prometheus_text",
+    "registry_from_trace",
+    "registry_json",
+    "registry_to_dict",
+]

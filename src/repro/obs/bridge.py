@@ -1,0 +1,199 @@
+"""Trace→metrics bridge: rebuild a registry from a PR-1 decision trace.
+
+The decision trace (:mod:`repro.trace`) and the metrics registry
+(:mod:`repro.obs.registry`) observe the same execution at different
+altitudes — one event per decision vs labeled aggregates.  This module
+replays a trace and reconstructs the registry, which keeps the two layers
+honest: golden-trace tests assert the rebuilt registry equals the live one
+on every granularity the trace can express.
+
+Attribution mirrors the engine exactly: the master wraps each scheduled
+stage (including its deferred choose evaluation and selection) in a
+``{stage, branch}`` label context, so the bridge attributes every event to
+the most recent ``stage_scheduled`` event.  Quantities the trace does not
+record (per-node time breakdowns, latency histograms) are left empty;
+:data:`CONSISTENCY_VIEWS` lists exactly the instrument/granularity pairs
+the bridge guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .registry import MetricsRegistry
+
+#: (instrument, label dimensions) pairs on which a bridged registry must
+#: equal the live registry of the run that recorded the trace.
+CONSISTENCY_VIEWS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("evictions", ("node", "branch", "stage", "dataset", "policy")),
+    ("evictions_free", ("node", "branch", "stage", "dataset", "policy")),
+    ("bytes_read_memory", ("node", "branch", "stage", "dataset")),
+    ("bytes_read_disk", ("node", "branch", "stage", "dataset")),
+    ("bytes_written_memory", ("node", "branch", "stage", "dataset")),
+    ("bytes_written_disk", ("node", "branch", "stage", "dataset")),
+    ("partition_hits", ("node", "branch", "stage", "dataset")),
+    ("partition_misses", ("node", "branch", "stage", "dataset")),
+    ("tasks_executed", ("branch", "stage")),
+    ("stages_executed", ("branch", "stage")),
+    ("branches_executed", ("branch",)),
+    ("branches_pruned", ("branch",)),
+    ("datasets_discarded", ("dataset",)),
+    ("choose_evaluations", ("branch", "stage", "dataset")),
+    ("scheduler_selections", ("branch", "stage", "policy")),
+    ("recoveries", ()),
+    ("recovery_reexecutions", ()),
+)
+
+
+def registry_from_trace(trace) -> MetricsRegistry:
+    """Replay a :class:`~repro.trace.events.Trace` into a fresh registry.
+
+    Accepts a live trace or one rebuilt from JSONL
+    (:meth:`~repro.trace.events.Trace.load_jsonl`).
+    """
+    registry = MetricsRegistry()
+    stage: Optional[str] = None
+    branch: Optional[str] = None
+    #: dataset id -> partition count (evaluate_branch task accounting)
+    partitions: Dict[str, int] = {}
+    live: set = set()
+    for event in trace:
+        data = event.data
+        kind = event.kind
+        if kind == "stage_scheduled":
+            stage = data["stage"]
+            branch = data.get("branch")
+            registry.counter(
+                "scheduler_selections",
+                stage=stage,
+                branch=branch,
+                policy=data.get("rationale"),
+            ).inc()
+        elif kind == "task_dispatched":
+            registry.counter(
+                "tasks_executed", stage=data["stage"], branch=branch
+            ).inc(data["num_tasks"])
+            registry.counter(
+                "stages_executed", stage=data["stage"], branch=branch
+            ).inc()
+        elif kind == "dataset_access":
+            labels = dict(
+                node=data["node"], dataset=data["dataset"], stage=stage, branch=branch
+            )
+            if data["hit"]:
+                registry.counter("partition_hits", **labels).inc()
+                registry.counter("bytes_read_memory", **labels).inc(data["nbytes"])
+            else:
+                registry.counter("partition_misses", **labels).inc()
+                registry.counter("bytes_read_disk", **labels).inc(data["nbytes"])
+        elif kind == "source_read":
+            registry.counter(
+                "bytes_read_disk",
+                node=data["node"],
+                dataset=data["dataset"],
+                stage=stage,
+                branch=branch,
+            ).inc(data["nbytes"])
+        elif kind == "partition_stored":
+            tier = "memory" if data["tier"] == "memory" else "disk"
+            registry.counter(
+                f"bytes_written_{tier}",
+                node=data["node"],
+                dataset=data["dataset"],
+                stage=stage,
+                branch=branch,
+            ).inc(data["nbytes"])
+        elif kind == "partition_evicted":
+            labels = dict(
+                node=data["node"],
+                dataset=data["dataset"],
+                policy=data["policy"],
+                stage=stage,
+                branch=branch,
+            )
+            registry.counter("evictions", **labels).inc()
+            if data["spilled"]:
+                registry.counter(
+                    "bytes_written_disk",
+                    node=data["node"],
+                    dataset=data["dataset"],
+                    stage=stage,
+                    branch=branch,
+                ).inc(data["nbytes"])
+            else:
+                registry.counter("evictions_free", **labels).inc()
+        elif kind == "checkpoint_written":
+            registry.counter(
+                "bytes_written_disk", dataset=data["dataset"], stage=stage, branch=branch
+            ).inc(data["nbytes"])
+        elif kind == "dataset_registered" or kind == "composite_registered":
+            live.add(data["dataset"])
+            if kind == "composite_registered":
+                for member in data["members"]:
+                    live.discard(member)
+            else:
+                partitions[data["dataset"]] = data["partitions"]
+            registry.gauge("peak_datasets_stored").set_max(len(live))
+        elif kind == "dataset_discarded":
+            live.discard(data["dataset"])
+            registry.counter("datasets_discarded", dataset=data["dataset"]).inc()
+        elif kind == "choose_evaluation":
+            registry.counter(
+                "choose_evaluations", dataset=data["dataset"], stage=stage, branch=branch
+            ).inc()
+            if not data["pipelined"]:
+                # a non-pipelined evaluation re-reads every partition of the
+                # branch dataset as one task each (executor.evaluate_branch)
+                registry.counter(
+                    "tasks_executed", stage=stage, branch=branch
+                ).inc(_partition_count(data["dataset"], partitions, trace))
+        elif kind == "branch_evaluated":
+            registry.counter("branches_executed", branch=data["branch"], stage=stage).inc()
+        elif kind == "branch_pruned":
+            registry.counter("branches_pruned", branch=data["branch"], stage=stage).inc()
+        elif kind == "node_failed":
+            registry.counter("recoveries").inc(data["lost"])
+        elif kind == "recovery":
+            registry.counter("recovery_reexecutions").inc()
+    return registry
+
+
+def _partition_count(dataset_id: str, partitions: Dict[str, int], trace) -> int:
+    """Partition count of a dataset, resolving composites via their members."""
+    count = partitions.get(dataset_id)
+    if count is not None:
+        return count
+    for event in trace:
+        if event.kind == "composite_registered" and event.data["dataset"] == dataset_id:
+            return sum(
+                _partition_count(member, partitions, trace)
+                for member in event.data["members"]
+            )
+    return 0
+
+
+def diff_registries(
+    live: MetricsRegistry,
+    rebuilt: MetricsRegistry,
+    views: Tuple[Tuple[str, Tuple[str, ...]], ...] = CONSISTENCY_VIEWS,
+) -> List[str]:
+    """Differences between two registries over the guaranteed views.
+
+    Returns human-readable mismatch descriptions (empty = consistent).
+    Used by the telemetry↔trace regression tests.
+    """
+    problems: List[str] = []
+    for name, dims in views:
+        a = live.aggregate(name, dims)
+        b = rebuilt.aggregate(name, dims)
+        for key in sorted(set(a) | set(b)):
+            va, vb = a.get(key, 0.0), b.get(key, 0.0)
+            if abs(va - vb) > 1e-9:
+                labels = dict(zip(dims, key)) if dims else "(total)"
+                problems.append(
+                    f"{name}{labels}: live={va} rebuilt-from-trace={vb}"
+                )
+    return problems
+
+
+__all__ = ["CONSISTENCY_VIEWS", "diff_registries", "registry_from_trace"]

@@ -1,0 +1,112 @@
+"""Registry exporters: Prometheus text exposition and JSON.
+
+Both exports are deterministic (instruments and children emitted in sorted
+order) so telemetry snapshots can be diffed across runs like the decision
+traces.  Prometheus metric names are prefixed with the ``repro_`` namespace
+and counters get the conventional ``_total`` suffix; histograms emit the
+standard cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List
+
+from .registry import LABEL_NAMES, MetricsRegistry, labels_dict
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in merged.items())
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """The registry in the Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    for name in registry.names():
+        kind = registry.kind_of(name)
+        metric = f"{namespace}_{name}" if namespace else name
+        if kind == "counter":
+            metric += "_total"
+        lines.append(f"# HELP {metric} {name} recorded by the MDF engine")
+        lines.append(f"# TYPE {metric} {kind}")
+        for labels, instrument in sorted(registry.series(name).items()):
+            label_map = labels_dict(labels)
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(instrument.bounds, instrument.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{metric}_bucket{_label_str(label_map, {'le': _fmt_value(bound)})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{metric}_bucket{_label_str(label_map, {'le': '+Inf'})}"
+                    f" {instrument.count}"
+                )
+                lines.append(f"{metric}_sum{_label_str(label_map)} {_fmt_value(instrument.sum)}")
+                lines.append(f"{metric}_count{_label_str(label_map)} {instrument.count}")
+            else:
+                lines.append(f"{metric}{_label_str(label_map)} {_fmt_value(instrument.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The registry as a JSON-friendly dict (deterministic ordering)."""
+    out: Dict[str, Any] = {}
+    for name in registry.names():
+        kind = registry.kind_of(name)
+        series: List[Dict[str, Any]] = []
+        for labels, instrument in sorted(registry.series(name).items()):
+            entry: Dict[str, Any] = {"labels": labels_dict(labels)}
+            if kind == "histogram":
+                entry.update(
+                    count=instrument.count,
+                    sum=instrument.sum,
+                    p50=_nan_none(instrument.p50),
+                    p95=_nan_none(instrument.p95),
+                    p99=_nan_none(instrument.p99),
+                    buckets=[
+                        {"le": bound, "count": count}
+                        for bound, count in zip(instrument.bounds, instrument.counts)
+                        if count
+                    ],
+                )
+            else:
+                entry["value"] = instrument.value
+            series.append(entry)
+        out[name] = {"kind": kind, "series": series}
+    return out
+
+
+def _nan_none(value: float):
+    return None if value != value else value
+
+
+def registry_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """JSON text export of :func:`registry_to_dict`."""
+    return json.dumps(registry_to_dict(registry), indent=indent, sort_keys=True)
+
+
+__all__ = [
+    "LABEL_NAMES",
+    "prometheus_text",
+    "registry_json",
+    "registry_to_dict",
+]

@@ -1,0 +1,295 @@
+"""Labeled metrics registry: typed instruments with fixed label dimensions.
+
+The job-global :class:`~repro.cluster.metrics.Metrics` bag answers *how
+much* — total evictions, total bytes — but none of the paper's §6.2–§6.4
+questions: *which branch* burned the memory budget, *which node* was the
+eviction hotspot, *which stage* paid the spill.  This registry records the
+same quantities as labeled time series, Prometheus-style:
+
+* :class:`Counter` — monotone accumulation (bytes, tasks, evictions),
+* :class:`Gauge` — instantaneous values (queue depth, memory in use),
+* :class:`Histogram` — fixed log-scale buckets with p50/p95/p99 estimates
+  (task latency, choose-evaluation latency).
+
+Every instrument child carries the five label dimensions
+``{node, branch, stage, dataset, policy}`` (unset labels are ``""``).  The
+engine attributes low-level observations to the currently executing stage
+and branch through an ambient *label context* (:meth:`MetricsRegistry
+.label_context`) pushed by the master around each scheduled stage, so the
+cluster substrate never needs to know about branches.
+
+Counters and histograms merge the ambient context into their labels;
+gauges carry exactly the labels they are given (a per-node memory gauge
+must not fragment across branches).
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: the fixed label dimensions, in canonical order
+LABEL_NAMES: Tuple[str, ...] = ("node", "branch", "stage", "dataset", "policy")
+
+LabelValues = Tuple[str, str, str, str, str]
+
+
+def labels_dict(values: LabelValues) -> Dict[str, str]:
+    """A label tuple as a ``{name: value}`` dict, empty values omitted."""
+    return {name: value for name, value in zip(LABEL_NAMES, values) if value}
+
+
+class Counter:
+    """A monotonically increasing accumulator for one label set."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous value for one label set."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Ratchet: keep the maximum ever set (peak gauges)."""
+        if value > self.value:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+#: default histogram buckets: log-scale (powers of four) from 1 µs up to
+#: ~1073 simulated seconds, wide enough for task latencies and stage walls
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 4**i for i in range(16))
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimates.
+
+    Buckets are upper bounds (a final +Inf bucket is implicit).  Quantiles
+    are estimated by linear interpolation inside the containing bucket —
+    exact enough for the log-scale reporting the benchmarks need.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, bounds: Optional[Iterable[float]] = None):
+        self.bounds: Tuple[float, ...] = tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bucket bounds must be sorted")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if cumulative + bucket_count >= target:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                if bucket_count == 0:
+                    return lo
+                return lo + (hi - lo) * (target - cumulative) / bucket_count
+            cumulative += bucket_count
+        return self.bounds[-1]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+
+class Family:
+    """All children (label sets) of one named instrument."""
+
+    __slots__ = ("name", "kind", "children", "_factory")
+
+    def __init__(self, name: str, kind: str, factory: Callable[[], Any]):
+        self.name = name
+        self.kind = kind
+        self.children: Dict[LabelValues, Any] = {}
+        self._factory = factory
+
+    def child(self, labels: LabelValues):
+        instrument = self.children.get(labels)
+        if instrument is None:
+            instrument = self._factory()
+            self.children[labels] = instrument
+        return instrument
+
+
+class MetricsRegistry:
+    """Per-job store of labeled instruments plus the ambient label context.
+
+    The cluster owns one registry per run (reset with the cluster, like the
+    decision trace); the master, executor, scheduler and memory manager all
+    record into it.  Aggregation helpers power the derived
+    :class:`~repro.cluster.metrics.Metrics` view and the exporters.
+    """
+
+    def __init__(self):
+        self._families: Dict[str, Family] = {}
+        self._context: List[Dict[str, str]] = []
+
+    # ------------------------------------------------------------ label context
+    @contextlib.contextmanager
+    def label_context(self, **labels: Optional[str]):
+        """Ambient labels merged into counter/histogram observations.
+
+        The master pushes ``{stage, branch}`` around each scheduled stage so
+        cluster-level hooks (which only know node/dataset) still attribute
+        their observations to the right branch.
+        """
+        frame = {k: str(v) for k, v in labels.items() if v}
+        for name in frame:
+            if name not in LABEL_NAMES:
+                raise ValueError(f"unknown label {name!r} (allowed: {LABEL_NAMES})")
+        self._context.append(frame)
+        try:
+            yield self
+        finally:
+            self._context.pop()
+
+    def _resolve(self, explicit: Dict[str, Optional[str]], ambient: bool) -> LabelValues:
+        merged: Dict[str, str] = {}
+        if ambient:
+            for frame in self._context:
+                merged.update(frame)
+        for name, value in explicit.items():
+            if name not in LABEL_NAMES:
+                raise ValueError(f"unknown label {name!r} (allowed: {LABEL_NAMES})")
+            if value:
+                merged[name] = str(value)
+        return tuple(merged.get(name, "") for name in LABEL_NAMES)  # type: ignore[return-value]
+
+    def _family(self, name: str, kind: str, factory: Callable[[], Any]) -> Family:
+        family = self._families.get(name)
+        if family is None:
+            family = Family(name, kind, factory)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"instrument {name!r} already registered as a {family.kind}, "
+                f"cannot re-register as a {kind}"
+            )
+        return family
+
+    # -------------------------------------------------------------- instruments
+    def counter(self, name: str, **labels: Optional[str]) -> Counter:
+        """The counter child for the given labels (ambient context merged)."""
+        family = self._family(name, "counter", Counter)
+        return family.child(self._resolve(labels, ambient=True))
+
+    def gauge(self, name: str, **labels: Optional[str]) -> Gauge:
+        """The gauge child for exactly the given labels (no ambient merge)."""
+        family = self._family(name, "gauge", Gauge)
+        return family.child(self._resolve(labels, ambient=False))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Iterable[float]] = None,
+        **labels: Optional[str],
+    ) -> Histogram:
+        """The histogram child for the given labels (ambient context merged)."""
+        bounds = tuple(buckets) if buckets is not None else None
+        family = self._family(
+            name, "histogram", lambda: Histogram(bounds)
+        )
+        return family.child(self._resolve(labels, ambient=True))
+
+    # --------------------------------------------------------------- queries
+    def names(self) -> List[str]:
+        return sorted(self._families)
+
+    def kind_of(self, name: str) -> Optional[str]:
+        family = self._families.get(name)
+        return family.kind if family is not None else None
+
+    def series(self, name: str) -> Dict[LabelValues, Any]:
+        """All children of one instrument, keyed by their label tuples."""
+        family = self._families.get(name)
+        return dict(family.children) if family is not None else {}
+
+    @staticmethod
+    def _matches(labels: LabelValues, where: Dict[str, str]) -> bool:
+        return all(
+            labels[LABEL_NAMES.index(name)] == value for name, value in where.items()
+        )
+
+    def value(self, name: str, **where: str) -> float:
+        """Sum of matching children (counter values / histogram sums)."""
+        total = 0.0
+        for labels, instrument in self.series(name).items():
+            if not self._matches(labels, where):
+                continue
+            total += instrument.sum if instrument.kind == "histogram" else instrument.value
+        return total
+
+    def max_value(self, name: str, **where: str) -> float:
+        """Maximum over matching children (peak gauges); 0.0 when empty."""
+        values = [
+            instrument.value
+            for labels, instrument in self.series(name).items()
+            if self._matches(labels, where)
+        ]
+        return max(values, default=0.0)
+
+    def aggregate(self, name: str, by: Tuple[str, ...]) -> Dict[Tuple[str, ...], float]:
+        """Totals of one instrument grouped by a subset of label dimensions.
+
+        The group key preserves the order of ``by``; children differing only
+        in the other dimensions are summed.  This is what the per-branch /
+        per-node breakdown tables and the trace-consistency checks consume.
+        """
+        indices = [LABEL_NAMES.index(dim) for dim in by]
+        out: Dict[Tuple[str, ...], float] = {}
+        for labels, instrument in self.series(name).items():
+            key = tuple(labels[i] for i in indices)
+            amount = instrument.sum if instrument.kind == "histogram" else instrument.value
+            out[key] = out.get(key, 0.0) + amount
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        children = sum(len(f.children) for f in self._families.values())
+        return f"MetricsRegistry(instruments={len(self._families)}, series={children})"

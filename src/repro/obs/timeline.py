@@ -1,0 +1,147 @@
+"""Simulated-clock timeline sampler (the Fig 17 memory-over-time series).
+
+The paper's Fig 17 plots cluster memory in use over *job time* under LRU
+vs AMM.  The simulator has no wall clock — time advances in discrete jumps
+through :class:`~repro.cluster.clock.SimClock` — so the sampler subscribes
+to clock advances and records one sample per crossed sampling interval.
+Each sample is the cluster state *after* the advance that crossed the
+boundary (execution state is piecewise-constant between advances, so this
+is the exact value at every instant inside the jump).
+
+Samples capture memory-in-use (total and per node), the cumulative memory
+hit ratio, the live-branch count (a gauge the master maintains) and the
+live-dataset/eviction counts — everything needed to reproduce the shape of
+Fig 17 and the §6.2 hit-ratio series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class TelemetryConfig:
+    """Knobs for ``run_mdf(telemetry=...)``.
+
+    ``interval`` is in simulated seconds.  When a run produces more than
+    ``max_samples`` samples the sampler thins itself (drops every other
+    sample and doubles the interval), so unexpectedly long jobs degrade
+    resolution instead of memory.
+    """
+
+    interval: float = 0.25
+    max_samples: int = 4096
+
+
+@dataclass
+class TimelineSample:
+    """Cluster state at one simulated instant."""
+
+    t: float
+    memory_in_use: int
+    memory_capacity: int
+    hit_ratio: float
+    live_branches: int
+    live_datasets: int
+    evictions: int
+    per_node_memory: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self.t,
+            "memory_in_use": self.memory_in_use,
+            "memory_capacity": self.memory_capacity,
+            "hit_ratio": self.hit_ratio,
+            "live_branches": self.live_branches,
+            "live_datasets": self.live_datasets,
+            "evictions": self.evictions,
+            "per_node_memory": dict(self.per_node_memory),
+        }
+
+
+class TimelineSampler:
+    """Samples cluster state at a fixed simulated-time interval.
+
+    Attach before the job runs, detach after; ``samples`` then holds the
+    series.  The sampler reads the cluster's nodes, metrics view and the
+    ``live_branches`` gauge from the cluster's registry — it never touches
+    the clock itself, so attaching it cannot perturb execution.
+    """
+
+    def __init__(self, cluster, interval: float = 0.25, max_samples: int = 4096):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval}")
+        if max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
+        self.cluster = cluster
+        self.interval = float(interval)
+        self.max_samples = int(max_samples)
+        self.samples: List[TimelineSample] = []
+        self._next_t = 0.0
+        self._attached = False
+
+    # ------------------------------------------------------------- lifecycle
+    def attach(self) -> "TimelineSampler":
+        if self._attached:
+            return self
+        self._next_t = self.cluster.clock.now
+        self.cluster.clock.subscribe(self._on_advance)
+        self._attached = True
+        # the t=0 baseline (empty cluster / warm-cache starting point)
+        self._record(self._next_t)
+        self._next_t += self.interval
+        return self
+
+    def detach(self) -> "TimelineSampler":
+        if not self._attached:
+            return self
+        self.cluster.clock.unsubscribe(self._on_advance)
+        self._attached = False
+        # close the series with the job-end state
+        now = self.cluster.clock.now
+        if not self.samples or self.samples[-1].t < now:
+            self._record(now)
+        return self
+
+    # -------------------------------------------------------------- sampling
+    def _on_advance(self, now: float) -> None:
+        while self._next_t <= now:
+            self._record(self._next_t)
+            self._next_t += self.interval
+        if len(self.samples) > self.max_samples:
+            self._thin()
+
+    def _thin(self) -> None:
+        """Halve resolution: drop every other sample, double the interval."""
+        self.samples = self.samples[::2]
+        self.interval *= 2.0
+        last = self.samples[-1].t if self.samples else 0.0
+        self._next_t = max(self._next_t, last + self.interval)
+
+    def _record(self, t: float) -> None:
+        cluster = self.cluster
+        metrics = cluster.metrics
+        per_node = {node.id: node.mem_used for node in cluster.nodes}
+        self.samples.append(
+            TimelineSample(
+                t=t,
+                memory_in_use=sum(per_node.values()),
+                memory_capacity=sum(node.mem_capacity for node in cluster.nodes),
+                hit_ratio=metrics.memory_hit_ratio,
+                live_branches=int(cluster.obs.max_value("live_branches")),
+                live_datasets=cluster.live_dataset_count(),
+                evictions=metrics.evictions,
+                per_node_memory=per_node,
+            )
+        )
+
+    # --------------------------------------------------------------- exports
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [sample.as_dict() for sample in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TimelineSampler(interval={self.interval}, samples={len(self.samples)})"

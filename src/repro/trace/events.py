@@ -45,6 +45,14 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "composite_registered": frozenset({"dataset", "members", "producer"}),
     "dataset_discarded": frozenset({"dataset"}),
     "dataset_access": frozenset({"dataset", "index", "node", "hit", "nbytes"}),
+    # a partition landing at a node (tier "memory" or "disk").  Distinct
+    # from dataset_access so the trace→metrics bridge can rebuild the
+    # per-tier byte-written counters without guessing store sizes.
+    "partition_stored": frozenset({"dataset", "index", "node", "nbytes", "tier"}),
+    # the source stage streaming the job input from distributed storage.
+    # Not a dataset_access: the raw input is never a registered dataset,
+    # and check_no_use_after_discard would rightly reject it as one.
+    "source_read": frozenset({"dataset", "index", "node", "nbytes"}),
     # -- memory management (Algorithm 2)
     "partition_evicted": frozenset(
         {"node", "dataset", "index", "nbytes", "spilled", "policy", "alpha", "ranking"}

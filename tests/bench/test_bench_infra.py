@@ -1,5 +1,7 @@
 """Tests for the benchmark harness infrastructure (report + figure types)."""
 
+import math
+
 import pytest
 
 from repro.bench import FigureResult, improvement, render_table, rows_to_dict
@@ -10,8 +12,14 @@ from repro.bench.report import _fmt
 class TestReport:
     def test_improvement(self):
         assert improvement(100.0, 40.0) == pytest.approx(60.0)
-        assert improvement(0.0, 40.0) == 0.0
         assert improvement(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_improvement_undefined_baseline_is_nan(self):
+        # a non-positive baseline has no meaningful ratio; the tables
+        # render the NaN as "-" instead of claiming a fake 0%
+        assert math.isnan(improvement(0.0, 40.0))
+        assert math.isnan(improvement(-1.0, 40.0))
+        assert _fmt(improvement(0.0, 40.0)) == "-"
 
     def test_render_table_alignment(self):
         text = render_table("T", ["a", "bb"], [[1, 2.5], [10, 0.125]])

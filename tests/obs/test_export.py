@@ -1,0 +1,85 @@
+"""Exporter formats: Prometheus text exposition and JSON."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, prometheus_text, registry_json, registry_to_dict
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("tasks_executed", node="w0", branch="b#0").inc(4)
+    reg.counter("tasks_executed", node="w1").inc(2)
+    reg.gauge("node_memory_in_use", node="w0").set(1024)
+    reg.histogram("task_seconds", buckets=(0.1, 1.0, 10.0), stage="s0").observe(0.5)
+    reg.histogram("task_seconds", buckets=(0.1, 1.0, 10.0), stage="s0").observe(2.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_counter_exposition(self, registry):
+        text = prometheus_text(registry)
+        assert "# TYPE repro_tasks_executed_total counter" in text
+        assert '# HELP repro_tasks_executed_total' in text
+        assert 'repro_tasks_executed_total{node="w0",branch="b#0"} 4' in text
+        assert 'repro_tasks_executed_total{node="w1"} 2' in text
+
+    def test_gauge_exposition(self, registry):
+        text = prometheus_text(registry)
+        assert "# TYPE repro_node_memory_in_use gauge" in text
+        assert 'repro_node_memory_in_use{node="w0"} 1024' in text
+
+    def test_histogram_exposition_cumulative(self, registry):
+        text = prometheus_text(registry)
+        assert "# TYPE repro_task_seconds histogram" in text
+        assert 'repro_task_seconds_bucket{stage="s0",le="0.1"} 0' in text
+        assert 'repro_task_seconds_bucket{stage="s0",le="1"} 1' in text
+        assert 'repro_task_seconds_bucket{stage="s0",le="10"} 2' in text
+        assert 'repro_task_seconds_bucket{stage="s0",le="+Inf"} 2' in text
+        assert 'repro_task_seconds_sum{stage="s0"} 2.5' in text
+        assert 'repro_task_seconds_count{stage="s0"} 2' in text
+
+    def test_deterministic_output(self, registry):
+        assert prometheus_text(registry) == prometheus_text(registry)
+
+    def test_custom_namespace(self, registry):
+        text = prometheus_text(registry, namespace="mdf")
+        assert "mdf_tasks_executed_total" in text
+        assert "repro_" not in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", dataset='d"q\\uote\n').inc()
+        text = prometheus_text(reg)
+        assert 'dataset="d\\"q\\\\uote\\n"' in text
+
+
+class TestJson:
+    def test_round_trips_through_json(self, registry):
+        blob = registry_json(registry)
+        parsed = json.loads(blob)
+        assert parsed == registry_to_dict(registry)
+
+    def test_counter_series(self, registry):
+        d = registry_to_dict(registry)
+        assert d["tasks_executed"]["kind"] == "counter"
+        values = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for entry in d["tasks_executed"]["series"]
+        }
+        assert values[(("branch", "b#0"), ("node", "w0"))] == 4.0
+
+    def test_histogram_series_has_quantiles(self, registry):
+        (entry,) = registry_to_dict(registry)["task_seconds"]["series"]
+        assert entry["count"] == 2
+        assert entry["sum"] == pytest.approx(2.5)
+        assert entry["p50"] is not None
+        assert all(b["count"] for b in entry["buckets"])  # empty buckets omitted
+
+    def test_empty_histogram_quantiles_are_null(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")  # registered, never observed
+        (entry,) = registry_to_dict(reg)["h"]["series"]
+        assert entry["p50"] is None and entry["p99"] is None

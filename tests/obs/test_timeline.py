@@ -1,0 +1,111 @@
+"""The simulated-clock timeline sampler (the Fig 17 memory-over-time series)."""
+
+import pytest
+
+from repro import Cluster, MB, run_mdf
+from repro.obs import TelemetryConfig, TimelineSampler
+from ..conftest import build_nested_mdf
+
+
+def _run(policy, **kwargs):
+    cluster = Cluster(num_workers=4, mem_per_worker=64 * MB)
+    return run_mdf(build_nested_mdf(), cluster, memory=policy, **kwargs)
+
+
+class TestSampler:
+    def test_series_shape(self):
+        result = _run("amm", telemetry=True)
+        samples = result.telemetry.samples
+        assert len(samples) >= 2
+        # t=0 baseline then strictly increasing timestamps up to job end
+        assert samples[0].t == 0.0
+        assert samples[0].memory_in_use == 0
+        ts = [s.t for s in samples]
+        assert ts == sorted(ts)
+        assert len(set(ts)) == len(ts)
+        assert samples[-1].t == pytest.approx(result.completion_time)
+
+    def test_evictions_monotone_and_memory_bounded(self):
+        result = _run("lru", telemetry=True)
+        samples = result.telemetry.samples
+        evictions = [s.evictions for s in samples]
+        assert evictions == sorted(evictions)
+        assert evictions[-1] == result.metrics.evictions
+        for s in samples:
+            assert s.memory_in_use == sum(s.per_node_memory.values())
+            assert s.memory_capacity == 4 * 64 * MB
+
+    def test_lru_vs_amm_timelines_differ(self):
+        """Fig 17: the same starved job leaves different memory footprints
+        over time under LRU vs AMM."""
+        lru = _run("lru", telemetry=True).telemetry
+        amm = _run("amm", telemetry=True).telemetry
+        assert lru.samples and amm.samples
+        lru_series = [(s.t, s.memory_in_use, s.evictions) for s in lru.samples]
+        amm_series = [(s.t, s.memory_in_use, s.evictions) for s in amm.samples]
+        assert lru_series != amm_series
+
+    def test_interval_as_float_argument(self):
+        coarse = _run("amm", telemetry=5.0).telemetry
+        fine = _run("amm", telemetry=0.05).telemetry
+        assert len(fine.samples) > len(coarse.samples)
+
+    def test_telemetry_config_passthrough(self):
+        result = _run("amm", telemetry=TelemetryConfig(interval=0.5, max_samples=8))
+        sampler = result.telemetry.timeline
+        assert len(sampler) <= 8 + 1  # thinning keeps the series bounded
+        assert sampler.interval >= 0.5  # doubled on every thinning pass
+
+    def test_thinning_halves_resolution(self):
+        class FakeClock:
+            def __init__(self):
+                self.now = 0.0
+                self._subs = []
+
+            def subscribe(self, fn):
+                self._subs.append(fn)
+
+            def unsubscribe(self, fn):
+                self._subs.remove(fn)
+
+            def advance(self, dt):
+                self.now += dt
+                for fn in self._subs:
+                    fn(self.now)
+
+        class FakeCluster:
+            def __init__(self):
+                self.clock = FakeClock()
+                self.nodes = []
+
+            class _Obs:
+                @staticmethod
+                def max_value(name):
+                    return 0.0
+
+            obs = _Obs()
+
+            class _Metrics:
+                memory_hit_ratio = 1.0
+                evictions = 0
+
+            metrics = _Metrics()
+
+            @staticmethod
+            def live_dataset_count():
+                return 0
+
+        cluster = FakeCluster()
+        sampler = TimelineSampler(cluster, interval=1.0, max_samples=4).attach()
+        for _ in range(20):
+            cluster.clock.advance(1.0)
+        sampler.detach()
+        assert len(sampler) <= 5
+        assert sampler.interval > 1.0
+
+    def test_invalid_interval_rejected(self):
+        cluster = Cluster(num_workers=1, mem_per_worker=64 * MB)
+        with pytest.raises(ValueError):
+            TimelineSampler(cluster, interval=0.0)
+        with pytest.raises(ValueError):
+            TimelineSampler(cluster, max_samples=1)
