@@ -1,0 +1,9 @@
+"""§5: one mid-explore node failure vs failure-free (LRU/AMM x ckpt on/off)."""
+
+from repro.bench import failure_recovery
+
+from conftest import run_figure
+
+
+def test_failure_recovery(benchmark):
+    run_figure(benchmark, failure_recovery)

@@ -37,13 +37,16 @@ from .cluster import (
     ChooseScoreStore,
     Cluster,
     CostModel,
+    FailureEvent,
     FailureInjector,
+    FailureReport,
     GB,
     LRUPolicy,
     MB,
     Metrics,
     SpeculationConfig,
     StragglerProfile,
+    TaskFailureEvent,
     make_policy,
 )
 from .core import (
@@ -109,6 +112,7 @@ from .engine import (
     ModelBasedHint,
     PriorityHint,
     RandomHint,
+    RecoveryManager,
     SortedHint,
     estimate_mdf,
     run_mdf,
@@ -123,6 +127,7 @@ from .trace import (
     check_depth_first,
     check_no_use_after_discard,
     check_pruning_sound,
+    check_recovery_sound,
     set_auto_validate,
     validate_trace,
 )
@@ -147,7 +152,9 @@ __all__ = [
     "EngineConfig",
     "Evaluator",
     "ExploreOperator",
+    "FailureEvent",
     "FailureInjector",
+    "FailureReport",
     "Filter",
     "FlatMap",
     "GB",
@@ -180,6 +187,7 @@ __all__ = [
     "PriorityHint",
     "RandomHint",
     "RatioEvaluator",
+    "RecoveryManager",
     "SelectionFunction",
     "Sink",
     "SizeEvaluator",
@@ -188,6 +196,7 @@ __all__ = [
     "SpeculationConfig",
     "StageGraph",
     "StragglerProfile",
+    "TaskFailureEvent",
     "Telemetry",
     "TelemetryConfig",
     "Threshold",
@@ -202,6 +211,7 @@ __all__ = [
     "check_depth_first",
     "check_no_use_after_discard",
     "check_pruning_sound",
+    "check_recovery_sound",
     "cross_validation_mdf",
     "estimate_mdf",
     "fold_splits",

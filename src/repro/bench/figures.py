@@ -24,7 +24,8 @@ from ..baselines import (
     spark_sequential,
     spark_yarn,
 )
-from ..cluster import GB, MB, Cluster
+from ..cluster import CheckpointConfig, Cluster, FailureInjector, GB, MB
+from ..core import MDFBuilder
 from ..core.evaluators import RatioEvaluator
 from ..core.optimizations import table1_rows
 from ..core.selection import (
@@ -651,6 +652,116 @@ def choose_throughput(seconds: float = 0.4) -> FigureResult:
     )
 
 
+def failure_recovery(
+    thresholds: Sequence[int] = (10, 50, 100, 500, 900),
+    workers: int = 4,
+    mem_per_worker: int = 1 * GB,
+    nominal_bytes: int = 64 * MB,
+    data_n: int = 1000,
+    failure_stage: int = 4,
+    failed_node: str = "worker-0",
+) -> FigureResult:
+    """§5: one mid-explore node failure vs failure-free execution.
+
+    Crosses LRU/AMM with checkpointing on/off.  Each failed run must
+    finish strictly later than its failure-free twin by *exactly* the
+    seconds charged into the ``recovery_seconds`` histogram (reloads and
+    lineage recomputes are paid through the cost model, nothing else
+    moves), and the master's :class:`ChooseScoreStore` must keep every
+    branch score — failures never re-run a choose evaluation.
+    """
+
+    def make_mdf():
+        builder = MDFBuilder("failure-recovery")
+        src = builder.read_data(
+            list(range(data_n)), name="src", nominal_bytes=nominal_bytes
+        )
+        result = src.explore(
+            {"threshold": list(thresholds)},
+            lambda pipe, p: pipe.transform(
+                lambda xs, t=p["threshold"]: [x for x in xs if x < t],
+                name=f"filter-{p['threshold']}",
+            ),
+            name="explore",
+        ).choose(CallableEvaluator(len, name="count"), Min(), name="choose-min")
+        result.write(name="out")
+        return builder.build()
+
+    rows: List[List[Any]] = []
+    slower: List[bool] = []
+    exact: List[bool] = []
+    scores_kept: List[bool] = []
+    ckpt_reexecutions: List[int] = []
+    for memory in ("lru", "amm"):
+        for ckpt_on in (False, True):
+            ckpt = (
+                CheckpointConfig(1, overhead_fraction=0.1) if ckpt_on else None
+            )
+            mdf = make_mdf()
+            clean = run_mdf(
+                mdf,
+                Cluster(workers, mem_per_worker),
+                memory=memory,
+                config=EngineConfig(checkpointing=ckpt),
+            )
+            cluster = Cluster(workers, mem_per_worker)
+            failed = run_mdf(
+                mdf,
+                cluster,
+                memory=memory,
+                config=EngineConfig(
+                    checkpointing=ckpt,
+                    failures=FailureInjector.at_stages(
+                        [(failure_stage, failed_node)]
+                    ),
+                ),
+            )
+            charged = cluster.obs.value("recovery_seconds")
+            delta = failed.completion_time - clean.completion_time
+            rows.append(
+                [
+                    f"{memory}, ckpt {'on' if ckpt_on else 'off'}",
+                    clean.completion_time,
+                    failed.completion_time,
+                    delta,
+                    charged,
+                    failed.metrics.recovery_reexecutions,
+                ]
+            )
+            slower.append(delta > 0)
+            exact.append(abs(delta - charged) < 1e-9)
+            scores_kept.append(
+                failed.metrics.choose_evaluations
+                == clean.metrics.choose_evaluations
+                == len(thresholds)
+            )
+            if ckpt_on:
+                ckpt_reexecutions.append(failed.metrics.recovery_reexecutions)
+    checks = {
+        "every failed run finishes strictly later": all(slower),
+        "delta == charged recovery seconds (exactness)": all(exact),
+        "choose scores never recomputed": all(scores_kept),
+        "checkpointing recovers by reload, not recompute": all(
+            n == 0 for n in ckpt_reexecutions
+        ),
+    }
+    return FigureResult(
+        "§5",
+        "mid-explore node failure: recovery cost vs failure-free",
+        [
+            "config",
+            "clean (s)",
+            "failed (s)",
+            "delta (s)",
+            "recovery charged (s)",
+            "re-executions",
+        ],
+        rows,
+        checks,
+        note="failures are cheap but not free: the delta is exactly the charged recovery",
+    )
+
+
 def appendix_b_counts(
     configs: Sequence[Tuple[int, int]] = ((2, 2), (2, 4), (3, 3), (4, 2), (10, 3)),
 ) -> FigureResult:
@@ -760,6 +871,7 @@ ALL_FIGURES: Dict[str, Callable[[], FigureResult]] = {
     "fig16": fig16_cpu_cost,
     "fig17_18": fig17_18_memory,
     "choose_throughput": choose_throughput,
+    "failure_recovery": failure_recovery,
     "appendix_b": appendix_b_counts,
     "supplementary_ts5": supplementary_full_time_series,
 }

@@ -7,13 +7,14 @@ substitution preserves the paper's behaviour).
 """
 
 from .clock import SimClock
-from .cluster import Cluster, DatasetRecord
+from .cluster import Cluster, DatasetRecord, FailureReport
 from .costmodel import GB, MB, CostModel
 from .fault import (
     CheckpointConfig,
     ChooseScoreStore,
     FailureEvent,
     FailureInjector,
+    TaskFailureEvent,
     recover_partitions,
 )
 from .memory import (
@@ -38,6 +39,7 @@ __all__ = [
     "DatasetRecord",
     "FailureEvent",
     "FailureInjector",
+    "FailureReport",
     "GB",
     "LRUPolicy",
     "MB",
@@ -50,6 +52,7 @@ __all__ = [
     "Slot",
     "SpeculationConfig",
     "StragglerProfile",
+    "TaskFailureEvent",
     "apply_stragglers",
     "make_policy",
     "recover_partitions",

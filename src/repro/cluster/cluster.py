@@ -15,10 +15,11 @@ and narrow stages never shuffle.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.datasets import Dataset, Partition
+from ..core.errors import FaultError
 from ..core.state import ExecutionState
 from ..obs.registry import MetricsRegistry
 from ..trace import Trace
@@ -62,6 +63,31 @@ class DatasetRecord:
         return sum(self.partition_bytes)
 
 
+@dataclass
+class FailureReport:
+    """What one ``fail_node`` call destroyed, and what survived it.
+
+    * ``reload`` — in-memory partitions with a checkpoint copy that fell
+      back to the failed node's stable storage (transient failures only);
+      recovery charges a disk read and promotes them back.
+    * ``relocated`` — checkpointed partitions re-placed as disk copies on
+      surviving nodes (permanent failures: the dead node's stable-storage
+      state is re-fetched by its successors).
+    * ``lost`` — partitions whose payload is gone; only lineage recompute
+      (or a free drop, for dead data) can bring them back.
+    """
+
+    node_id: str
+    permanent: bool = False
+    reload: List[PartitionKey] = field(default_factory=list)
+    relocated: List[PartitionKey] = field(default_factory=list)
+    lost: List[PartitionKey] = field(default_factory=list)
+
+    @property
+    def reloadable(self) -> List[PartitionKey]:
+        return self.reload + self.relocated
+
+
 class Cluster:
     """A set of worker nodes with a shared cost model and memory policy."""
 
@@ -84,6 +110,9 @@ class Cluster:
             Node(f"worker-{i}", mem_per_worker) for i in range(num_workers)
         ]
         self._records: Dict[str, DatasetRecord] = {}
+        #: permanently failed (decommissioned) node ids — excluded from
+        #: placement and from the worker count until ``reset``
+        self._dead: Set[str] = set()
         self._watch_nodes()
 
     def _watch_nodes(self) -> None:
@@ -96,7 +125,14 @@ class Cluster:
     # ------------------------------------------------------------ topology
     @property
     def num_workers(self) -> int:
-        return len(self.nodes)
+        return len(self.alive_nodes)
+
+    @property
+    def alive_nodes(self) -> List[Node]:
+        """Nodes currently accepting work (decommissioned ones excluded)."""
+        if not self._dead:
+            return self.nodes
+        return [n for n in self.nodes if n.id not in self._dead]
 
     def node(self, node_id: str) -> Node:
         for node in self.nodes:
@@ -105,7 +141,8 @@ class Cluster:
         raise KeyError(node_id)
 
     def node_for_partition(self, index: int) -> Node:
-        return self.nodes[index % len(self.nodes)]
+        alive = self.alive_nodes
+        return alive[index % len(alive)]
 
     # ------------------------------------------------------------ datasets
     def dataset_ids(self) -> List[str]:
@@ -352,11 +389,170 @@ class Cluster:
                 self.node(node_id).protected.difference_update(node_keys)
 
     # -------------------------------------------------------------- faults
-    def fail_node(self, node_id: str) -> List[PartitionKey]:
-        """Crash a node: its memory contents are lost, disk survives."""
-        lost = self.node(node_id).drop_memory_contents()
-        self.trace.emit("node_failed", node=node_id, lost=len(lost))
-        return lost
+    def fail_node(
+        self, node_id: str, permanent: bool = False, reason: str = "injected"
+    ) -> FailureReport:
+        """Crash a node and report what its failure cost the cluster.
+
+        A *transient* failure (the default) wipes the node's memory: slots
+        with a checkpoint copy fall back to stable storage (reloadable),
+        purely memory-resident slots are lost; local disk spills survive
+        the restart.  A *permanent* failure decommissions the node — only
+        checkpointed partitions survive, re-fetched from stable storage
+        onto the surviving nodes as disk copies, and the node drops out of
+        placement until :meth:`reset` (graceful degradation).
+        """
+        node = self.node(node_id)
+        report = FailureReport(node_id=node_id, permanent=permanent)
+        if node_id in self._dead:
+            return report  # already decommissioned: nothing left to lose
+        if permanent:
+            self._dead.add(node_id)
+            survivors = self.alive_nodes
+            if not survivors:
+                self._dead.discard(node_id)
+                raise FaultError(
+                    f"no surviving workers after permanent failure of {node_id!r}"
+                )
+            for key, slot in sorted(node.slots.items()):
+                if slot.checkpointed:
+                    target = survivors[key[1] % len(survivors)]
+                    moved = target.put(
+                        key, slot.payload, slot.nbytes, self.clock.now, in_memory=False
+                    )
+                    moved.checkpointed = True
+                    moved.pinned = slot.pinned
+                    self._repoint(key, target.id)
+                    report.relocated.append(key)
+                else:
+                    report.lost.append(key)
+            node.slots.clear()
+            node.protected.clear()
+            node.mem_used = 0
+            node._notify()
+        else:
+            report.reload, report.lost = node.fail_memory()
+        self.trace.emit(
+            "node_failed",
+            node=node_id,
+            permanent=permanent,
+            lost=len(report.lost),
+            reloadable=len(report.reloadable),
+        )
+        if permanent:
+            self.trace.emit("node_decommissioned", node=node_id, reason=reason)
+        return report
+
+    def mark_checkpointed(self, dataset_id: str) -> None:
+        """Flag a dataset's partitions as checkpoint-backed (§5).
+
+        Checkpointed partitions survive node failures: a restarted node
+        reloads them from stable storage instead of triggering a lineage
+        recompute.
+        """
+        record = self._records.get(dataset_id)
+        if record is None:
+            return
+        for key, node_id in zip(record.partition_keys, record.partition_nodes):
+            node = self.node(node_id)
+            if node.has(key):
+                node.slot(key).checkpointed = True
+
+    def _locate(self, key: PartitionKey) -> Tuple[Optional[DatasetRecord], int]:
+        """The record (and position) whose partitions include ``key``."""
+        for record in self._records.values():
+            for pos, candidate in enumerate(record.partition_keys):
+                if candidate == key:
+                    return record, pos
+        return None, -1
+
+    def _repoint(self, key: PartitionKey, node_id: str) -> None:
+        """Update every record referencing ``key`` to its new home node."""
+        for record in self._records.values():
+            for pos, candidate in enumerate(record.partition_keys):
+                if candidate == key:
+                    record.partition_nodes[pos] = node_id
+
+    def recover_reload(self, key: PartitionKey, promote: bool = True) -> float:
+        """Reload one checkpoint-resident partition after a failure.
+
+        Charges a disk read from the checkpoint copy; with ``promote`` the
+        slot re-enters memory (its pre-failure residency), evicting under
+        pressure like any other store.  Returns the charged seconds.
+        """
+        record, pos = self._locate(key)
+        if record is None:
+            return 0.0
+        node = self.node(record.partition_nodes[pos])
+        if not node.has(key):
+            return 0.0
+        slot = node.slot(key)
+        seconds = self.cost_model.disk_read_time(slot.nbytes)
+        self.obs.counter(
+            "bytes_read_disk", node=node.id, dataset=record.dataset_id
+        ).inc(slot.nbytes)
+        self.obs.counter("recoveries", node=node.id).inc()
+        if promote and not slot.in_memory:
+            seconds += self._ensure_space(node, slot.nbytes)
+            if node.free_memory() >= slot.nbytes:
+                node.promote(key, self.clock.now)
+                seconds += self.cost_model.mem_write_time(slot.nbytes)
+        self.trace.emit(
+            "recovery",
+            dataset=record.dataset_id,
+            index=pos,
+            nbytes=slot.nbytes,
+            node=node.id,
+            action="reload",
+        )
+        return seconds
+
+    def restore_partitions(
+        self,
+        dataset: Dataset,
+        into: Optional[str] = None,
+        keys: Optional[Iterable[PartitionKey]] = None,
+    ) -> Dict[str, float]:
+        """Re-store recomputed partitions into an existing dataset record.
+
+        Used by lineage recovery: the record — and therefore any composite
+        or choose alias pointing at it — keeps its identity; only the node
+        slots named by ``keys`` (default: all of the dataset's) are filled
+        back in.  Partitions homed on a decommissioned node are re-placed
+        round-robin across the survivors.  Returns per-node store seconds.
+        """
+        record = self._records[into or dataset.id]
+        wanted = set(keys) if keys is not None else None
+        per_node: Dict[str, float] = {}
+        for partition in dataset.partitions:
+            key = partition.key
+            if wanted is not None and key not in wanted:
+                continue
+            try:
+                pos = record.partition_keys.index(key)
+            except ValueError:
+                raise FaultError(
+                    f"recomputed partition {key} does not belong to dataset "
+                    f"{record.dataset_id!r}"
+                ) from None
+            node = self.node(record.partition_nodes[pos])
+            if node.id in self._dead:
+                node = self.node_for_partition(partition.index)
+                record.partition_nodes[pos] = node.id
+            seconds = self._store(node, partition)
+            per_node[node.id] = per_node.get(node.id, 0.0) + seconds
+            if record.pinned:
+                node.slot(key).pinned = True
+        return per_node
+
+    def missing_partitions(self, dataset_id: str) -> List[PartitionKey]:
+        """Partition keys of a registered dataset with no backing slot."""
+        record = self._records[dataset_id]
+        return [
+            key
+            for key, node_id in zip(record.partition_keys, record.partition_nodes)
+            if not self.node(node_id).has(key)
+        ]
 
     # ------------------------------------------------------------ snapshot
     def snapshot_state(self) -> ExecutionState:
@@ -386,6 +582,7 @@ class Cluster:
             node.mem_used = 0
             node.protected.clear()
         self._records.clear()
+        self._dead.clear()
         self.clock.reset()
         self.obs = MetricsRegistry()
         self.metrics = Metrics().bind(self.obs)

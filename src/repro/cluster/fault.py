@@ -9,11 +9,14 @@ The simulated mechanism:
 
 * the master snapshots choose scores (:class:`ChooseScoreStore`) as they
   arrive — recovery of a choose decision is free;
-* a node failure wipes the node's memory; partitions that were only in
-  memory are recomputed from their producing stage's inputs (charged as a
-  recovery re-execution) while disk-resident partitions simply reload.
+* a node failure wipes the node's memory; partitions with a checkpoint
+  copy simply reload, partitions without any copy are recomputed from
+  lineage by the engine (:class:`repro.engine.recovery.RecoveryManager`),
+  and already-dead data (``acc = 0``) is dropped free.
 
-:class:`FailureInjector` deterministically schedules failures for tests and
+:class:`FailureInjector` deterministically schedules failures — whole-node
+crashes (:class:`FailureEvent`, optionally permanent) and transient task
+failures retried with backoff (:class:`TaskFailureEvent`) — for tests and
 the failure-injection benchmarks.
 """
 
@@ -22,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .cluster import Cluster
+from .cluster import Cluster, FailureReport
 from .node import PartitionKey
 
 
@@ -82,40 +85,105 @@ class CheckpointConfig:
 
 @dataclass
 class FailureEvent:
-    """A scheduled node failure: fires before executing stage ``stage_index``."""
+    """A scheduled node failure: fires before executing stage ``stage_index``.
+
+    ``permanent`` decommissions the node (its partition shares rebalance
+    across the survivors) instead of restarting it.
+    """
 
     stage_index: int
     node_id: str
     fired: bool = False
+    permanent: bool = False
+
+
+@dataclass
+class TaskFailureEvent:
+    """A transient task failure: the node's tasks of stage ``stage_index``
+    fail ``attempts`` times before succeeding.  The engine retries with
+    backoff up to ``EngineConfig.max_task_retries``; beyond that the node
+    is declared dead and decommissioned."""
+
+    stage_index: int
+    node_id: str
+    attempts: int = 1
+    fired: bool = False
 
 
 class FailureInjector:
-    """Deterministically injects node failures at chosen stage boundaries."""
+    """Deterministically injects failures at chosen stage boundaries."""
 
-    def __init__(self, events: Optional[List[FailureEvent]] = None):
+    def __init__(
+        self,
+        events: Optional[List[FailureEvent]] = None,
+        task_events: Optional[List[TaskFailureEvent]] = None,
+    ):
         self.events = events or []
+        self.task_events = task_events or []
 
     @classmethod
-    def at_stages(cls, pairs: List[Tuple[int, str]]) -> "FailureInjector":
-        return cls([FailureEvent(stage_index, node_id) for stage_index, node_id in pairs])
+    def at_stages(
+        cls, pairs: List[Tuple[int, str]], permanent: bool = False
+    ) -> "FailureInjector":
+        return cls(
+            [
+                FailureEvent(stage_index, node_id, permanent=permanent)
+                for stage_index, node_id in pairs
+            ]
+        )
 
-    def maybe_fail(self, cluster: Cluster, stage_index: int) -> List[PartitionKey]:
-        """Fire any due failure; returns the partition keys lost from memory."""
-        lost: List[PartitionKey] = []
+    @classmethod
+    def task_failures(cls, triples: List[Tuple[int, str, int]]) -> "FailureInjector":
+        """Injector of transient task failures: ``(stage_index, node, attempts)``."""
+        return cls(
+            task_events=[
+                TaskFailureEvent(stage_index, node_id, attempts)
+                for stage_index, node_id, attempts in triples
+            ]
+        )
+
+    def maybe_fail(self, cluster: Cluster, stage_index: int) -> List[FailureReport]:
+        """Fire any due node failure; returns one report per failed node."""
+        reports: List[FailureReport] = []
         for event in self.events:
             if not event.fired and event.stage_index == stage_index:
                 event.fired = True
-                lost.extend(cluster.fail_node(event.node_id))
-        return lost
+                reports.append(
+                    cluster.fail_node(event.node_id, permanent=event.permanent)
+                )
+        return reports
+
+    def due_task_failures(self, stage_index: int) -> List[TaskFailureEvent]:
+        """Fire (and return) the task failures due at this stage boundary."""
+        due: List[TaskFailureEvent] = []
+        for event in self.task_events:
+            if not event.fired and event.stage_index == stage_index:
+                event.fired = True
+                due.append(event)
+        return due
+
+    def unfired(self) -> List[Tuple[str, object]]:
+        """Events that never fired (scheduled past the last stage index)."""
+        out: List[Tuple[str, object]] = []
+        for event in self.events:
+            if not event.fired:
+                out.append(("node", event))
+        for task_event in self.task_events:
+            if not task_event.fired:
+                out.append(("task", task_event))
+        return out
 
 
 def recover_partitions(cluster: Cluster, lost: List[PartitionKey]) -> float:
     """Charge the recovery cost for partitions lost from a node's memory.
 
-    Datasets with surviving disk copies reload from disk; datasets without
-    any copy must be recomputed upstream — modelled as a disk reload at the
-    checkpoint read bandwidth (SEEP checkpoints operator state to stable
-    storage), plus one recovery event in the metrics.
+    Cluster-level approximation used by substrate tests and standalone
+    simulations: partitions with a surviving disk/checkpoint copy reload
+    (a plain recovery, *not* a re-execution); partitions without any copy
+    count one ``recovery_reexecutions`` each, their upstream re-execution
+    modelled as a disk reload at checkpoint bandwidth.  The engine's
+    :class:`repro.engine.recovery.RecoveryManager` is the real successor:
+    it replays actual lineage and uses the same counting rules.
     """
     seconds = 0.0
     for dataset_id, index in lost:
@@ -123,13 +191,25 @@ def recover_partitions(cluster: Cluster, lost: List[PartitionKey]) -> float:
             continue
         record = cluster.record(dataset_id)
         nbytes = record.partition_bytes[index]
+        node_id = record.partition_nodes[index]
+        key = record.partition_keys[index]
         seconds += cluster.cost_model.disk_read_time(nbytes)
-        cluster.metrics.bytes_read_disk += nbytes
-        cluster.metrics.recoveries += 1
-        cluster.metrics.recovery_reexecutions += 1
-        cluster.trace.emit("recovery", dataset=dataset_id, index=index, nbytes=nbytes)
-        # Reinstall the partition on its node as a disk-resident copy; the
-        # next access promotes it like any other miss.  The payload itself
-        # is unrecoverable in memory terms, so we mark the slot as lost by
-        # leaving it absent — the engine re-registers when recomputing.
+        cluster.obs.counter("recoveries", node=node_id).inc()
+        if cluster.node(node_id).has(key):
+            # a disk copy survives: reload it, no upstream work needed
+            cluster.obs.counter(
+                "bytes_read_disk", node=node_id, dataset=dataset_id
+            ).inc(nbytes)
+            action = "reload"
+        else:
+            cluster.obs.counter("recovery_reexecutions", node=node_id).inc()
+            action = "recompute"
+        cluster.trace.emit(
+            "recovery",
+            dataset=dataset_id,
+            index=index,
+            nbytes=nbytes,
+            node=node_id,
+            action=action,
+        )
     return seconds

@@ -49,9 +49,13 @@ class Metrics:
     time_network: float = 0.0
     peak_datasets_stored: int = 0
     recoveries: int = 0
-    #: recoveries that had to restore partitions lost from a node's memory
-    #: (re-secured from checkpoints / re-execution, not a plain reload)
+    #: recoveries that re-executed a producing stage because no copy of the
+    #: lost partition survived (checkpoint reloads are plain recoveries)
     recovery_reexecutions: int = 0
+    #: stages re-run by lineage recovery after a node failure
+    stages_reexecuted: int = 0
+    #: transient task-failure attempts retried with backoff (§5)
+    task_retries: int = 0
     speculative_tasks: int = 0
 
     # --------------------------------------------------------- registry view

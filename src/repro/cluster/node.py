@@ -24,6 +24,9 @@ class Slot:
     in_memory: bool = True
     last_access: float = 0.0
     pinned: bool = False
+    #: a checkpoint copy exists on stable storage (§5): the partition
+    #: survives node failures and reloads instead of recomputing
+    checkpointed: bool = False
 
     @property
     def dataset_id(self) -> str:
@@ -77,6 +80,7 @@ class Node:
         slot = Slot(key, payload, int(nbytes), in_memory=in_memory, last_access=now)
         if existing is not None:
             slot.pinned = existing.pinned
+            slot.checkpointed = existing.checkpointed
         self.slots[key] = slot
         if in_memory:
             self.mem_used += slot.nbytes
@@ -113,22 +117,31 @@ class Node:
             self._notify()
         return slot
 
-    def drop_memory_contents(self) -> List[PartitionKey]:
-        """Simulate a node restart: every in-memory slot falls back to disk.
+    def fail_memory(self) -> Tuple[List[PartitionKey], List[PartitionKey]]:
+        """Simulate a node restart: the memory contents are wiped.
 
-        SEEP's checkpoint mechanism keeps partition state on stable storage,
-        so a restarted worker re-reads its partitions from disk on the next
-        access instead of recomputing whole branches (§5).  Returns the keys
-        that were lost from memory.
+        Partitions with a checkpoint copy on stable storage (§5, SEEP's
+        checkpoint mechanism) fall back to their disk copy and can simply
+        reload; everything else held only in memory is *gone* and must be
+        recomputed from lineage.  Disk-resident slots (spills, demoted
+        checkpoints) survive a restart untouched.
+
+        Returns ``(reloadable, lost)`` partition keys.
         """
-        lost = []
+        reloadable: List[PartitionKey] = []
+        lost: List[PartitionKey] = []
         for key, slot in list(self.slots.items()):
-            if slot.in_memory:
-                lost.append(key)
+            if not slot.in_memory:
+                continue
+            if slot.checkpointed:
                 slot.in_memory = False
+                reloadable.append(key)
+            else:
+                del self.slots[key]
+                lost.append(key)
         self.mem_used = 0
         self._notify()
-        return lost
+        return reloadable, lost
 
     def eviction_candidates(self) -> List[Slot]:
         """In-memory, unprotected, unpinned slots — in eviction order the

@@ -15,6 +15,7 @@ applies.  We model both sides:
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -59,8 +60,7 @@ def apply_stragglers(
     }
     if not speculation.enabled or len(stretched) < 2:
         return stretched
-    times = sorted(stretched.values())
-    median = times[len(times) // 2]
+    median = statistics.median(stretched.values())
     if median <= 0:
         return stretched
     fastest_factor = min(profile.factor(n) for n in stretched)

@@ -11,6 +11,7 @@ from .hints import (
 )
 from .job import ChooseDecision, EngineConfig, JobResult, StageTrace
 from .master import Master
+from .recovery import RecoveryManager
 from .runner import make_scheduler, run_mdf
 from .scheduler import (
     BFSScheduler,
@@ -31,6 +32,7 @@ __all__ = [
     "ModelBasedHint",
     "PriorityHint",
     "RandomHint",
+    "RecoveryManager",
     "Scheduler",
     "SchedulerContext",
     "SchedulingHint",

@@ -64,6 +64,16 @@ class StageExecutor:
     def __init__(self, cluster: Cluster, config: EngineConfig):
         self.cluster = cluster
         self.config = config
+        #: node id -> pending transient task-failure attempts, consumed by
+        #: the next executed stage (retry-with-backoff, §5)
+        self._pending_task_faults: Dict[str, int] = {}
+
+    def inject_task_faults(self, faults: Dict[str, int]) -> None:
+        """Schedule transient task failures for the next executed stage."""
+        for node_id, attempts in faults.items():
+            self._pending_task_faults[node_id] = (
+                self._pending_task_faults.get(node_id, 0) + attempts
+            )
 
     # ------------------------------------------------------------- helpers
     def _wall(
@@ -88,6 +98,29 @@ class StageExecutor:
             per_node_compute = apply_stragglers(
                 per_node_compute, profile, self.config.speculation, self.cluster.metrics
             )
+        if self._pending_task_faults:
+            faults, self._pending_task_faults = self._pending_task_faults, {}
+            per_node_io = dict(per_node_io)
+            per_node_compute = dict(per_node_compute)
+            for node_id, attempts in sorted(faults.items()):
+                if attempts <= 0:
+                    continue
+                # each failed attempt redoes the node's full IO + compute
+                # share, plus exponential backoff between attempts
+                node_io = per_node_io.get(node_id, 0.0)
+                node_compute = per_node_compute.get(node_id, 0.0)
+                backoff = sum(
+                    self.config.retry_backoff * (2 ** i) for i in range(attempts)
+                )
+                per_node_io[node_id] = node_io * (1 + attempts)
+                per_node_compute[node_id] = node_compute * (1 + attempts) + backoff
+                self.cluster.obs.counter("task_retries", node=node_id).inc(attempts)
+                self.cluster.trace.emit(
+                    "task_retried",
+                    node=node_id,
+                    attempts=attempts,
+                    seconds=(node_io + node_compute) * attempts + backoff,
+                )
         io = max(per_node_io.values(), default=0.0)
         compute = max(per_node_compute.values(), default=0.0)
         overhead = num_tasks * self.config.task_overhead
@@ -190,7 +223,7 @@ class StageExecutor:
             per_worker_compute = self.cluster.cost_model.compute_time(
                 head.compute_cost(total_bytes) / self.cluster.num_workers
             )
-            for node in self.cluster.nodes:
+            for node in self.cluster.alive_nodes:
                 per_node_compute[node.id] = (
                     per_node_compute.get(node.id, 0.0) + per_worker_compute
                 )
@@ -230,6 +263,25 @@ class StageExecutor:
     def commit_store(self, dataset: Dataset) -> StageTimes:
         """Materialise a deferred stage output (charge the store)."""
         store_seconds = self.cluster.register_dataset(dataset)
+        io = max(store_seconds.values(), default=0.0)
+        for node_id, seconds in store_seconds.items():
+            self.cluster.obs.counter("time_io", node=node_id).inc(seconds)
+        return StageTimes(io=io)
+
+    def commit_restore(
+        self,
+        dataset: Dataset,
+        into: str,
+        keys: Optional[List[Tuple[str, int]]] = None,
+    ) -> StageTimes:
+        """Store a re-executed stage's output back into an existing record.
+
+        Recovery counterpart of :meth:`commit_store`: the dataset id is
+        already registered — only the (missing) partitions in ``keys`` are
+        written back into their original slots, so surviving partitions
+        keep their residency and the record's identity is preserved.
+        """
+        store_seconds = self.cluster.restore_partitions(dataset, into=into, keys=keys)
         io = max(store_seconds.values(), default=0.0)
         for node_id, seconds in store_seconds.items():
             self.cluster.obs.counter("time_io", node=node_id).inc(seconds)
@@ -340,7 +392,7 @@ class StageExecutor:
             per_worker_compute = self.cluster.cost_model.compute_time(
                 head_cost / self.cluster.num_workers
             )
-            for node in self.cluster.nodes:
+            for node in self.cluster.alive_nodes:
                 per_node_compute[node.id] = (
                     per_node_compute.get(node.id, 0.0) + per_worker_compute
                 )

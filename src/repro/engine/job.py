@@ -45,6 +45,16 @@ class EngineConfig:
     failures: Optional[FailureInjector] = None
     #: periodic checkpointing of stage outputs (None = rely on spills)
     checkpointing: Optional[CheckpointConfig] = None
+    #: bounded retry for transiently failing tasks (§5): a task may fail
+    #: and be retried this many times, each attempt charged in full, before
+    #: its node is declared dead and decommissioned
+    max_task_retries: int = 3
+    #: base of the exponential backoff charged between task retry attempts
+    #: (seconds; attempt i waits ``retry_backoff · 2^i``)
+    retry_backoff: float = 0.05
+    #: raise instead of tracing ``failure_unfired`` when an injected
+    #: failure is scheduled past the last stage index and never fires
+    strict_failures: bool = False
     #: operator names whose output datasets are pinned in memory — the
     #: Spark ``cache()`` emulation used by the Spark (cache) baseline
     pin_producers: frozenset = frozenset()

@@ -21,7 +21,7 @@ from ..cluster.cluster import Cluster
 from ..cluster.fault import ChooseScoreStore
 from ..core.choose import ChooseOperator
 from ..core.datasets import Dataset, Partition
-from ..core.errors import SchedulingError
+from ..core.errors import FaultError, SchedulingError
 from ..core.explore import Branch, ExploreOperator
 from ..core.mdf import MDF, Scope
 from ..core.operators import Join, Operator, Sink
@@ -29,6 +29,7 @@ from ..core.optimizations import make_pruner, plan_optimizations
 from ..core.stages import Stage, StageGraph
 from .executor import StageExecutor, StageTimes
 from .job import ChooseDecision, EngineConfig, JobResult, StageTrace
+from .recovery import RecoveryManager
 from .scheduler import BFSScheduler, Scheduler, SchedulerContext
 
 #: ready-queue depths are small integers; the default log-scale latency
@@ -121,6 +122,7 @@ class Master:
         self._prepare_scopes()
         self._prepare_schedule()
         self._bind_policy()
+        self.recovery = RecoveryManager(self)
 
     # ------------------------------------------------------------- set-up
     def _prepare_scopes(self) -> None:
@@ -288,29 +290,64 @@ class Master:
                 if s.id not in self._executed and s.id not in self._pruned_stages
             ]
             raise SchedulingError(f"schedule stalled with pending stages: {unfinished}")
+        self._surface_unfired_failures()
         self.result.completion_time = self.cluster.clock.now
         return self.result
 
     def _maybe_fail(self, stage_index: int) -> None:
+        """Fire due injected failures and *pay* for them (§5).
+
+        Transient task failures within the retry budget are handed to the
+        executor, which charges each attempt plus backoff on the next
+        executed stage; beyond ``max_task_retries`` the node is declared
+        dead and decommissioned.  Whole-node failures go through the
+        :class:`~repro.engine.recovery.RecoveryManager`, which reloads,
+        recomputes or drops every lost partition and advances the clock by
+        the full recovery cost.
+        """
         injector = self.config.failures
         if injector is None:
             return
-        lost = injector.maybe_fail(self.cluster, stage_index)
-        if lost:
-            self.cluster.metrics.recoveries += len(lost)
-            # partitions of still-live datasets must be re-secured (reloaded
-            # from their checkpoint copies on next access) — the recovery
-            # re-executions §5's master bookkeeping avoids for choose scores
-            for dataset_id, index in lost:
-                if not self.cluster.has_dataset(dataset_id):
-                    continue
-                self.cluster.metrics.recovery_reexecutions += 1
+        for task_event in injector.due_task_failures(stage_index):
+            if task_event.attempts > self.config.max_task_retries:
                 self.cluster.trace.emit(
-                    "recovery",
-                    dataset=dataset_id,
-                    index=index,
-                    nbytes=self.cluster.record(dataset_id).partition_bytes[index],
+                    "task_retries_exhausted",
+                    node=task_event.node_id,
+                    attempts=task_event.attempts,
+                    max_retries=self.config.max_task_retries,
                 )
+                report = self.cluster.fail_node(
+                    task_event.node_id, permanent=True, reason="retries-exhausted"
+                )
+                self.recovery.handle_failure(report, stage_index)
+            else:
+                self.executor.inject_task_faults(
+                    {task_event.node_id: task_event.attempts}
+                )
+        for report in injector.maybe_fail(self.cluster, stage_index):
+            self.recovery.handle_failure(report, stage_index)
+
+    def _surface_unfired_failures(self) -> None:
+        """An injected failure scheduled past the schedule's end is a rotten
+        benchmark config: trace it, or raise under ``strict_failures``."""
+        injector = self.config.failures
+        if injector is None:
+            return
+        unfired = injector.unfired()
+        for kind, event in unfired:
+            self.cluster.trace.emit(
+                "failure_unfired",
+                failure_kind=kind,
+                node=event.node_id,
+                stage_index=event.stage_index,
+            )
+        if unfired and self.config.strict_failures:
+            detail = ", ".join(
+                f"{kind} failure of {event.node_id!r} at stage index "
+                f"{event.stage_index}"
+                for kind, event in unfired
+            )
+            raise FaultError(f"injected failure(s) never fired: {detail}")
 
     # --------------------------------------------------------- stage kinds
     def _execute_stage(self, stage: Stage) -> None:
@@ -434,6 +471,7 @@ class Master:
             dataset=output_dataset_id,
             nbytes=int(record.nbytes * config.overhead_fraction),
         )
+        self.cluster.mark_checkpointed(output_dataset_id)
         self._advance(StageTimes(io=seconds), None, self.cluster.clock.now)
 
     def _finalize_sinks(self, stage: Stage, output_dataset_id: Optional[str]) -> None:
@@ -477,6 +515,10 @@ class Master:
                 self._discard_branch_dataset(runtime, discarded_id)
         if branch.id in decision.discarded:
             runtime.discarded.add(branch.id)  # never stored: nothing to free
+            # the consumer entry seeded for AMM before the stage ran would
+            # otherwise leak and inflate acc(d) for any later dataset
+            # reusing this id
+            self._consumers.pop(outcome.pending.id, None)
             self.cluster.trace.emit(
                 "branch_discarded",
                 choose=choose.name,

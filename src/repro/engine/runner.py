@@ -64,7 +64,12 @@ def run_mdf(
         ``"lru"``, ``"amm"``, a policy object, or None to keep the
         cluster's current policy.
     config:
-        Engine knobs; defaults to incremental choose + pruning on.
+        Engine knobs; defaults to incremental choose + pruning on.  A
+        :class:`~repro.cluster.fault.FailureInjector` in ``config.failures``
+        makes the run pay real recovery costs: lost partitions reload from
+        checkpoints or recompute from lineage
+        (:class:`~repro.engine.recovery.RecoveryManager`), and the
+        ``recovery_sound`` validator checks the replay discipline.
     validate:
         Run the paper-invariant checkers (:mod:`repro.trace.validate`)
         over the recorded decision trace after the job finishes, raising

@@ -40,8 +40,10 @@ CONSISTENCY_VIEWS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("datasets_discarded", ("dataset",)),
     ("choose_evaluations", ("branch", "stage", "dataset")),
     ("scheduler_selections", ("branch", "stage", "policy")),
-    ("recoveries", ()),
-    ("recovery_reexecutions", ()),
+    ("recoveries", ("node",)),
+    ("recovery_reexecutions", ("node",)),
+    ("stages_reexecuted", ("branch", "stage")),
+    ("task_retries", ("node", "branch", "stage")),
 )
 
 
@@ -151,10 +153,40 @@ def registry_from_trace(trace) -> MetricsRegistry:
             registry.counter("branches_executed", branch=data["branch"], stage=stage).inc()
         elif kind == "branch_pruned":
             registry.counter("branches_pruned", branch=data["branch"], stage=stage).inc()
-        elif kind == "node_failed":
-            registry.counter("recoveries").inc(data["lost"])
+        elif kind in ("node_failed", "recovery_started"):
+            # recovery work before the first re-executed stage (reloads,
+            # free drops) runs outside any stage's label context
+            stage = None
+            branch = None
+        elif kind == "stage_reexecuted":
+            stage = data["stage"]
+            branch = data["branch"]
+            registry.counter("stages_reexecuted", stage=stage, branch=branch).inc()
         elif kind == "recovery":
-            registry.counter("recovery_reexecutions").inc()
+            action = data["action"]
+            if action in ("reload", "recompute"):
+                registry.counter(
+                    "recoveries", node=data["node"], stage=stage, branch=branch
+                ).inc()
+            if action == "recompute":
+                registry.counter(
+                    "recovery_reexecutions",
+                    node=data["node"],
+                    stage=stage,
+                    branch=branch,
+                ).inc()
+            elif action == "reload":
+                registry.counter(
+                    "bytes_read_disk",
+                    node=data["node"],
+                    dataset=data["dataset"],
+                    stage=stage,
+                    branch=branch,
+                ).inc(data["nbytes"])
+        elif kind == "task_retried":
+            registry.counter(
+                "task_retries", node=data["node"], stage=stage, branch=branch
+            ).inc(data["attempts"])
     return registry
 
 

@@ -15,6 +15,7 @@ from .validate import (
     check_depth_first,
     check_no_use_after_discard,
     check_pruning_sound,
+    check_recovery_sound,
     set_auto_validate,
     validate_trace,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "check_depth_first",
     "check_no_use_after_discard",
     "check_pruning_sound",
+    "check_recovery_sound",
     "set_auto_validate",
     "validate_trace",
 ]

@@ -59,8 +59,27 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     ),
     # -- fault tolerance (§5)
     "checkpoint_written": frozenset({"dataset", "nbytes"}),
-    "node_failed": frozenset({"node", "lost"}),
-    "recovery": frozenset({"dataset", "index", "nbytes"}),
+    "node_failed": frozenset({"node", "permanent", "lost", "reloadable"}),
+    # a permanently failed node leaving the cluster; its partition shares
+    # rebalance across the survivors (graceful degradation)
+    "node_decommissioned": frozenset({"node", "reason"}),
+    # one partition recovered: action is "reload" (disk/checkpoint copy),
+    # "recompute" (re-executed from lineage) or "dropped" (dead data, free)
+    "recovery": frozenset({"dataset", "index", "nbytes", "node", "action"}),
+    # the master's recovery plan for one node failure: lists of
+    # [dataset, index] pairs per classification (a/b/c of §5)
+    "recovery_started": frozenset(
+        {"node", "stage_index", "permanent", "reloaded", "recomputed", "dropped"}
+    ),
+    # a stage re-run to rebuild lost partitions; score_reused marks branch
+    # tails whose choose score survived in the master's ChooseScoreStore
+    "stage_reexecuted": frozenset({"stage", "branch", "dataset", "cause", "score_reused"}),
+    # transient task failures retried with backoff (charged per attempt)
+    "task_retried": frozenset({"node", "attempts", "seconds"}),
+    "task_retries_exhausted": frozenset({"node", "attempts", "max_retries"}),
+    # a scheduled FailureEvent/TaskFailureEvent that never fired (its stage
+    # index was past the end of the schedule) — benchmark-config rot guard
+    "failure_unfired": frozenset({"failure_kind", "node", "stage_index"}),
 }
 
 
@@ -190,7 +209,13 @@ class Trace:
             "choose_finalized",
             "checkpoint_written",
             "node_failed",
+            "node_decommissioned",
             "recovery",
+            "recovery_started",
+            "stage_reexecuted",
+            "task_retried",
+            "task_retries_exhausted",
+            "failure_unfired",
         }
         out: List[Dict[str, Any]] = []
         for event in self.events:

@@ -21,8 +21,12 @@ list of :class:`Violation` records it found (empty = invariant holds):
 * :func:`check_no_use_after_discard` — R3 safety: no partition of a
   dataset is ever read after the dataset was discarded (or absorbed into
   a composite and then discarded).
+* :func:`check_recovery_sound` — §5 recovery: once a partition is marked
+  for recomputation (``recovery_started``), no read of it may occur until
+  its recompute lands (``partition_stored`` or a fresh registration), and
+  every marked partition is eventually rebuilt or discarded.
 
-``validate_trace`` runs all four; ``assert_valid`` raises
+``validate_trace`` runs all five; ``assert_valid`` raises
 :class:`InvariantViolation` listing every violation.  The module-level
 auto-validate flag lets the benchmark harness (``python -m repro.bench
 --validate``) check every figure-reproduction run for free.
@@ -323,6 +327,67 @@ def check_no_use_after_discard(trace: Trace) -> List[Violation]:
     return violations
 
 
+# -------------------------------------------------------------- §5 recovery
+
+
+def check_recovery_sound(trace: Trace) -> List[Violation]:
+    """No recovered dataset partition is read before its recompute lands.
+
+    ``recovery_started`` declares the master's plan: the ``recomputed``
+    list names ``(dataset, index)`` pairs whose contents are *gone* until a
+    re-executed stage stores them again.  A ``dataset_access`` touching a
+    pending pair — directly, or through a composite one of whose members is
+    pending — means the engine consumed data it had not yet rebuilt.  A
+    pending pair is settled by a matching ``partition_stored``, by a fresh
+    registration of the dataset, or by its discard (the dead-data arm).
+    Pairs still pending at the end of the trace were never rebuilt at all.
+    """
+    violations: List[Violation] = []
+    pending: Dict[tuple, int] = {}  # (dataset, index) -> seq of recovery_started
+    members_of: Dict[str, List[str]] = {}  # composite id -> member dataset ids
+    for event in trace:
+        data = event.data
+        if event.kind == "recovery_started":
+            for dataset, index in data["recomputed"]:
+                pending[(dataset, index)] = event.seq
+        elif event.kind == "partition_stored":
+            pending.pop((data["dataset"], data["index"]), None)
+        elif event.kind in ("dataset_registered", "dataset_discarded"):
+            dataset = data["dataset"]
+            for key in [k for k in pending if k[0] == dataset]:
+                del pending[key]
+        elif event.kind == "composite_registered":
+            members_of[data["dataset"]] = list(data["members"])
+        elif event.kind == "dataset_access":
+            dataset = data["dataset"]
+            touched = [dataset] + members_of.get(dataset, [])
+            for target in touched:
+                hits = [k for k in pending if k[0] == target]
+                if not hits:
+                    continue
+                first = min(hits, key=lambda k: pending[k])
+                violations.append(
+                    Violation(
+                        "recovery_sound",
+                        event.seq,
+                        f"dataset {dataset!r} read on {data['node']!r} while "
+                        f"partition {first[1]} of {target!r} was still pending "
+                        f"recompute (recovery_started at event "
+                        f"#{pending[first]})",
+                    )
+                )
+    for (dataset, index), seq in sorted(pending.items(), key=lambda kv: kv[1]):
+        violations.append(
+            Violation(
+                "recovery_sound",
+                seq,
+                f"partition {index} of dataset {dataset!r} was marked for "
+                f"recompute but never rebuilt or discarded",
+            )
+        )
+    return violations
+
+
 # ----------------------------------------------------------------- aggregation
 
 ALL_CHECKS = {
@@ -330,6 +395,7 @@ ALL_CHECKS = {
     "amm_ranking": check_amm_ranking,
     "pruning_sound": check_pruning_sound,
     "no_use_after_discard": check_no_use_after_discard,
+    "recovery_sound": check_recovery_sound,
 }
 
 
@@ -338,7 +404,7 @@ def validate_trace(
     alpha: Optional[float] = None,
     table1: Optional[Mapping[str, Any]] = None,
 ) -> List[Violation]:
-    """Run all four invariant checkers; returns every violation found."""
+    """Run all five invariant checkers; returns every violation found."""
     if trace is None:
         return []
     violations: List[Violation] = []
@@ -346,6 +412,7 @@ def validate_trace(
     violations.extend(check_amm_ranking(trace, alpha=alpha))
     violations.extend(check_pruning_sound(trace, table1=table1))
     violations.extend(check_no_use_after_discard(trace))
+    violations.extend(check_recovery_sound(trace))
     return violations
 
 

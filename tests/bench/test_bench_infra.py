@@ -78,6 +78,7 @@ class TestFigureResult:
             "fig16",
             "fig17_18",
             "choose_throughput",
+            "failure_recovery",
             "appendix_b",
             "supplementary_ts5",
         }

@@ -239,6 +239,8 @@ class TestSnapshotAndReset:
         cluster = make_cluster()
         ds = make_dataset(4, dataset_id="d")
         cluster.register_dataset(ds)
-        lost = cluster.fail_node("worker-0")
-        assert lost  # worker-0 held partitions 0 and 2
+        report = cluster.fail_node("worker-0")
+        # worker-0 held partitions 0 and 2; no checkpoints -> both lost
+        assert report.lost == [("d", 0), ("d", 2)]
+        assert report.reloadable == []
         assert cluster.node("worker-0").mem_used == 0

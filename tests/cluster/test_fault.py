@@ -49,8 +49,10 @@ class TestFailureInjector:
         injector = FailureInjector.at_stages([(2, "worker-0")])
         assert injector.maybe_fail(cluster, 0) == []
         assert injector.maybe_fail(cluster, 1) == []
-        lost = injector.maybe_fail(cluster, 2)
-        assert lost == [("d", 0)]
+        reports = injector.maybe_fail(cluster, 2)
+        assert [r.node_id for r in reports] == ["worker-0"]
+        assert reports[0].lost == [("d", 0)]
+        assert not reports[0].permanent
 
     def test_fires_only_once(self):
         cluster = self._cluster_with_data()
@@ -61,13 +63,27 @@ class TestFailureInjector:
     def test_multiple_events(self):
         cluster = self._cluster_with_data()
         injector = FailureInjector.at_stages([(0, "worker-0"), (0, "worker-1")])
-        lost = injector.maybe_fail(cluster, 0)
+        reports = injector.maybe_fail(cluster, 0)
+        lost = [k for r in reports for k in r.lost]
         assert set(lost) == {("d", 0), ("d", 1)}
 
-    def test_data_survives_on_disk(self):
+    def test_unmaterialized_data_is_lost(self):
+        # without a checkpoint, a memory-resident partition does not
+        # survive its node: the slot is gone and the dataset has a hole
         cluster = self._cluster_with_data()
         injector = FailureInjector.at_stages([(0, "worker-0")])
-        injector.maybe_fail(cluster, 0)
+        reports = injector.maybe_fail(cluster, 0)
+        assert reports[0].lost == [("d", 0)]
+        assert reports[0].reloadable == []
+        assert cluster.missing_partitions("d") == [("d", 0)]
+
+    def test_checkpointed_data_survives_on_disk(self):
+        cluster = self._cluster_with_data()
+        cluster.mark_checkpointed("d")
+        injector = FailureInjector.at_stages([(0, "worker-0")])
+        reports = injector.maybe_fail(cluster, 0)
+        assert reports[0].lost == []
+        assert reports[0].reload == [("d", 0)]
         payload, seconds, _ = cluster.load_partition("d", 0)
         assert payload == list(range(10))
         assert cluster.metrics.partition_misses == 1  # read from checkpoint

@@ -105,16 +105,23 @@ class TestEvictionCandidates:
 
 
 class TestFailure:
-    def test_drop_memory_demotes_to_disk(self):
+    def test_fail_memory_splits_checkpointed_from_lost(self):
         node = make_node()
         node.put(("d", 0), [1], 100, now=0.0, in_memory=True)
+        node.put(("c", 0), [2], 100, now=0.0, in_memory=True)
+        node.slot(("c", 0)).checkpointed = True
         node.put(("e", 0), [1], 100, now=0.0, in_memory=False)
-        lost = node.drop_memory_contents()
-        assert lost == [("d", 0)]
+        reloadable, lost = node.fail_memory()
         assert node.mem_used == 0
-        # checkpointed copy survives on disk
-        assert node.has(("d", 0))
-        assert not node.slot(("d", 0)).in_memory
+        # checkpointed copy demotes to its disk replica
+        assert reloadable == [("c", 0)]
+        assert node.has(("c", 0))
+        assert not node.slot(("c", 0)).in_memory
+        # non-checkpointed memory contents are genuinely gone
+        assert lost == [("d", 0)]
+        assert not node.has(("d", 0))
+        # disk-resident slots are untouched
+        assert node.has(("e", 0))
 
     def test_memory_datasets(self):
         node = make_node()

@@ -28,11 +28,14 @@ class TestRecoveryReexecutions:
     def test_each_reexecution_traced(self, small_cluster):
         config = EngineConfig(failures=FailureInjector.at_stages([(2, "worker-0")]))
         result = run_mdf(build_filter_mdf(), small_cluster, config=config)
-        assert (
-            len(result.events.filter("recovery"))
-            == result.metrics.recovery_reexecutions
-        )
+        recomputes = [
+            e
+            for e in result.events.filter("recovery")
+            if e.data["action"] == "recompute"
+        ]
+        assert len(recomputes) == result.metrics.recovery_reexecutions
         assert len(result.events.filter("node_failed")) == 1
+        assert len(result.events.filter("recovery_started")) == 1
 
     def test_recover_partitions_helper_increments(self):
         from repro.core.datasets import Dataset
@@ -42,11 +45,11 @@ class TestRecoveryReexecutions:
             list(range(20)), num_partitions=2, dataset_id="d:a", nominal_bytes=8 * MB
         )
         cluster.register_dataset(dataset)
-        lost = cluster.fail_node("worker-0")
-        assert lost
+        report = cluster.fail_node("worker-0")
+        assert report.lost
         before = cluster.metrics.recovery_reexecutions
-        recover_partitions(cluster, lost)
-        assert cluster.metrics.recovery_reexecutions == before + len(lost)
+        recover_partitions(cluster, report.lost)
+        assert cluster.metrics.recovery_reexecutions == before + len(report.lost)
 
 
 class TestChooseEvaluations:

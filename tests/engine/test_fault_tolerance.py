@@ -34,8 +34,10 @@ class TestFailures:
             Cluster(4, 1 * GB),
             config=EngineConfig(failures=FailureInjector.at_stages([(2, "worker-0")])),
         )
-        # recovery reads from checkpointed disk copies
-        assert failed.completion_time >= clean.completion_time
+        # the lost partitions recompute from lineage, so the failed run
+        # strictly pays for the failure: it re-reads the job input from
+        # disk and finishes later by exactly the charged recovery seconds
+        assert failed.completion_time > clean.completion_time
         assert failed.metrics.bytes_read_disk > clean.metrics.bytes_read_disk
 
     def test_choose_scores_survive_at_master(self, small_cluster):

@@ -29,10 +29,10 @@ class TestRecoverPartitions:
             list(range(20)), num_partitions=2, dataset_id="d", nominal_bytes=4 * MB
         )
         cluster.register_dataset(ds)
-        lost = cluster.fail_node("worker-0")
-        seconds = recover_partitions(cluster, lost)
+        report = cluster.fail_node("worker-0")
+        seconds = recover_partitions(cluster, report.lost)
         assert seconds > 0
-        assert cluster.metrics.recoveries == len(lost)
+        assert cluster.metrics.recoveries == len(report.lost)
 
     def test_missing_dataset_skipped(self):
         cluster = Cluster(2, 10 * MB)

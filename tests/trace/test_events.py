@@ -76,7 +76,13 @@ class TestJsonlExport:
     def test_roundtrip_preserves_events(self):
         trace = Trace(clock=FakeClock(1.0))
         trace.emit("checkpoint_written", dataset="d:a", nbytes=42)
-        trace.emit("node_failed", node="worker-0", lost=[["d:a", 0]])
+        trace.emit(
+            "node_failed",
+            node="worker-0",
+            permanent=False,
+            lost=[["d:a", 0]],
+            reloadable=[],
+        )
         back = Trace.from_jsonl(trace.to_jsonl())
         assert [e.as_dict() for e in back] == [e.as_dict() for e in trace]
 

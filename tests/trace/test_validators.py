@@ -28,6 +28,7 @@ from repro.trace import (
     check_depth_first,
     check_no_use_after_discard,
     check_pruning_sound,
+    check_recovery_sound,
 )
 
 from ..conftest import build_filter_mdf, build_nested_mdf
@@ -334,6 +335,87 @@ class TestAmmRankingSynthetic:
             ranking=[{"dataset": "d:a", "index": 0, "nbytes": 1, "last_access": 0.0}],
         )
         assert check_amm_ranking(trace) == []
+
+
+class TestRecoverySoundSynthetic:
+    def start_recovery(self, trace, recomputed, reloaded=(), dropped=()):
+        trace.emit(
+            "recovery_started",
+            node="worker-0",
+            stage_index=2,
+            permanent=False,
+            reloaded=[list(k) for k in reloaded],
+            recomputed=[list(k) for k in recomputed],
+            dropped=[list(k) for k in dropped],
+        )
+
+    def store(self, trace, dataset, index):
+        trace.emit(
+            "partition_stored",
+            dataset=dataset,
+            index=index,
+            node="worker-1",
+            nbytes=1,
+            tier="memory",
+        )
+
+    def access(self, trace, dataset):
+        trace.emit(
+            "dataset_access", dataset=dataset, index=0, node="worker-1", hit=True, nbytes=1
+        )
+
+    def test_read_before_recompute_caught(self):
+        trace = Trace()
+        self.start_recovery(trace, [("d:a", 0)])
+        self.access(trace, "d:a")
+        violations = check_recovery_sound(trace)
+        assert any("still pending recompute" in v.message for v in violations)
+
+    def test_read_after_store_passes(self):
+        trace = Trace()
+        self.start_recovery(trace, [("d:a", 0)])
+        self.store(trace, "d:a", 0)
+        self.access(trace, "d:a")
+        assert check_recovery_sound(trace) == []
+
+    def test_reregistration_settles_pending(self):
+        trace = Trace()
+        self.start_recovery(trace, [("d:a", 0), ("d:a", 1)])
+        trace.emit(
+            "dataset_registered", dataset="d:a", producer="op", nbytes=1, partitions=2
+        )
+        self.access(trace, "d:a")
+        assert check_recovery_sound(trace) == []
+
+    def test_discard_settles_pending(self):
+        trace = Trace()
+        self.start_recovery(trace, [("d:a", 0)])
+        trace.emit("dataset_discarded", dataset="d:a")
+        assert check_recovery_sound(trace) == []
+
+    def test_access_through_composite_member_caught(self):
+        trace = Trace()
+        trace.emit(
+            "composite_registered", dataset="d:ab", members=["d:a", "d:b"], producer="ch"
+        )
+        self.start_recovery(trace, [("d:a", 0)])
+        self.access(trace, "d:ab")
+        self.store(trace, "d:a", 0)
+        violations = check_recovery_sound(trace)
+        assert len(violations) == 1
+        assert "'d:a'" in violations[0].message
+
+    def test_never_rebuilt_caught(self):
+        trace = Trace()
+        self.start_recovery(trace, [("d:a", 1)])
+        violations = check_recovery_sound(trace)
+        assert any("never rebuilt or discarded" in v.message for v in violations)
+
+    def test_reloads_and_drops_unconstrained(self):
+        trace = Trace()
+        self.start_recovery(trace, [], reloaded=[("d:a", 0)], dropped=[("d:b", 0)])
+        self.access(trace, "d:a")
+        assert check_recovery_sound(trace) == []
 
 
 # ----------------------------------------------------------- assert plumbing
