@@ -124,12 +124,21 @@ from .trace import (
     Violation,
     assert_valid,
     check_amm_ranking,
+    check_cache_sound,
     check_depth_first,
     check_no_use_after_discard,
     check_pruning_sound,
     check_recovery_sound,
     set_auto_validate,
     validate_trace,
+)
+from .cache import (
+    CacheStats,
+    DiskCacheStore,
+    FingerprintError,
+    ResultCache,
+    operator_fingerprint,
+    stage_fingerprint,
 )
 
 __version__ = "1.0.0"
@@ -142,6 +151,7 @@ __all__ = [
     "CallableEvaluator",
     "CheckpointConfig",
     "CostEstimate",
+    "CacheStats",
     "ChooseOperator",
     "ChooseScoreStore",
     "Cluster",
@@ -149,6 +159,8 @@ __all__ = [
     "CostModel",
     "DataflowGraph",
     "Dataset",
+    "DiskCacheStore",
+    "FingerprintError",
     "EngineConfig",
     "Evaluator",
     "ExploreOperator",
@@ -188,6 +200,7 @@ __all__ = [
     "RandomHint",
     "RatioEvaluator",
     "RecoveryManager",
+    "ResultCache",
     "SelectionFunction",
     "Sink",
     "SizeEvaluator",
@@ -208,6 +221,7 @@ __all__ = [
     "Violation",
     "assert_valid",
     "check_amm_ranking",
+    "check_cache_sound",
     "check_depth_first",
     "check_no_use_after_discard",
     "check_pruning_sound",
@@ -217,10 +231,12 @@ __all__ = [
     "fold_splits",
     "iterative_explore_mdf",
     "make_policy",
+    "operator_fingerprint",
     "plan_optimizations",
     "prometheus_text",
     "registry_from_trace",
     "run_mdf",
     "set_auto_validate",
+    "stage_fingerprint",
     "validate_trace",
 ]

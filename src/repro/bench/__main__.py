@@ -1,4 +1,5 @@
-"""Command-line entry: ``python -m repro.bench [--validate] [--telemetry] [figure ...]``.
+"""Command-line entry: ``python -m repro.bench [--validate] [--telemetry]
+[--wallclock] [figure ...]``.
 
 Regenerates the requested tables/figures (all of them by default),
 printing the paper-style rows and the shape-check verdicts.  With
@@ -7,7 +8,9 @@ figures additionally runs the paper-invariant trace validators
 (:mod:`repro.trace.validate`) and aborts on the first violation.  With
 ``--telemetry``, prints the observability demo report (Fig 17-style
 timelines, per-branch/node attribution, Prometheus and JSON expositions)
-— on its own it replaces the figure run.
+— on its own it replaces the figure run.  With ``--wallclock``, runs the
+result-cache cold/warm wall-clock microbenchmark and writes
+``BENCH_pr4.json`` — on its own it replaces the figure run.
 """
 
 from __future__ import annotations
@@ -29,6 +32,19 @@ def main(argv) -> int:
         from .telemetry import telemetry_report
 
         print(telemetry_report())
+        if not argv:
+            return 0
+    wallclock = "--wallclock" in argv
+    if wallclock:
+        argv = [a for a in argv if a != "--wallclock"]
+        from .wallclock import render_wallclock, run_wallclock
+
+        report = run_wallclock()
+        print(render_wallclock(report))
+        print("wrote BENCH_pr4.json")
+        if report["wall_reduction_pct_overall"] <= 0.0:
+            print("wall-clock regression: warm run was not faster")
+            return 1
         if not argv:
             return 0
     names = argv or list(ALL_FIGURES)

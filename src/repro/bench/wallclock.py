@@ -1,0 +1,154 @@
+"""Wall-clock microbenchmark: real Python time the result cache saves.
+
+The figures in :mod:`repro.bench.figures` report *simulated* seconds; this
+harness measures the other axis the cache optimises — actual process time.
+Every simulated stage really executes its operators on real payloads, so a
+cache hit that skips an MLP training step or a mask pass saves genuine
+CPU time, not just modelled cost.
+
+Two workloads are timed cold (empty cache) then warm (identical re-run on
+the same cluster, ``reset=False``, same :class:`~repro.cache.ResultCache`):
+
+* ``fig05`` — the deep-learning exploration (real SGD training per branch),
+  with a :class:`~repro.cache.DiskCacheStore` so branch results discarded
+  by the choose still serve from the store tier, where re-training is far
+  costlier than a modelled disk read.
+* ``fig08`` — the time-series choose-variant exploration (cheap numpy
+  masks), cluster tier only; here the cost gate keeps cheap stages on the
+  recompute path and the savings come from the source and surviving tails.
+
+``python -m repro.bench --wallclock`` runs both and writes ``BENCH_pr4.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from typing import Any, Callable, Dict
+
+from ..cache import DiskCacheStore, ResultCache
+from ..cluster import Cluster, GB, MB
+from ..core.selection import TopK
+from ..engine import EngineConfig, run_mdf
+from ..workloads import (
+    MLPTrainer,
+    cifar_like,
+    deep_learning_mdf,
+    granularity_grid,
+    oil_well_trace,
+    time_series_mdf,
+)
+
+__all__ = ["run_wallclock", "render_wallclock"]
+
+
+def _cold_warm(
+    make_mdf: Callable[[], Any],
+    cluster: Cluster,
+    config: EngineConfig,
+) -> Dict[str, Any]:
+    """Time one cold run then one warm re-run of the same MDF."""
+    cache = config.cache
+    started = time.perf_counter()
+    cold_result = run_mdf(make_mdf(), cluster, scheduler="bas", memory="amm", config=config)
+    wall_cold = time.perf_counter() - started
+    sim_cold = cold_result.completion_time
+    hits_before, misses_before = cache.stats.hits, cache.stats.misses
+    started = time.perf_counter()
+    warm_result = run_mdf(
+        make_mdf(), cluster, scheduler="bas", memory="amm", config=config, reset=False
+    )
+    wall_warm = time.perf_counter() - started
+    sim_warm = warm_result.completion_time - sim_cold
+    return {
+        "wall_cold_s": wall_cold,
+        "wall_warm_s": wall_warm,
+        "wall_reduction_pct": 100.0 * (1.0 - wall_warm / wall_cold),
+        "sim_cold_s": sim_cold,
+        "sim_warm_s": sim_warm,
+        "sim_reduction_pct": 100.0 * (1.0 - sim_warm / sim_cold),
+        "warm_hits": cache.stats.hits - hits_before,
+        "warm_misses": cache.stats.misses - misses_before,
+        "outputs_identical": repr(cold_result.outputs) == repr(warm_result.outputs),
+        "cache_stats": cache.stats.as_dict(),
+    }
+
+
+def _bench_fig05(samples: int, features: int) -> Dict[str, Any]:
+    data = cifar_like(n_samples=samples, features=features)
+    trainer = MLPTrainer(hidden=16, epochs=2, seed=3)
+
+    def make_mdf():
+        return deep_learning_mdf(
+            data, mode="exhaustive", trainer=trainer, nominal_bytes=1 * GB
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as tmp:
+        cache = ResultCache(store=DiskCacheStore(tmp))
+        # materialized choose: losing branch results exist long enough to be
+        # written behind to the store tier, so the warm run skips re-training
+        # every branch, not just the winner's
+        config = EngineConfig(
+            pruning=False, incremental_choose=False, cache=cache
+        )
+        return _cold_warm(make_mdf, Cluster(4, 4 * GB), config)
+
+
+def _bench_fig08(trace_n: int, branch_count: int) -> Dict[str, Any]:
+    trace = oil_well_trace(trace_n)
+    grid = granularity_grid(branch_count)
+
+    def make_mdf():
+        return time_series_mdf(
+            trace, grid, selection=TopK(4, largest=True), nominal_bytes=128 * MB
+        )
+
+    cache = ResultCache()
+    config = EngineConfig(pruning=False, cache=cache)
+    return _cold_warm(make_mdf, Cluster(4, 2 * GB), config)
+
+
+def run_wallclock(
+    out_path: str = "BENCH_pr4.json",
+    samples: int = 400,
+    features: int = 64,
+    trace_n: int = 20_000,
+    branch_count: int = 16,
+) -> Dict[str, Any]:
+    """Run both cold/warm benchmarks and write the JSON report."""
+    benches = {
+        "fig05_deep_learning": _bench_fig05(samples, features),
+        "fig08_time_series": _bench_fig08(trace_n, branch_count),
+    }
+    total_cold = sum(b["wall_cold_s"] for b in benches.values())
+    total_warm = sum(b["wall_warm_s"] for b in benches.values())
+    report = {
+        "benchmark": "pr4-lineage-fingerprint-result-cache",
+        "created_unix": time.time(),
+        "benches": benches,
+        "wall_cold_total_s": total_cold,
+        "wall_warm_total_s": total_warm,
+        "wall_reduction_pct_overall": 100.0 * (1.0 - total_warm / total_cold),
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    return report
+
+
+def render_wallclock(report: Dict[str, Any]) -> str:
+    lines = ["wall-clock cold vs warm (result cache)", "=" * 42]
+    for name, bench in report["benches"].items():
+        lines.append(
+            f"{name}: cold {bench['wall_cold_s']:.3f}s -> warm "
+            f"{bench['wall_warm_s']:.3f}s ({bench['wall_reduction_pct']:.1f}% wall, "
+            f"{bench['sim_reduction_pct']:.1f}% simulated, "
+            f"{bench['warm_hits']} hits)"
+        )
+    lines.append(
+        f"overall: {report['wall_cold_total_s']:.3f}s -> "
+        f"{report['wall_warm_total_s']:.3f}s "
+        f"({report['wall_reduction_pct_overall']:.1f}% faster warm)"
+    )
+    return "\n".join(lines)

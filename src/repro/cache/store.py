@@ -1,0 +1,353 @@
+"""The lineage-fingerprint result cache (entries, tiers, lifecycle).
+
+The cache maps a stage-output fingerprint (:mod:`repro.cache.fingerprint`)
+to the *location* of bytes that stage already produced.  It has two tiers:
+
+* **cluster tier** — the entry points at partition slots living on the
+  simulated cluster as ordinary data: the node-store keys the output was
+  registered under.  A hit is served by reading those partitions through
+  the normal ``load_partition`` path, so it is charged memory- or
+  disk-read cost by residency, it refreshes LRU/AMM recency, and the
+  entries are evicted/demoted under the same ``pre(d)`` accounting as
+  everything else (§4).  The cache holds **no payload references** in this
+  tier — if the backing dataset is discarded the entry dies, it cannot pin
+  memory.
+* **store tier** (optional) — a :class:`DiskCacheStore` directory of
+  pickled payloads that survives ``cluster.reset()`` and process restarts,
+  for warm exploratory re-runs.  Hits are charged disk-read cost.
+
+Entries never carry payloads, only fingerprints, dataset ids, node-store
+keys and nominal sizes; validity is re-checked against the live cluster at
+every lookup (``cluster.key_available``).  A recovered (recomputed)
+partition restores the same key with byte-identical content, so its entry
+*refreshes* for free; a discarded or failure-lost partition leaves the
+entry unbacked and it is invalidated — eagerly by
+:meth:`ResultCache.invalidate_dataset`/:meth:`ResultCache.revalidate`,
+lazily at the next lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = ["CacheEntry", "CacheHit", "CacheStats", "DiskCacheStore", "ResultCache"]
+
+
+@dataclass
+class CacheEntry:
+    """Cluster-tier entry: where a fingerprint's bytes live right now."""
+
+    fingerprint: str
+    dataset_id: str
+    #: node-store keys of the partitions at admission time, in index order
+    keys: List[Tuple[str, int]]
+    partition_bytes: List[int]
+    producer: Optional[str]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.partition_bytes)
+
+
+@dataclass
+class CacheHit:
+    """A resolved lookup the executor can serve a stage from."""
+
+    tier: str  # "cluster" | "store"
+    fingerprint: str
+    partition_bytes: List[int]
+    producer: Optional[str]
+    #: cluster tier: (live owning dataset id, partition position) per index
+    locations: Optional[List[Tuple[str, int]]] = None
+    #: store tier: the unpickled payloads per index
+    payloads: Optional[List[Any]] = None
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.partition_bytes)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partition_bytes)
+
+
+@dataclass
+class CacheStats:
+    """Process-level counters (survive ``cluster.reset()``, feed BENCH)."""
+
+    hits: int = 0
+    misses: int = 0
+    admissions: int = 0
+    invalidations: int = 0
+    bytes_saved: int = 0
+    compute_seconds_saved: float = 0.0
+    store_hits: int = 0
+    store_writes: int = 0
+    unpicklable_skipped: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "admissions": self.admissions,
+            "invalidations": self.invalidations,
+            "bytes_saved": self.bytes_saved,
+            "compute_seconds_saved": self.compute_seconds_saved,
+            "store_hits": self.store_hits,
+            "store_writes": self.store_writes,
+            "unpicklable_skipped": self.unpicklable_skipped,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DiskCacheStore:
+    """On-disk tier: one pickle file per fingerprint under ``path``.
+
+    Writes are best-effort (an unpicklable payload skips persistence and
+    the entry stays cluster-tier only) and are *not* charged to the
+    simulated clock — the store stands in for the shared artifact storage
+    an exploratory platform writes behind the scenes, and charging it
+    would perturb the cost-model comparisons the benchmarks assert on.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        os.makedirs(self.path, exist_ok=True)
+
+    def _file(self, fingerprint: str) -> str:
+        return os.path.join(self.path, f"{fingerprint}.pkl")
+
+    def contains(self, fingerprint: str) -> bool:
+        return os.path.exists(self._file(fingerprint))
+
+    def save(
+        self,
+        fingerprint: str,
+        payloads: List[Any],
+        partition_bytes: List[int],
+        producer: Optional[str],
+    ) -> bool:
+        blob = {
+            "payloads": payloads,
+            "partition_bytes": list(partition_bytes),
+            "producer": producer,
+        }
+        tmp = self._file(fingerprint) + ".tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(blob, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._file(fingerprint))
+            return True
+        except Exception:  # noqa: BLE001 - unpicklable payloads skip the tier
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+
+    def load(
+        self, fingerprint: str
+    ) -> Optional[Tuple[List[Any], List[int], Optional[str]]]:
+        try:
+            with open(self._file(fingerprint), "rb") as fh:
+                blob = pickle.load(fh)
+            return blob["payloads"], blob["partition_bytes"], blob["producer"]
+        except Exception:  # noqa: BLE001 - corrupt/missing file = miss
+            return None
+
+    def clear(self) -> None:
+        for name in os.listdir(self.path):
+            if name.endswith(".pkl"):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        return sum(1 for n in os.listdir(self.path) if n.endswith(".pkl"))
+
+
+class ResultCache:
+    """Fingerprint → cached stage output, shared across ``run_mdf`` calls.
+
+    Pass one instance via ``EngineConfig(cache=ResultCache(...))``; reusing
+    the same instance (and, for the cluster tier, ``run_mdf(...,
+    reset=False)`` so prior outputs stay registered) is what makes warm
+    re-runs hit.
+
+    ``cost_based=True`` (default) makes the executor serve a hit only when
+    the modelled read cost beats the modelled recompute cost — under the
+    paper's cost model a disk-resident entry can be *slower* than
+    recomputing a cheap operator (disk reads 200 MB/s vs 500 MB/s compute),
+    and a cache that slows the job down is worse than no cache.
+    """
+
+    def __init__(
+        self,
+        store: Optional[DiskCacheStore] = None,
+        cost_based: bool = True,
+    ):
+        self.store = store
+        self.cost_based = bool(cost_based)
+        self.stats = CacheStats()
+        self._entries: Dict[str, CacheEntry] = {}
+        self._by_dataset: Dict[str, Set[str]] = {}
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, fingerprint: str) -> Optional[CacheEntry]:
+        return self._entries.get(fingerprint)
+
+    def lookup(self, fingerprint: str, cluster) -> Optional[CacheHit]:
+        """Resolve a fingerprint to readable bytes, or ``None`` (miss).
+
+        Cluster-tier entries are validated key by key against the live
+        cluster; an unbacked entry is invalidated here (lazy path) before
+        falling through to the store tier.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            locations = self._resolve(entry, cluster)
+            if locations is not None:
+                return CacheHit(
+                    tier="cluster",
+                    fingerprint=fingerprint,
+                    partition_bytes=list(entry.partition_bytes),
+                    producer=entry.producer,
+                    locations=locations,
+                )
+            self._drop(fingerprint, cluster, reason="backing-lost")
+        if self.store is not None and self.store.contains(fingerprint):
+            loaded = self.store.load(fingerprint)
+            if loaded is not None:
+                payloads, partition_bytes, producer = loaded
+                return CacheHit(
+                    tier="store",
+                    fingerprint=fingerprint,
+                    partition_bytes=list(partition_bytes),
+                    producer=producer,
+                    payloads=payloads,
+                )
+        return None
+
+    def _resolve(
+        self, entry: CacheEntry, cluster
+    ) -> Optional[List[Tuple[str, int]]]:
+        """Map every entry key to its live owning dataset, or ``None``.
+
+        A key's owner may no longer be the admitting dataset: a choose can
+        absorb branch tails into a composite (``register_composite`` pops
+        the member records).  Reads must go to the live owner so the R3
+        no-use-after-discard invariant keeps holding on cache hits.
+        """
+        locations: List[Tuple[str, int]] = []
+        for key in entry.keys:
+            owner = cluster.key_available(key)
+            if owner is None:
+                return None
+            locations.append(owner)
+        return locations
+
+    # ------------------------------------------------------------ lifecycle
+    def admit(self, fingerprint: str, dataset, cluster) -> None:
+        """Remember a freshly materialised stage output.
+
+        ``dataset`` must already be registered on ``cluster`` — the entry
+        records the node-store keys of its partitions, not the payloads.
+        """
+        record = cluster.record(dataset.id)
+        entry = CacheEntry(
+            fingerprint=fingerprint,
+            dataset_id=dataset.id,
+            keys=list(record.partition_keys),
+            partition_bytes=list(record.partition_bytes),
+            producer=record.producer,
+        )
+        previous = self._entries.get(fingerprint)
+        if previous is not None:
+            members = self._by_dataset.get(previous.dataset_id)
+            if members is not None:
+                members.discard(fingerprint)
+                if not members:
+                    self._by_dataset.pop(previous.dataset_id, None)
+        self._entries[fingerprint] = entry
+        self._by_dataset.setdefault(dataset.id, set()).add(fingerprint)
+        tier = "cluster"
+        if self.store is not None and not self.store.contains(fingerprint):
+            persisted = self.store.save(
+                fingerprint,
+                [p.data for p in dataset.partitions],
+                entry.partition_bytes,
+                entry.producer,
+            )
+            if persisted:
+                tier = "cluster+store"
+                self.stats.store_writes += 1
+            else:
+                self.stats.unpicklable_skipped += 1
+        elif self.store is not None:
+            tier = "cluster+store"
+        self.stats.admissions += 1
+        cluster.obs.counter(
+            "cache_admissions", dataset=dataset.id, policy=tier
+        ).inc()
+        cluster.trace.emit(
+            "cache_admit",
+            fingerprint=fingerprint,
+            dataset=dataset.id,
+            nbytes=entry.total_bytes,
+            partitions=len(entry.keys),
+            tier=tier,
+        )
+
+    def invalidate_dataset(self, dataset_id: str, cluster, reason: str) -> None:
+        """Eagerly drop every entry admitted under a discarded dataset."""
+        for fingerprint in sorted(self._by_dataset.get(dataset_id, ())):
+            self._drop(fingerprint, cluster, reason=reason)
+
+    def revalidate(self, cluster, reason: str) -> None:
+        """Drop every entry whose backing partitions are no longer readable.
+
+        Called after failure recovery: recomputed partitions were restored
+        byte-identically under their original keys (their entries stay
+        valid — the *refresh* path), while dropped-dead or discarded
+        partitions leave entries unbacked — those die here.
+        """
+        for fingerprint in sorted(self._entries):
+            entry = self._entries.get(fingerprint)
+            if entry is not None and self._resolve(entry, cluster) is None:
+                self._drop(fingerprint, cluster, reason=reason)
+
+    def _drop(self, fingerprint: str, cluster, reason: str) -> None:
+        entry = self._entries.pop(fingerprint, None)
+        if entry is None:
+            return
+        members = self._by_dataset.get(entry.dataset_id)
+        if members is not None:
+            members.discard(fingerprint)
+            if not members:
+                self._by_dataset.pop(entry.dataset_id, None)
+        self.stats.invalidations += 1
+        cluster.obs.counter(
+            "cache_invalidations", dataset=entry.dataset_id
+        ).inc()
+        cluster.trace.emit(
+            "cache_invalidate",
+            fingerprint=fingerprint,
+            dataset=entry.dataset_id,
+            reason=reason,
+        )
+
+    def clear(self) -> None:
+        """Forget all cluster-tier entries (the disk store is untouched)."""
+        self._entries.clear()
+        self._by_dataset.clear()

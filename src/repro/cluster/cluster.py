@@ -338,18 +338,34 @@ class Cluster:
 
     # -------------------------------------------------------------- memory
     def _ensure_space(self, node: Node, nbytes: int) -> float:
-        """Evict until ``nbytes`` fit in memory; returns spill seconds."""
+        """Evict until ``nbytes`` fit in memory; returns spill seconds.
+
+        Victims come from one policy ``eviction_round`` per call: the
+        ranking inputs cannot change while a store is in flight, so the
+        policy ranks the candidates once instead of re-sorting them per
+        eviction.  The round runs dry when its tier is exhausted (e.g. all
+        unpinned slots evicted); the node is then re-consulted, which is
+        how the pinned-slots-as-last-resort fallback engages.
+        """
         seconds = 0.0
+        round_ = None
         while node.free_memory() < nbytes:
-            candidates = node.eviction_candidates()
-            if not candidates:
-                # Nothing evictable: the caller's partition goes to disk via
-                # the capacity check; protected slots stay resident.
-                break
-            victim = self.policy.select_victim(node, candidates)
-            # the ranking snapshot is taken before the demotion mutates the
-            # node, so the validator sees exactly what the policy ranked
-            ranking = self.policy.ranking_snapshot(candidates)
+            if round_ is None:
+                candidates = node.eviction_candidates()
+                if not candidates:
+                    # Nothing evictable: the caller's partition goes to disk
+                    # via the capacity check; protected slots stay resident.
+                    break
+                round_ = self.policy.eviction_round(node, candidates)
+            # the ranking snapshot reflects the candidates before the
+            # demotion mutates the node, so the validator sees exactly
+            # what the policy ranked
+            victim, ranking = round_.pop()
+            if victim is None:
+                round_ = None
+                if not node.eviction_candidates():
+                    break
+                continue
             spilled = self.policy.should_spill(victim)
             self.trace.emit(
                 "partition_evicted",
@@ -465,6 +481,39 @@ class Cluster:
                 if candidate == key:
                     return record, pos
         return None, -1
+
+    def owner_of(self, key: PartitionKey) -> Optional[Tuple[str, int]]:
+        """The live dataset (id, position) referencing a partition key.
+
+        A key admitted under one dataset id may later be owned by another:
+        a choose absorbing branch tails into a composite pops the member
+        records but keeps their slots.  The result cache resolves reads
+        through this so they are attributed to the live owner (R3).
+        """
+        record, pos = self._locate(key)
+        if record is None:
+            return None
+        return record.dataset_id, pos
+
+    def key_available(self, key: PartitionKey) -> Optional[Tuple[str, int]]:
+        """Like :meth:`owner_of`, but only when the bytes are readable now:
+        the home node must be alive and still hold the slot (a failure may
+        have destroyed it while the record awaits recovery)."""
+        record, pos = self._locate(key)
+        if record is None:
+            return None
+        node_id = record.partition_nodes[pos]
+        if node_id in self._dead or not self.node(node_id).has(key):
+            return None
+        return record.dataset_id, pos
+
+    def key_in_memory(self, key: PartitionKey) -> bool:
+        """Whether a partition key is memory-resident (cost estimation)."""
+        record, pos = self._locate(key)
+        if record is None:
+            return False
+        node = self.node(record.partition_nodes[pos])
+        return node.has(key) and node.slot(key).in_memory
 
     def _repoint(self, key: PartitionKey, node_id: str) -> None:
         """Update every record referencing ``key`` to its new home node."""

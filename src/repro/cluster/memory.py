@@ -19,11 +19,76 @@ ablation DESIGN.md §5 calls out.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .node import Node, Slot
 
 AccessCounter = Callable[[str], int]  # dataset_id -> remaining future accesses
+
+
+class _GenericEvictionRound:
+    """Per-eviction re-ranking, exactly as the historical eviction loop.
+
+    Used for policies that override ``select_victim``/``ranking_snapshot``
+    (including the deliberately-broken ones the validator tests ship): each
+    :meth:`pop` re-runs both over the remaining candidates, so any custom
+    behaviour — sound or not — is preserved observably unchanged.
+    """
+
+    def __init__(self, policy: "MemoryPolicy", node: Node, candidates: List[Slot]):
+        self._policy = policy
+        self._node = node
+        self._candidates = list(candidates)
+
+    def pop(self) -> Tuple[Optional[Slot], Optional[List[Dict[str, Any]]]]:
+        if not self._candidates:
+            return None, None
+        victim = self._policy.select_victim(self._node, self._candidates)
+        ranking = self._policy.ranking_snapshot(self._candidates)
+        self._candidates.remove(victim)
+        return victim, ranking
+
+
+class _RankedEvictionRound:
+    """Heap-ordered victims over one precomputed ranking pass.
+
+    Within one ``_ensure_space`` call nothing that feeds the ranking can
+    change — ``acc`` (the master mutates consumers only between stages),
+    ``last_access`` (no loads happen mid-store) and sizes are all frozen —
+    so the historical per-eviction re-sort recomputed identical values
+    ``k`` times for ``k`` evictions.  This round ranks once: victims pop
+    off a heap in ``O(log n)`` and each event's ranking snapshot is the
+    surviving candidates in their original (node-store) order, exactly
+    what a fresh ``ranking_snapshot`` over fresh ``eviction_candidates``
+    would have produced.
+    """
+
+    def __init__(
+        self,
+        candidates: List[Slot],
+        entries: List[Dict[str, Any]],
+        order_keys: List[Any],
+    ):
+        self._slots = list(candidates)
+        self._entries = entries
+        self._alive = [True] * len(candidates)
+        self._heap = [(key, i) for i, key in enumerate(order_keys)]
+        heapq.heapify(self._heap)
+
+    def pop(self) -> Tuple[Optional[Slot], Optional[List[Dict[str, Any]]]]:
+        while self._heap:
+            _, i = heapq.heappop(self._heap)
+            if not self._alive[i]:  # pragma: no cover - victims leave via pop
+                continue
+            ranking = [
+                entry
+                for j, entry in enumerate(self._entries)
+                if self._alive[j]
+            ]
+            self._alive[i] = False
+            return self._slots[i], ranking
+        return None, None
 
 
 class MemoryPolicy:
@@ -89,6 +154,17 @@ class MemoryPolicy:
             for slot in candidates
         ]
 
+    def eviction_round(self, node: Node, candidates: List[Slot]):
+        """Victim iterator for one ``_ensure_space`` call.
+
+        Returns an object whose ``pop()`` yields ``(victim, ranking)``
+        pairs until the candidates run dry (``(None, None)``).  The base
+        implementation re-ranks per eviction — byte-identical to the
+        historical loop for any subclass; LRU/AMM override it with a
+        single-pass ranked round when their stock ranking is in effect.
+        """
+        return _GenericEvictionRound(self, node, candidates)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}()"
 
@@ -100,6 +176,16 @@ class LRUPolicy(MemoryPolicy):
 
     def select_victim(self, node: Node, candidates: List[Slot]) -> Slot:
         return min(candidates, key=lambda s: (s.last_access, s.key))
+
+    def eviction_round(self, node: Node, candidates: List[Slot]):
+        if (
+            type(self).select_victim is not LRUPolicy.select_victim
+            or type(self).ranking_snapshot is not MemoryPolicy.ranking_snapshot
+        ):
+            return super().eviction_round(node, candidates)
+        entries = self.ranking_snapshot(candidates)
+        keys = [(s.last_access, s.key) for s in candidates]
+        return _RankedEvictionRound(candidates, entries, keys)
 
 
 class AMMPolicy(MemoryPolicy):
@@ -157,15 +243,36 @@ class AMMPolicy(MemoryPolicy):
             )
         return out
 
+    def eviction_round(self, node: Node, candidates: List[Slot]):
+        if (
+            type(self).select_victim is not AMMPolicy.select_victim
+            or type(self).ranking_snapshot is not AMMPolicy.ranking_snapshot
+        ):
+            return super().eviction_round(node, candidates)
+        # one ranking pass feeds both the heap order and every event's
+        # snapshot: the per-eviction full re-sort (and its acc(d) lookups,
+        # O(n·k) on large nodes) collapses to heapify + O(log n) pops
+        entries = self.ranking_snapshot(candidates)
+        keys = [
+            (entry["pre"], slot.last_access, slot.key)
+            for slot, entry in zip(candidates, entries)
+        ]
+        return _RankedEvictionRound(candidates, entries, keys)
+
     def preference_order(self, node: Node) -> List[Slot]:
         """All in-memory slots ordered by rising preference (eviction order).
 
         This is the list the master ships to workers with each scheduling
-        decision in the paper's implementation (§5).
+        decision in the paper's implementation (§5).  The decorate-sort
+        computes ``pre(d)`` once per slot (``acc`` lookups are the costly
+        part on large nodes) instead of once per comparison.
         """
-        return sorted(
-            node.in_memory_slots(), key=lambda s: (self.preference(s), s.last_access, s.key)
-        )
+        decorated = [
+            (self.preference(s), s.last_access, s.key, s)
+            for s in node.in_memory_slots()
+        ]
+        decorated.sort(key=lambda d: d[:3])
+        return [d[3] for d in decorated]
 
 
 class AccessOnlyPolicy(AMMPolicy):

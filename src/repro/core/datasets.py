@@ -192,6 +192,38 @@ def split_payload(data: Any, num_partitions: int) -> List[Any]:
     return [data]
 
 
+class PayloadSplitter:
+    """Callable splitting one payload into partitions, memoizing the split.
+
+    ``Source.from_data`` used to close over the payload and call
+    :func:`split_payload` once *per partition*, re-splitting the full
+    payload ``P`` times per ``generate()`` (O(P²) work) and again on every
+    re-run of the same source.  This wrapper performs the split once per
+    distinct partition count and serves slices from the memo.
+
+    Instances describe their own cache identity via ``fingerprint_token``
+    (the payload content), so sources built this way stay fingerprintable
+    by :mod:`repro.cache.fingerprint` despite the mutable memo.
+    """
+
+    __slots__ = ("data", "_chunks")
+
+    def __init__(self, data: Any):
+        self.data = data
+        self._chunks: dict = {}
+
+    def __call__(self, index: int, num_partitions: int) -> Any:
+        chunks = self._chunks.get(num_partitions)
+        if chunks is None:
+            chunks = self._chunks[num_partitions] = split_payload(
+                self.data, num_partitions
+            )
+        return chunks[index]
+
+    def fingerprint_token(self) -> Any:
+        return self.data
+
+
 def concat_payloads(payloads: Iterable[Any]) -> Any:
     """Concatenate partition payloads back into a single payload (``⊕``)."""
     payloads = list(payloads)

@@ -20,7 +20,13 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, List, Optional
 
-from .datasets import Dataset, Partition, concat_payloads, split_payload
+from .datasets import (
+    Dataset,
+    Partition,
+    PayloadSplitter,
+    concat_payloads,
+    split_payload,
+)
 from .errors import ExecutionError
 
 _op_counter = itertools.count()
@@ -103,6 +109,10 @@ class Source(Operator):
         super().__init__(name=name, cost_factor=cost_factor, fixed_cost=fixed_cost)
         self.fn = fn
         self.nominal_bytes = nominal_bytes
+        #: partitions memoized per (num_partitions, per-part bytes): repeated
+        #: ``generate`` calls (sibling branches, warm re-runs) reuse the same
+        #: Partition objects instead of re-invoking ``fn`` per partition
+        self._generated: dict = {}
 
     @classmethod
     def from_data(
@@ -112,11 +122,7 @@ class Source(Operator):
         nominal_bytes: Optional[int] = None,
     ) -> "Source":
         """Build a source that splits an in-memory payload into partitions."""
-
-        def fn(index: int, num_partitions: int, _data=data) -> Any:
-            return split_payload(_data, num_partitions)[index]
-
-        return cls(fn, name=name, nominal_bytes=nominal_bytes)
+        return cls(PayloadSplitter(data), name=name, nominal_bytes=nominal_bytes)
 
     def generate(self, num_partitions: int, producer: Optional[str] = None) -> Dataset:
         """Materialise the source dataset with ``num_partitions`` partitions."""
@@ -126,10 +132,13 @@ class Source(Operator):
             else max(1, self.nominal_bytes // num_partitions)
         )
         ds_id = f"ds-src-{self.name}"
-        parts = [
-            Partition(ds_id, i, self.fn(i, num_partitions), per_part)
-            for i in range(num_partitions)
-        ]
+        parts = self._generated.get((num_partitions, per_part))
+        if parts is None:
+            parts = [
+                Partition(ds_id, i, self.fn(i, num_partitions), per_part)
+                for i in range(num_partitions)
+            ]
+            self._generated[(num_partitions, per_part)] = parts
         return Dataset(parts, dataset_id=ds_id, producer=producer or self.name)
 
 

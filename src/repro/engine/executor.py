@@ -56,6 +56,10 @@ class StageOutcome:
     times: StageTimes
     num_tasks: int
     pending: Optional[Dataset] = None
+    #: lineage fingerprint of the produced output (None = uncacheable).
+    #: Carried on deferred outcomes so the master can admit the output to
+    #: the result cache when ``commit_store`` materialises it.
+    fingerprint: Optional[str] = None
 
 
 class StageExecutor:
@@ -167,22 +171,242 @@ class StageExecutor:
             cur_bytes = op.output_bytes(cur_bytes)
         return cur, cur_bytes
 
+    # ------------------------------------------------------ result cache
+    def _note_miss(self, stage: Stage, fingerprint: Optional[str], reason: str) -> None:
+        """Account one consulted-but-executed stage (cache off stays silent)."""
+        cache = self.config.cache
+        cache.stats.misses += 1
+        self.cluster.obs.counter("cache_misses").inc()
+        self.cluster.trace.emit(
+            "cache_miss", stage=stage.id, fingerprint=fingerprint, reason=reason
+        )
+
+    def _chain_cost_estimate(self, ops: List[Operator], nbytes: int) -> float:
+        """Modelled compute seconds of one partition through a narrow chain."""
+        cost_model = self.cluster.cost_model
+        total, cur = 0.0, nbytes
+        for op in ops:
+            total += cost_model.compute_time(op.compute_cost(cur))
+            cur = op.output_bytes(cur)
+        return total
+
+    def _input_read_estimate(self, record) -> float:
+        """Modelled serial seconds to read every partition of a dataset."""
+        cost_model = self.cluster.cost_model
+        total = 0.0
+        for key, nbytes in zip(record.partition_keys, record.partition_bytes):
+            if self.cluster.key_in_memory(key):
+                total += cost_model.mem_read_time(nbytes)
+            else:
+                total += cost_model.disk_read_time(nbytes)
+        return total
+
+    def _recompute_estimate(
+        self, stage: Stage, input_ids: List[str]
+    ) -> Optional[float]:
+        """Modelled serial cost of running the stage cold.
+
+        Drives the profitability gate and the ``saved_seconds`` a hit
+        reports.  Serial sums on both sides of the comparison (the store
+        cost is identical on both and omitted).  ``None`` when the input
+        size cannot be known without executing (a source without
+        ``nominal_bytes``), in which case the gate is skipped.
+        """
+        cost_model = self.cluster.cost_model
+        head = stage.head
+        if isinstance(head, Source):
+            if head.nominal_bytes is None:
+                return None
+            nparts = self.cluster.num_workers * self.config.partitions_per_worker
+            per_part = max(1, head.nominal_bytes // nparts)
+            return nparts * (
+                cost_model.disk_read_time(per_part)
+                + self._chain_cost_estimate(stage.ops[1:], per_part)
+            )
+        records = [self.cluster.record(i) for i in input_ids]
+        total = sum(self._input_read_estimate(r) for r in records)
+        if head.narrow:
+            for nbytes in records[0].partition_bytes:
+                total += self._chain_cost_estimate(stage.ops, nbytes)
+            return total
+        # wide / join: all-to-all shuffle, global head, pipelined rest
+        total_bytes = sum(r.nbytes for r in records)
+        workers = max(1, self.cluster.num_workers)
+        total += cost_model.network_time(int(total_bytes / workers))
+        total += cost_model.compute_time(head.compute_cost(total_bytes))
+        per_part = max(1, head.output_bytes(total_bytes) // workers)
+        total += workers * self._chain_cost_estimate(stage.ops[1:], per_part)
+        return total
+
+    def _hit_read_estimate(self, hit) -> float:
+        """Modelled serial cost of serving the hit's bytes by residency."""
+        cost_model = self.cluster.cost_model
+        if hit.tier == "store":
+            return sum(cost_model.disk_read_time(b) for b in hit.partition_bytes)
+        total = 0.0
+        for (owner, pos), nbytes in zip(hit.locations, hit.partition_bytes):
+            record = self.cluster.record(owner)
+            if self.cluster.key_in_memory(record.partition_keys[pos]):
+                total += cost_model.mem_read_time(nbytes)
+            else:
+                total += cost_model.disk_read_time(nbytes)
+        return total
+
+    def _try_cache(
+        self,
+        stage: Stage,
+        fingerprint: Optional[str],
+        input_ids: List[str],
+        defer_store: bool,
+    ) -> Optional[StageOutcome]:
+        """Serve the stage from the result cache, or return ``None`` (miss).
+
+        A hit is served only when the modelled read cost beats the
+        modelled recompute cost (``cache.cost_based``): under the paper's
+        cost model a disk-resident entry can be slower than recomputing a
+        cheap operator, and a cache that slows the job down is worse than
+        no cache.
+        """
+        cache = self.config.cache
+        if cache is None or fingerprint is None:
+            return None
+        hit = cache.lookup(fingerprint, self.cluster)
+        if hit is None:
+            self._note_miss(stage, fingerprint, "cold")
+            return None
+        recompute = self._recompute_estimate(stage, input_ids)
+        saved_seconds = 0.0
+        if recompute is not None:
+            read_cost = self._hit_read_estimate(hit)
+            if cache.cost_based and read_cost >= recompute:
+                self._note_miss(stage, fingerprint, "not-profitable")
+                return None
+            saved_seconds = max(0.0, recompute - read_cost)
+        return self._serve_hit(stage, hit, defer_store, saved_seconds)
+
+    def _serve_hit(
+        self, stage: Stage, hit, defer_store: bool, saved_seconds: float
+    ) -> StageOutcome:
+        """Materialise a cache hit as the stage's output dataset.
+
+        Cluster-tier bytes are read through the normal ``load_partition``
+        path (charged by residency, attributed to the live owning dataset
+        so R3 keeps holding); store-tier bytes are charged a disk read per
+        partition but touch no live slot, so no per-node byte counters
+        move (the trace records no access to back them).  Either way the
+        output is a fresh first-class dataset: it stores (and evicts)
+        exactly like a cold stage's output would.
+        """
+        cache = self.config.cache
+        cluster = self.cluster
+        per_node_io: Dict[str, float] = {}
+        per_node_tasks: Dict[str, int] = {}
+        out_parts: List[Partition] = []
+        store_seconds: Dict[str, float] = {}
+        if hit.tier == "cluster":
+            owners = sorted({owner for owner, _ in hit.locations})
+            with cluster.protect(owners):
+                for index, (owner, pos) in enumerate(hit.locations):
+                    payload, seconds, node_id = cluster.load_partition(owner, pos)
+                    per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+                    per_node_tasks[node_id] = per_node_tasks.get(node_id, 0) + 1
+                    out_parts.append(
+                        Partition("", index, payload, hit.partition_bytes[index])
+                    )
+                output = Dataset(
+                    out_parts,
+                    dataset_id=f"d:{stage.tail.name}",
+                    producer=stage.tail.name,
+                )
+                self._emit_hit(stage, output.id, hit, saved_seconds)
+                if not defer_store:
+                    store_seconds = cluster.register_dataset(output)
+                    cache.admit(hit.fingerprint, output, cluster)
+        else:
+            cache.stats.store_hits += 1
+            for index, payload in enumerate(hit.payloads):
+                node = cluster.node_for_partition(index)
+                nbytes = hit.partition_bytes[index]
+                per_node_io[node.id] = per_node_io.get(node.id, 0.0) + (
+                    cluster.cost_model.disk_read_time(nbytes)
+                )
+                per_node_tasks[node.id] = per_node_tasks.get(node.id, 0) + 1
+                out_parts.append(Partition("", index, payload, nbytes))
+            output = Dataset(
+                out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name
+            )
+            self._emit_hit(stage, output.id, hit, saved_seconds)
+            if not defer_store:
+                store_seconds = cluster.register_dataset(output)
+                cache.admit(hit.fingerprint, output, cluster)
+        num_tasks = hit.num_partitions
+        if defer_store:
+            times = self._wall(per_node_io, {}, 0.0, num_tasks, per_node_tasks)
+            return StageOutcome(
+                output.id,
+                times,
+                num_tasks,
+                pending=output,
+                fingerprint=hit.fingerprint,
+            )
+        for node_id, seconds in store_seconds.items():
+            per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
+        times = self._wall(per_node_io, {}, 0.0, num_tasks, per_node_tasks)
+        return StageOutcome(output.id, times, num_tasks, fingerprint=hit.fingerprint)
+
+    def _emit_hit(self, stage: Stage, dataset_id: str, hit, saved_seconds: float) -> None:
+        cache = self.config.cache
+        cache.stats.hits += 1
+        cache.stats.bytes_saved += hit.total_bytes
+        cache.stats.compute_seconds_saved += saved_seconds
+        obs = self.cluster.obs
+        labels = dict(dataset=dataset_id, policy=hit.tier)
+        obs.counter("cache_hits", **labels).inc()
+        obs.counter("cache_bytes_saved", **labels).inc(hit.total_bytes)
+        obs.counter("cache_compute_seconds_saved", **labels).inc(saved_seconds)
+        self.cluster.trace.emit(
+            "cache_hit",
+            stage=stage.id,
+            dataset=dataset_id,
+            fingerprint=hit.fingerprint,
+            tier=hit.tier,
+            nbytes=hit.total_bytes,
+            saved_seconds=saved_seconds,
+        )
+
+    def _maybe_admit(self, fingerprint: Optional[str], output: Dataset) -> None:
+        """Remember a freshly registered stage output in the result cache."""
+        cache = self.config.cache
+        if cache is not None and fingerprint is not None:
+            cache.admit(fingerprint, output, self.cluster)
+
     # ------------------------------------------------------------- execute
     def execute(
         self,
         stage: Stage,
         input_dataset_id: Optional[str],
         defer_store: bool = False,
+        fingerprint: Optional[str] = None,
     ) -> StageOutcome:
         """Run one non-choose stage; returns its output dataset and times."""
         head = stage.head
         if isinstance(head, Source):
-            return self._execute_source_stage(stage)
+            cached = self._try_cache(stage, fingerprint, [], defer_store)
+            if cached is not None:
+                return cached
+            return self._execute_source_stage(stage, fingerprint)
         if input_dataset_id is None:
             raise SchedulingError(f"stage {stage.id} has no input dataset")
+        cached = self._try_cache(stage, fingerprint, [input_dataset_id], defer_store)
+        if cached is not None:
+            return cached
         if head.narrow:
-            return self._execute_narrow_stage(stage, input_dataset_id, defer_store)
-        return self._execute_wide_stage(stage, input_dataset_id, defer_store)
+            return self._execute_narrow_stage(
+                stage, input_dataset_id, defer_store, fingerprint
+            )
+        return self._execute_wide_stage(
+            stage, input_dataset_id, defer_store, fingerprint
+        )
 
     def execute_join(
         self,
@@ -190,6 +414,7 @@ class StageExecutor:
         left_id: str,
         right_id: str,
         defer_store: bool = False,
+        fingerprint: Optional[str] = None,
     ) -> StageOutcome:
         """Run a stage headed by a two-input :class:`Join` operator.
 
@@ -198,6 +423,9 @@ class StageExecutor:
         concatenated payloads, and the result is re-partitioned and fed
         through the rest of the stage's narrow chain.
         """
+        cached = self._try_cache(stage, fingerprint, [left_id, right_id], defer_store)
+        if cached is not None:
+            return cached
         head, rest = stage.ops[0], stage.ops[1:]
         assert isinstance(head, Join)
         per_node_io: Dict[str, float] = {}
@@ -252,17 +480,23 @@ class StageExecutor:
             times = self._wall(
                 per_node_io, per_node_compute, network, num_tasks, per_node_tasks
             )
-            return StageOutcome(output.id, times, num_tasks, pending=output)
+            return StageOutcome(
+                output.id, times, num_tasks, pending=output, fingerprint=fingerprint
+            )
+        self._maybe_admit(fingerprint, output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
         times = self._wall(
             per_node_io, per_node_compute, network, num_tasks, per_node_tasks
         )
-        return StageOutcome(output.id, times, num_tasks)
+        return StageOutcome(output.id, times, num_tasks, fingerprint=fingerprint)
 
-    def commit_store(self, dataset: Dataset) -> StageTimes:
+    def commit_store(
+        self, dataset: Dataset, fingerprint: Optional[str] = None
+    ) -> StageTimes:
         """Materialise a deferred stage output (charge the store)."""
         store_seconds = self.cluster.register_dataset(dataset)
+        self._maybe_admit(fingerprint, dataset)
         io = max(store_seconds.values(), default=0.0)
         for node_id, seconds in store_seconds.items():
             self.cluster.obs.counter("time_io", node=node_id).inc(seconds)
@@ -287,7 +521,9 @@ class StageExecutor:
             self.cluster.obs.counter("time_io", node=node_id).inc(seconds)
         return StageTimes(io=io)
 
-    def _execute_source_stage(self, stage: Stage) -> StageOutcome:
+    def _execute_source_stage(
+        self, stage: Stage, fingerprint: Optional[str] = None
+    ) -> StageOutcome:
         source = stage.head
         assert isinstance(source, Source)
         nparts = self.cluster.num_workers * self.config.partitions_per_worker
@@ -319,15 +555,20 @@ class StageExecutor:
             out_parts.append(Partition(raw.id, partition.index, payload, nbytes))
         output = Dataset(out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name)
         store_seconds = self.cluster.register_dataset(output)
+        self._maybe_admit(fingerprint, output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
         times = self._wall(
             per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
         )
-        return StageOutcome(output.id, times, len(out_parts))
+        return StageOutcome(output.id, times, len(out_parts), fingerprint=fingerprint)
 
     def _execute_narrow_stage(
-        self, stage: Stage, input_dataset_id: str, defer_store: bool = False
+        self,
+        stage: Stage,
+        input_dataset_id: str,
+        defer_store: bool = False,
+        fingerprint: Optional[str] = None,
     ) -> StageOutcome:
         record = self.cluster.record(input_dataset_id)
         per_node_io: Dict[str, float] = {}
@@ -355,16 +596,27 @@ class StageExecutor:
             times = self._wall(
                 per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
             )
-            return StageOutcome(output.id, times, len(out_parts), pending=output)
+            return StageOutcome(
+                output.id,
+                times,
+                len(out_parts),
+                pending=output,
+                fingerprint=fingerprint,
+            )
+        self._maybe_admit(fingerprint, output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
         times = self._wall(
             per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
         )
-        return StageOutcome(output.id, times, len(out_parts))
+        return StageOutcome(output.id, times, len(out_parts), fingerprint=fingerprint)
 
     def _execute_wide_stage(
-        self, stage: Stage, input_dataset_id: str, defer_store: bool = False
+        self,
+        stage: Stage,
+        input_dataset_id: str,
+        defer_store: bool = False,
+        fingerprint: Optional[str] = None,
     ) -> StageOutcome:
         """Wide head: gather all partitions (shuffle), then pipeline the rest."""
         record = self.cluster.record(input_dataset_id)
@@ -415,13 +667,20 @@ class StageExecutor:
             times = self._wall(
                 per_node_io, per_node_compute, network, len(payloads), per_node_tasks
             )
-            return StageOutcome(output.id, times, len(payloads), pending=output)
+            return StageOutcome(
+                output.id,
+                times,
+                len(payloads),
+                pending=output,
+                fingerprint=fingerprint,
+            )
+        self._maybe_admit(fingerprint, output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
         times = self._wall(
             per_node_io, per_node_compute, network, len(payloads), per_node_tasks
         )
-        return StageOutcome(output.id, times, len(payloads))
+        return StageOutcome(output.id, times, len(payloads), fingerprint=fingerprint)
 
     # ------------------------------------------------------------ evaluate
     def evaluate_pipelined(self, evaluator, dataset: Dataset) -> Tuple[float, StageTimes]:

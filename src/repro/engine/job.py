@@ -64,6 +64,13 @@ class EngineConfig:
     #: through AMM (dead data is dropped free of charge) and through the
     #: choose's explicit discards instead.
     eager_release: bool = False
+    #: lineage-fingerprint result cache (:class:`repro.cache.ResultCache`).
+    #: ``None`` (the default) disables caching entirely — a disabled run is
+    #: byte-identical to one without the cache subsystem.  Pass the *same*
+    #: instance across ``run_mdf`` calls (with ``reset=False`` for the
+    #: cluster tier, or a ``DiskCacheStore`` for cross-reset persistence)
+    #: to reuse results in warm exploratory re-runs.
+    cache: Optional[Any] = None
 
 
 @dataclass

@@ -17,6 +17,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..cache import (
+    FingerprintError,
+    choose_fingerprint,
+    operator_fingerprint,
+    stage_fingerprint,
+)
 from ..cluster.cluster import Cluster
 from ..cluster.fault import ChooseScoreStore
 from ..core.choose import ChooseOperator
@@ -24,7 +30,7 @@ from ..core.datasets import Dataset, Partition
 from ..core.errors import FaultError, SchedulingError
 from ..core.explore import Branch, ExploreOperator
 from ..core.mdf import MDF, Scope
-from ..core.operators import Join, Operator, Sink
+from ..core.operators import Join, Operator, Sink, Source
 from ..core.optimizations import make_pruner, plan_optimizations
 from ..core.stages import Stage, StageGraph
 from .executor import StageExecutor, StageTimes
@@ -112,6 +118,13 @@ class Master:
         #: base dataset id -> composite dataset id that absorbed it (AMM's
         #: acc(d) must resolve a node slot's dataset to its live composite)
         self._composite_of: Dict[str, str] = {}
+        #: dataset id -> lineage fingerprint of its content (result cache);
+        #: absent = uncacheable.  Rebuilt per run — entries in the shared
+        #: :class:`~repro.cache.ResultCache` are what survives across runs.
+        self._fp_of: Dict[str, str] = {}
+        #: operator name -> its fingerprint (None = unfingerprintable), so
+        #: each operator's attributes/bytecode are hashed once per run
+        self._op_fps: Dict[str, Optional[str]] = {}
 
         # --- scope state
         self._scopes: Dict[str, _ScopeRuntime] = {}
@@ -233,7 +246,110 @@ class Master:
 
     def _release(self, dataset_id: str) -> None:
         self._consumers.pop(dataset_id, None)
+        cache = self.config.cache
+        if cache is not None:
+            # eager invalidation: entries admitted under this dataset lose
+            # their backing the moment the discard lands
+            cache.invalidate_dataset(
+                dataset_id, self.cluster, reason="dataset-discarded"
+            )
         self.cluster.discard_dataset(dataset_id)
+
+    # --------------------------------------------------------- result cache
+    def _operator_fp(self, op: Operator) -> Optional[str]:
+        """Fingerprint one operator, memoized per run (None = no identity)."""
+        sentinel = object()
+        fp = self._op_fps.get(op.name, sentinel)
+        if fp is sentinel:
+            try:
+                fp = operator_fingerprint(op)
+            except FingerprintError:
+                fp = None
+            self._op_fps[op.name] = fp
+        return fp
+
+    def _stage_fingerprint(self, stage: Stage, input_ids: List[str]) -> Optional[str]:
+        """Lineage fingerprint of a stage's output, or ``None`` (uncacheable).
+
+        Combines the stage kind, the canonical identity of every operator
+        in its chain, the fingerprints of its input datasets (lineage) and
+        the partitioning layout the output depends on.  Any hole — an
+        operator without a canonical identity, an input produced by an
+        unfingerprintable chain — makes the stage conservatively
+        uncacheable, recorded as a ``cache_miss`` with reason
+        ``"unfingerprintable"``.
+        """
+        cache = self.config.cache
+        if cache is None:
+            return None
+        input_fps: List[str] = []
+        for input_id in input_ids:
+            fp = self._fp_of.get(input_id)
+            if fp is None:
+                self._note_uncacheable(stage)
+                return None
+            input_fps.append(fp)
+        op_fps: List[str] = []
+        for op in stage.ops:
+            fp = self._operator_fp(op)
+            if fp is None:
+                self._note_uncacheable(stage)
+                return None
+            op_fps.append(fp)
+        head = stage.head
+        if isinstance(head, Source):
+            kind = "source"
+            layout = self.cluster.num_workers * self.config.partitions_per_worker
+        elif isinstance(head, Join):
+            kind, layout = "join", self.cluster.num_workers
+        elif head.narrow:
+            # narrow stages inherit their input's partitioning untouched
+            kind, layout = "narrow", None
+        else:
+            kind, layout = "wide", self.cluster.num_workers
+        return stage_fingerprint(kind, op_fps, input_fps, layout)
+
+    def _note_uncacheable(self, stage: Stage) -> None:
+        cache = self.config.cache
+        cache.stats.misses += 1
+        self.cluster.obs.counter("cache_misses").inc()
+        self.cluster.trace.emit(
+            "cache_miss", stage=stage.id, fingerprint=None, reason="unfingerprintable"
+        )
+
+    def _note_fingerprint(self, dataset_id: Optional[str], fingerprint: Optional[str]) -> None:
+        """Record (or clear) the fingerprint of a just-produced dataset."""
+        if dataset_id is None:
+            return
+        if fingerprint is None:
+            self._fp_of.pop(dataset_id, None)
+        else:
+            self._fp_of[dataset_id] = fingerprint
+
+    def _note_choose_fingerprint(
+        self, output_id: str, kept_ids: List[str], runtime: "_ScopeRuntime"
+    ) -> None:
+        """Derive a choose output's fingerprint from its kept members.
+
+        The choose itself moves no data (Definition 3.3), so its output's
+        lineage is exactly the set of kept member lineages.  Any member
+        without a fingerprint — or an empty selection, whose partition
+        layout depends on the cluster rather than on lineage — makes the
+        output uncacheable downstream.
+        """
+        if self.config.cache is None:
+            return
+        member_fps: List[str] = []
+        for branch_id in kept_ids:
+            fp = self._fp_of.get(runtime.tail_dataset[branch_id])
+            if fp is None:
+                member_fps = []
+                break
+            member_fps.append(fp)
+        if not member_fps:
+            self._fp_of.pop(output_id, None)
+        else:
+            self._fp_of[output_id] = choose_fingerprint(member_fps)
 
     # ------------------------------------------------------------ main loop
     def run(self) -> JobResult:
@@ -379,7 +495,12 @@ class Master:
         self._consumers.setdefault(
             f"d:{stage.tail.name}", set()
         ).update(self._effective_consumers(stage.tail))
-        outcome = self.executor.execute(stage, input_id, defer_store=defer)
+        fingerprint = self._stage_fingerprint(
+            stage, [input_id] if input_id is not None else []
+        )
+        outcome = self.executor.execute(
+            stage, input_id, defer_store=defer, fingerprint=fingerprint
+        )
         self.cluster.trace.emit(
             "task_dispatched", stage=stage.id, num_tasks=outcome.num_tasks
         )
@@ -392,6 +513,7 @@ class Master:
             self._settle_deferred_tail(stage, outcome)
             return
         self._register_output(stage.tail, outcome.output_dataset_id)
+        self._note_fingerprint(outcome.output_dataset_id, outcome.fingerprint)
         self._maybe_checkpoint(outcome.output_dataset_id)
         self._finalize_sinks(stage, outcome.output_dataset_id)
         self._after_stage(stage, outcome.output_dataset_id)
@@ -414,7 +536,10 @@ class Master:
         self._consumers.setdefault(
             f"d:{stage.tail.name}", set()
         ).update(self._effective_consumers(stage.tail))
-        outcome = self.executor.execute_join(stage, left_id, right_id, defer_store=defer)
+        fingerprint = self._stage_fingerprint(stage, [left_id, right_id])
+        outcome = self.executor.execute_join(
+            stage, left_id, right_id, defer_store=defer, fingerprint=fingerprint
+        )
         self.cluster.trace.emit(
             "task_dispatched", stage=stage.id, num_tasks=outcome.num_tasks
         )
@@ -427,6 +552,7 @@ class Master:
             self._settle_deferred_tail(stage, outcome)
             return
         self._register_output(stage.tail, outcome.output_dataset_id)
+        self._note_fingerprint(outcome.output_dataset_id, outcome.fingerprint)
         self._maybe_checkpoint(outcome.output_dataset_id)
         self._finalize_sinks(stage, outcome.output_dataset_id)
         self._after_stage(stage, outcome.output_dataset_id)
@@ -529,10 +655,13 @@ class Master:
         else:
             runtime.alive.add(branch.id)
             store_started = self.cluster.clock.now
-            store_times = self.executor.commit_store(outcome.pending)
+            store_times = self.executor.commit_store(
+                outcome.pending, fingerprint=outcome.fingerprint
+            )
             self._advance(store_times, None, store_started)
             runtime.tail_dataset[branch.id] = outcome.pending.id
             self._register_output(stage.tail, outcome.pending.id)
+            self._note_fingerprint(outcome.pending.id, outcome.fingerprint)
             self._maybe_checkpoint(outcome.pending.id)
         can_prune = self.config.pruning and runtime.plan.prune_superfluous
         if decision.done and can_prune:
@@ -753,6 +882,7 @@ class Master:
         if len(kept_ids) == 1:
             # single winner: alias the dataset, no copy
             dataset_id = runtime.tail_dataset[kept_ids[0]]
+            self._note_choose_fingerprint(dataset_id, kept_ids, runtime)
             consumers = self._consumers.setdefault(dataset_id, set())
             consumers.discard(choose.name)
             consumers |= downstream
@@ -769,6 +899,7 @@ class Master:
             ]
             self.cluster.register_dataset(empty)
             self._register_output(choose, empty.id)
+            self._note_choose_fingerprint(empty.id, kept_ids, runtime)
             return empty.id
         # multiple winners: fuse the kept datasets into one zero-copy
         # composite — the selection function runs at the master and only
@@ -785,6 +916,7 @@ class Master:
         for member_id in member_ids:
             self._consumers.pop(member_id, None)
         self._register_output(choose, comp_id)
+        self._note_choose_fingerprint(comp_id, kept_ids, runtime)
         return comp_id
 
     # ------------------------------------------------------------- timing

@@ -106,6 +106,13 @@ class RecoveryManager:
                 continue  # already rebuilt while recovering another target
             self._recompute_dataset(live_id, cause="node-failure")
         self._drop_transients()
+        cache = self.master.config.cache
+        if cache is not None:
+            # lineage recovery restored byte-identical content under the
+            # original keys, so surviving entries refresh in place; anything
+            # whose backing really is gone (dead data, dropped transients)
+            # is invalidated here rather than lazily at its next lookup
+            cache.revalidate(cluster, reason="node-failure")
         seconds = cluster.clock.now - started
         cluster.obs.histogram("recovery_seconds", node=report.node_id).observe(
             seconds

@@ -44,6 +44,15 @@ CONSISTENCY_VIEWS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("recovery_reexecutions", ("node",)),
     ("stages_reexecuted", ("branch", "stage")),
     ("task_retries", ("node", "branch", "stage")),
+    ("cache_hits", ("branch", "stage", "dataset", "policy")),
+    ("cache_misses", ("branch", "stage")),
+    ("cache_bytes_saved", ("branch", "stage", "dataset", "policy")),
+    ("cache_compute_seconds_saved", ("branch", "stage", "dataset", "policy")),
+    ("cache_admissions", ("branch", "stage", "dataset", "policy")),
+    # post-recovery revalidation invalidates entries outside any stage's
+    # label context while the bridge's ambient is the last re-executed
+    # stage, so only the dataset dimension is trace-reconstructible
+    ("cache_invalidations", ("dataset",)),
 )
 
 
@@ -187,6 +196,32 @@ def registry_from_trace(trace) -> MetricsRegistry:
             registry.counter(
                 "task_retries", node=data["node"], stage=stage, branch=branch
             ).inc(data["attempts"])
+        elif kind == "cache_hit":
+            labels = dict(
+                dataset=data["dataset"],
+                policy=data["tier"],
+                stage=stage,
+                branch=branch,
+            )
+            registry.counter("cache_hits", **labels).inc()
+            registry.counter("cache_bytes_saved", **labels).inc(data["nbytes"])
+            registry.counter("cache_compute_seconds_saved", **labels).inc(
+                data["saved_seconds"]
+            )
+        elif kind == "cache_miss":
+            registry.counter("cache_misses", stage=stage, branch=branch).inc()
+        elif kind == "cache_admit":
+            registry.counter(
+                "cache_admissions",
+                dataset=data["dataset"],
+                policy=data["tier"],
+                stage=stage,
+                branch=branch,
+            ).inc()
+        elif kind == "cache_invalidate":
+            registry.counter(
+                "cache_invalidations", dataset=data["dataset"], stage=stage, branch=branch
+            ).inc()
     return registry
 
 

@@ -12,6 +12,7 @@ from .validate import (
     assert_valid,
     auto_validate_enabled,
     check_amm_ranking,
+    check_cache_sound,
     check_depth_first,
     check_no_use_after_discard,
     check_pruning_sound,
@@ -30,6 +31,7 @@ __all__ = [
     "assert_valid",
     "auto_validate_enabled",
     "check_amm_ranking",
+    "check_cache_sound",
     "check_depth_first",
     "check_no_use_after_discard",
     "check_pruning_sound",

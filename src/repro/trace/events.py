@@ -80,6 +80,26 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     # a scheduled FailureEvent/TaskFailureEvent that never fired (its stage
     # index was past the end of the schedule) — benchmark-config rot guard
     "failure_unfired": frozenset({"failure_kind", "node", "stage_index"}),
+    # -- lineage-fingerprint result cache (repro.cache)
+    # a stage served from cached bytes instead of executing its operators;
+    # tier is "cluster" (live partitions, charged by residency) or "store"
+    # (the persistent disk tier).  saved_seconds is the modelled recompute
+    # cost the hit avoided (reads already charged separately).
+    "cache_hit": frozenset(
+        {"stage", "dataset", "fingerprint", "tier", "nbytes", "saved_seconds"}
+    ),
+    # a consulted stage that executed for real.  reason: "cold" (no entry),
+    # "not-profitable" (reading the entry would cost more than recomputing
+    # under the cost model), "unfingerprintable" (no canonical identity)
+    "cache_miss": frozenset({"stage", "fingerprint", "reason"}),
+    # a freshly materialised output remembered by the cache; tier records
+    # whether the persistent store also kept a copy ("cluster+store")
+    "cache_admit": frozenset(
+        {"fingerprint", "dataset", "nbytes", "partitions", "tier"}
+    ),
+    # an entry dropped: "dataset-discarded" (eager, on release), "backing-
+    # lost" (lazy, at lookup), "node-failure" (post-recovery revalidation)
+    "cache_invalidate": frozenset({"fingerprint", "dataset", "reason"}),
 }
 
 
@@ -216,6 +236,10 @@ class Trace:
             "task_retried",
             "task_retries_exhausted",
             "failure_unfired",
+            "cache_hit",
+            "cache_miss",
+            "cache_admit",
+            "cache_invalidate",
         }
         out: List[Dict[str, Any]] = []
         for event in self.events:

@@ -25,8 +25,12 @@ list of :class:`Violation` records it found (empty = invariant holds):
   for recomputation (``recovery_started``), no read of it may occur until
   its recompute lands (``partition_stored`` or a fresh registration), and
   every marked partition is eventually rebuilt or discarded.
+* :func:`check_cache_sound` — result-cache soundness: a cache hit serves
+  exactly the bytes its admit recorded, never lands on an invalidated
+  entry, and the dataset it materialises registers with the promised size
+  (a hit never changes output bytes vs. cold execution).
 
-``validate_trace`` runs all five; ``assert_valid`` raises
+``validate_trace`` runs all six; ``assert_valid`` raises
 :class:`InvariantViolation` listing every violation.  The module-level
 auto-validate flag lets the benchmark harness (``python -m repro.bench
 --validate``) check every figure-reproduction run for free.
@@ -388,6 +392,80 @@ def check_recovery_sound(trace: Trace) -> List[Violation]:
     return violations
 
 
+# ------------------------------------------------------------- cache soundness
+
+
+def check_cache_sound(trace: Trace) -> List[Violation]:
+    """A cache hit never changes output bytes vs. cold execution.
+
+    Replays the ``cache_admit``/``cache_hit``/``cache_invalidate`` protocol
+    of :mod:`repro.cache`:
+
+    * a hit on a fingerprint admitted earlier in the trace must report the
+      exact nominal bytes the admit recorded (store-tier hits may predate
+      the trace — those are only checked against their materialisation);
+    * a cluster-tier hit must not land on a fingerprint whose entry was
+      invalidated after its latest admit (the entry should be gone);
+    * the output dataset a hit materialises must register with exactly the
+      hit's bytes (unless an incremental choose discards it first).
+
+    Traces from cache-disabled runs contain none of these events and pass
+    vacuously — the golden traces stay authoritative.
+    """
+    violations: List[Violation] = []
+    admitted: Dict[str, tuple] = {}  # fingerprint -> (nbytes, seq)
+    invalidated: Dict[str, int] = {}  # fingerprint -> seq (since last admit)
+    expect: Dict[str, tuple] = {}  # dataset id -> (nbytes, seq of the hit)
+    for event in trace:
+        data = event.data
+        if event.kind == "cache_admit":
+            admitted[data["fingerprint"]] = (data["nbytes"], event.seq)
+            invalidated.pop(data["fingerprint"], None)
+        elif event.kind == "cache_invalidate":
+            invalidated[data["fingerprint"]] = event.seq
+        elif event.kind == "cache_hit":
+            fingerprint = data["fingerprint"]
+            known = admitted.get(fingerprint)
+            if known is not None and known[0] != data["nbytes"]:
+                violations.append(
+                    Violation(
+                        "cache_sound",
+                        event.seq,
+                        f"hit on fingerprint {fingerprint!r} served "
+                        f"{data['nbytes']} bytes but the admit at event "
+                        f"#{known[1]} recorded {known[0]} bytes",
+                    )
+                )
+            if data["tier"] == "cluster" and fingerprint in invalidated:
+                violations.append(
+                    Violation(
+                        "cache_sound",
+                        event.seq,
+                        f"cluster-tier hit on fingerprint {fingerprint!r} "
+                        f"although its entry was invalidated at event "
+                        f"#{invalidated[fingerprint]} and never re-admitted",
+                    )
+                )
+            expect[data["dataset"]] = (data["nbytes"], event.seq)
+        elif event.kind == "dataset_registered":
+            pending = expect.pop(data["dataset"], None)
+            if pending is not None and pending[0] != data["nbytes"]:
+                violations.append(
+                    Violation(
+                        "cache_sound",
+                        event.seq,
+                        f"dataset {data['dataset']!r} registered with "
+                        f"{data['nbytes']} bytes but the cache hit at event "
+                        f"#{pending[1]} promised {pending[0]} bytes",
+                    )
+                )
+        elif event.kind == "branch_discarded":
+            # an incremental choose dropped the hit's pending output before
+            # materialisation: nothing left to compare
+            expect.pop(data["dataset"], None)
+    return violations
+
+
 # ----------------------------------------------------------------- aggregation
 
 ALL_CHECKS = {
@@ -396,6 +474,7 @@ ALL_CHECKS = {
     "pruning_sound": check_pruning_sound,
     "no_use_after_discard": check_no_use_after_discard,
     "recovery_sound": check_recovery_sound,
+    "cache_sound": check_cache_sound,
 }
 
 
@@ -404,7 +483,7 @@ def validate_trace(
     alpha: Optional[float] = None,
     table1: Optional[Mapping[str, Any]] = None,
 ) -> List[Violation]:
-    """Run all five invariant checkers; returns every violation found."""
+    """Run all six invariant checkers; returns every violation found."""
     if trace is None:
         return []
     violations: List[Violation] = []
@@ -413,6 +492,7 @@ def validate_trace(
     violations.extend(check_pruning_sound(trace, table1=table1))
     violations.extend(check_no_use_after_discard(trace))
     violations.extend(check_recovery_sound(trace))
+    violations.extend(check_cache_sound(trace))
     return violations
 
 

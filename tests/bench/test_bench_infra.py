@@ -81,6 +81,7 @@ class TestFigureResult:
             "failure_recovery",
             "appendix_b",
             "supplementary_ts5",
+            "cache_reuse",
         }
         assert set(ALL_FIGURES) == expected
 

@@ -1,0 +1,128 @@
+"""Tests for the ``cache_sound`` invariant validator.
+
+Honest cache protocols pass (that direction is covered end-to-end by
+``tests/cache``); here hand-built malformed traces must be caught: a hit
+serving different bytes than its admit recorded, a cluster-tier hit on an
+invalidated entry, and a hit whose materialised dataset registers with
+different bytes than promised.
+"""
+
+from repro.trace import Trace, check_cache_sound
+
+
+def admit(trace, fp="fp-1", dataset="d:x", nbytes=100):
+    trace.emit(
+        "cache_admit",
+        fingerprint=fp,
+        dataset=dataset,
+        nbytes=nbytes,
+        partitions=2,
+        tier="cluster",
+    )
+
+
+def hit(trace, fp="fp-1", dataset="d:y", nbytes=100, tier="cluster"):
+    trace.emit(
+        "cache_hit",
+        stage="stage-1",
+        dataset=dataset,
+        fingerprint=fp,
+        tier=tier,
+        nbytes=nbytes,
+        saved_seconds=0.5,
+    )
+
+
+def register(trace, dataset="d:y", nbytes=100):
+    trace.emit(
+        "dataset_registered",
+        dataset=dataset,
+        producer="op",
+        nbytes=nbytes,
+        partitions=2,
+    )
+
+
+class TestHonestProtocol:
+    def test_empty_trace_passes(self):
+        assert check_cache_sound(Trace()) == []
+
+    def test_admit_hit_register_passes(self):
+        trace = Trace()
+        admit(trace)
+        hit(trace)
+        register(trace)
+        assert check_cache_sound(trace) == []
+
+    def test_readmission_after_invalidate_passes(self):
+        trace = Trace()
+        admit(trace)
+        trace.emit(
+            "cache_invalidate", fingerprint="fp-1", dataset="d:x", reason="test"
+        )
+        admit(trace)
+        hit(trace)
+        register(trace)
+        assert check_cache_sound(trace) == []
+
+    def test_discarded_pending_hit_passes(self):
+        """An incremental choose may drop a hit's output before it is ever
+        registered — that is not a soundness violation."""
+        trace = Trace()
+        admit(trace)
+        hit(trace)
+        trace.emit(
+            "branch_discarded",
+            choose="c",
+            branch="b",
+            dataset="d:y",
+            materialized=False,
+        )
+        assert check_cache_sound(trace) == []
+
+    def test_store_tier_hit_without_admit_passes(self):
+        """Store-tier entries can predate the trace (cross-process reuse)."""
+        trace = Trace()
+        hit(trace, tier="store")
+        register(trace)
+        assert check_cache_sound(trace) == []
+
+
+class TestViolations:
+    def test_hit_bytes_mismatch_admit(self):
+        trace = Trace()
+        admit(trace, nbytes=100)
+        hit(trace, nbytes=150)
+        register(trace, nbytes=150)
+        violations = check_cache_sound(trace)
+        assert len(violations) == 1
+        assert "admit" in violations[0].message
+
+    def test_cluster_hit_on_invalidated_entry(self):
+        trace = Trace()
+        admit(trace)
+        trace.emit(
+            "cache_invalidate", fingerprint="fp-1", dataset="d:x", reason="test"
+        )
+        hit(trace)
+        register(trace)
+        violations = check_cache_sound(trace)
+        assert len(violations) == 1
+        assert "invalidated" in violations[0].message
+
+    def test_registered_bytes_mismatch_promise(self):
+        trace = Trace()
+        admit(trace)
+        hit(trace, nbytes=100)
+        register(trace, nbytes=64)
+        violations = check_cache_sound(trace)
+        assert len(violations) == 1
+        assert "promised" in violations[0].message
+
+    def test_violations_carry_check_name_and_seq(self):
+        trace = Trace()
+        admit(trace, nbytes=1)
+        hit(trace, nbytes=2)
+        (violation,) = check_cache_sound(trace)
+        assert violation.check == "cache_sound"
+        assert violation.seq >= 0
