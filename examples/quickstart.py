@@ -68,6 +68,22 @@ def main() -> None:
     print()
     print(job.telemetry.branch_breakdown())
 
+    # 5. what made the job as long as it was?  critical-path profile ---------
+    from repro.prof import critical_path, exploration_cost, profile_from_result, top_segments
+
+    profile = profile_from_result(job)
+    print()
+    print("top critical-path segments:")
+    for segment in top_segments(critical_path(profile), n=3):
+        share = 100.0 * segment.seconds / profile.makespan
+        print(f"  {segment.seconds:8.4f} s  ({share:4.1f}%)  {segment.description}")
+    explo = exploration_cost(profile)
+    print(
+        f"cost of exploration: {explo.sunk_seconds:.4f} s sunk into discarded "
+        f"branches ({100.0 * explo.sunk_share:.1f}% of the makespan), "
+        f"{explo.pruned_branches} branch(es) pruned for free"
+    )
+
 
 if __name__ == "__main__":
     main()

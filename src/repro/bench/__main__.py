@@ -10,7 +10,11 @@ figures additionally runs the paper-invariant trace validators
 timelines, per-branch/node attribution, Prometheus and JSON expositions)
 — on its own it replaces the figure run.  With ``--wallclock``, runs the
 result-cache cold/warm wall-clock microbenchmark and writes
-``BENCH_pr4.json`` — on its own it replaces the figure run.
+``BENCH_pr4.json`` — on its own it replaces the figure run.  With
+``--profile``, every figure run is profiled (:mod:`repro.prof`): a
+per-figure makespan-attribution table is printed after each figure and a
+speedscope flamegraph of each figure's longest run is written to
+``PROFILE_<figure>.speedscope.json``.
 """
 
 from __future__ import annotations
@@ -47,6 +51,9 @@ def main(argv) -> int:
             return 1
         if not argv:
             return 0
+    profile = "--profile" in argv
+    if profile:
+        argv = [a for a in argv if a != "--profile"]
     names = argv or list(ALL_FIGURES)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
@@ -56,11 +63,23 @@ def main(argv) -> int:
     if validate:
         set_auto_validate(True)
         print("trace validation: on (every run checked against the paper invariants)")
+    if profile:
+        print(
+            "profiling: on (per-figure attribution tables + "
+            "PROFILE_<figure>.speedscope.json artifacts)"
+        )
     failed = []
     try:
         for name in names:
-            result = ALL_FIGURES[name]()
+            collector = _install_collector() if profile else None
+            try:
+                result = ALL_FIGURES[name]()
+            finally:
+                if collector is not None:
+                    _uninstall_collector()
             print(result.render())
+            if collector is not None:
+                _report_profile(name, collector)
             if not result.all_checks_pass:
                 failed.append(name)
     finally:
@@ -70,6 +89,52 @@ def main(argv) -> int:
         print(f"shape-check failures: {failed}")
         return 1
     return 0
+
+
+def _install_collector():
+    from ..prof import ProfileCollector, set_profile_collector
+
+    collector = ProfileCollector()
+    set_profile_collector(collector)
+    return collector
+
+
+def _uninstall_collector() -> None:
+    from ..prof import set_profile_collector
+
+    set_profile_collector(None)
+
+
+def _report_profile(figure: str, collector) -> None:
+    """Aggregate one figure's profiles: attribution table + flamegraph.
+
+    The attribution table sums the exclusive categories over every run the
+    figure performed; the speedscope artifact captures the single longest
+    run (the one whose critical path dominates the figure's wall time).
+    """
+    from ..prof import CATEGORIES, attribution, save_speedscope
+
+    profiles = [p for _, p in collector.profiles if p.has_spans]
+    if not profiles:
+        print(f"[profile] {figure}: no profiled runs")
+        return
+    totals = {category: 0.0 for category in CATEGORIES}
+    for prof in profiles:
+        for category, seconds in attribution(prof).items():
+            totals[category] += seconds
+    makespan = sum(p.makespan for p in profiles)
+    print(
+        f"[profile] {figure}: {len(profiles)} run(s), "
+        f"{makespan:.3f} simulated seconds total"
+    )
+    for category, seconds in totals.items():
+        if seconds > 0.0:
+            share = 100.0 * seconds / makespan if makespan else 0.0
+            print(f"[profile]   {category:<9} {seconds:12.6f} s  ({share:5.1f}%)")
+    longest = max(profiles, key=lambda p: p.makespan)
+    path = f"PROFILE_{figure}.speedscope.json"
+    save_speedscope(longest, path, name=f"{figure} (longest run)")
+    print(f"[profile] wrote {path}")
 
 
 if __name__ == "__main__":

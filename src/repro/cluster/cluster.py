@@ -113,7 +113,16 @@ class Cluster:
         #: permanently failed (decommissioned) node ids — excluded from
         #: placement and from the worker count until ``reset``
         self._dead: Set[str] = set()
+        #: cumulative per-node busy seconds (io + compute charged against
+        #: the node), fed by the executor/recovery paths; the timeline
+        #: sampler reads it to derive per-node utilisation over time
+        self.busy_seconds: Dict[str, float] = {}
         self._watch_nodes()
+
+    def note_busy(self, node_id: str, seconds: float) -> None:
+        """Accumulate busy (io/compute) seconds charged against a node."""
+        if seconds:
+            self.busy_seconds[node_id] = self.busy_seconds.get(node_id, 0.0) + seconds
 
     def _watch_nodes(self) -> None:
         """Wire each node's memory changes into its per-node gauge."""
@@ -267,6 +276,7 @@ class Cluster:
             access = dict(node=node.id, dataset=dataset_id)
             self.obs.counter("partition_hits", **access).inc()
             self.obs.counter("bytes_read_memory", **access).inc(nbytes)
+            seconds = self.cost_model.mem_read_time(nbytes)
             self.trace.emit(
                 "dataset_access",
                 dataset=dataset_id,
@@ -274,8 +284,10 @@ class Cluster:
                 node=node.id,
                 hit=True,
                 nbytes=nbytes,
+                seconds=seconds,
+                reload=False,
             )
-            return slot.payload, self.cost_model.mem_read_time(nbytes), node.id
+            return slot.payload, seconds, node.id
         # miss: stream the partition from disk.  It is *not* promoted back
         # into memory — tasks stream spilled inputs (as Spark does); data
         # only re-enters memory as part of newly produced outputs.  An
@@ -285,6 +297,7 @@ class Cluster:
         self.obs.counter("partition_misses", **access).inc()
         self.obs.counter("bytes_read_disk", **access).inc(nbytes)
         node.touch(key, self.clock.now)
+        seconds = self.cost_model.disk_read_time(nbytes)
         self.trace.emit(
             "dataset_access",
             dataset=dataset_id,
@@ -292,8 +305,9 @@ class Cluster:
             node=node.id,
             hit=False,
             nbytes=nbytes,
+            seconds=seconds,
+            reload=slot.evicted,
         )
-        seconds = self.cost_model.disk_read_time(nbytes)
         return slot.payload, seconds, node.id
 
     def peek_payloads(self, dataset_id: str) -> List[Any]:
@@ -378,7 +392,7 @@ class Cluster:
                 alpha=getattr(self.policy, "_alpha", None),
                 ranking=ranking,
             )
-            node.demote(victim.key)
+            node.demote(victim.key).evicted = True
             self.policy.record_eviction(self.obs, node, victim, spilled)
             if spilled:
                 seconds += self.cost_model.disk_write_time(victim.nbytes)
@@ -546,6 +560,7 @@ class Cluster:
             if node.free_memory() >= slot.nbytes:
                 node.promote(key, self.clock.now)
                 seconds += self.cost_model.mem_write_time(slot.nbytes)
+        self.note_busy(node.id, seconds)
         self.trace.emit(
             "recovery",
             dataset=record.dataset_id,
@@ -632,6 +647,7 @@ class Cluster:
             node.protected.clear()
         self._records.clear()
         self._dead.clear()
+        self.busy_seconds = {}
         self.clock.reset()
         self.obs = MetricsRegistry()
         self.metrics = Metrics().bind(self.obs)

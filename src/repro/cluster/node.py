@@ -27,6 +27,10 @@ class Slot:
     #: a checkpoint copy exists on stable storage (§5): the partition
     #: survives node failures and reloads instead of recomputing
     checkpointed: bool = False
+    #: the slot is disk-resident because an eviction spilled it — reads
+    #: that stream it back are *eviction-induced reloads*, the cost AMM's
+    #: preference weighs.  Cleared when the slot re-enters memory.
+    evicted: bool = False
 
     @property
     def dataset_id(self) -> str:
@@ -92,6 +96,7 @@ class Node:
         slot = self.slots[key]
         if not slot.in_memory:
             slot.in_memory = True
+            slot.evicted = False
             self.mem_used += slot.nbytes
             self._notify()
         slot.last_access = now

@@ -16,7 +16,7 @@ gates the stage), after straggler stretching and speculative mitigation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..cluster.cluster import Cluster
@@ -36,6 +36,11 @@ class StageTimes:
     compute: float = 0.0
     network: float = 0.0
     overhead: float = 0.0
+    #: straggler/retry-adjusted per-node seconds the walls were taken from
+    #: (``io``/``compute`` are their maxima); recorded on the trace so the
+    #: profiler can attribute busy vs idle time per node
+    per_node_io: Dict[str, float] = field(default_factory=dict)
+    per_node_compute: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -131,8 +136,10 @@ class StageExecutor:
         obs = self.cluster.obs
         for node_id, seconds in per_node_io.items():
             obs.counter("time_io", node=node_id).inc(seconds)
+            self.cluster.note_busy(node_id, seconds)
         for node_id, seconds in per_node_compute.items():
             obs.counter("time_compute", node=node_id).inc(seconds)
+            self.cluster.note_busy(node_id, seconds)
         if network:
             obs.counter("time_network").inc(network)
         attributed = 0
@@ -150,7 +157,14 @@ class StageExecutor:
                     histogram.observe(per_task)
         if num_tasks > attributed:
             obs.counter("tasks_executed").inc(num_tasks - attributed)
-        return StageTimes(io=io, compute=compute, network=network, overhead=overhead)
+        return StageTimes(
+            io=io,
+            compute=compute,
+            network=network,
+            overhead=overhead,
+            per_node_io=dict(per_node_io),
+            per_node_compute=dict(per_node_compute),
+        )
 
     def _run_chain(
         self,
@@ -500,7 +514,8 @@ class StageExecutor:
         io = max(store_seconds.values(), default=0.0)
         for node_id, seconds in store_seconds.items():
             self.cluster.obs.counter("time_io", node=node_id).inc(seconds)
-        return StageTimes(io=io)
+            self.cluster.note_busy(node_id, seconds)
+        return StageTimes(io=io, per_node_io=dict(store_seconds))
 
     def commit_restore(
         self,
@@ -519,7 +534,8 @@ class StageExecutor:
         io = max(store_seconds.values(), default=0.0)
         for node_id, seconds in store_seconds.items():
             self.cluster.obs.counter("time_io", node=node_id).inc(seconds)
-        return StageTimes(io=io)
+            self.cluster.note_busy(node_id, seconds)
+        return StageTimes(io=io, per_node_io=dict(store_seconds))
 
     def _execute_source_stage(
         self, stage: Stage, fingerprint: Optional[str] = None

@@ -33,6 +33,7 @@ from ..core.mdf import MDF, Scope
 from ..core.operators import Join, Operator, Sink, Source
 from ..core.optimizations import make_pruner, plan_optimizations
 from ..core.stages import Stage, StageGraph
+from ..prof.spans import registry_categories
 from .executor import StageExecutor, StageTimes
 from .job import ChooseDecision, EngineConfig, JobResult, StageTrace
 from .recovery import RecoveryManager
@@ -132,6 +133,11 @@ class Master:
         self._tail_stage_to_branch: Dict[str, Tuple[str, Branch]] = {}
         self._context = SchedulerContext()
         self._context.registry = cluster.obs
+        #: set by the RecoveryManager around §5 failure handling, so stage
+        #: re-executions are attributed to "recovery" rather than their
+        #: normal component split (the profiler applies the same rule by
+        #: pairing stage_reexecuted announcements with completions)
+        self._in_recovery = False
         self._prepare_scopes()
         self._prepare_schedule()
         self._bind_policy()
@@ -598,7 +604,9 @@ class Master:
             nbytes=int(record.nbytes * config.overhead_fraction),
         )
         self.cluster.mark_checkpointed(output_dataset_id)
-        self._advance(StageTimes(io=seconds), None, self.cluster.clock.now)
+        self._advance(
+            StageTimes(io=seconds), None, self.cluster.clock.now, activity="checkpoint"
+        )
 
     def _finalize_sinks(self, stage: Stage, output_dataset_id: Optional[str]) -> None:
         for op in stage.ops:
@@ -622,7 +630,9 @@ class Master:
         started = self.cluster.clock.now
         score, times = self.executor.evaluate_pipelined(choose.evaluator, outcome.pending)
         times.overhead += self.config.master_selection_cost
-        self._advance(times, None, started)
+        self._advance(
+            times, None, started, activity="choose_evaluation", branch=branch.id
+        )
         runtime.scores[branch.id] = score
         self.score_store.put(choose.name, branch.id, score)
         self.cluster.trace.emit(
@@ -658,7 +668,13 @@ class Master:
             store_times = self.executor.commit_store(
                 outcome.pending, fingerprint=outcome.fingerprint
             )
-            self._advance(store_times, None, store_started)
+            self._advance(
+                store_times,
+                None,
+                store_started,
+                activity="store_commit",
+                branch=branch.id,
+            )
             runtime.tail_dataset[branch.id] = outcome.pending.id
             self._register_output(stage.tail, outcome.pending.id)
             self._note_fingerprint(outcome.pending.id, outcome.fingerprint)
@@ -721,7 +737,9 @@ class Master:
         score, times = self.executor.evaluate_branch(choose.evaluator, dataset_id)
         # master runs the selection function (§5): tiny but accounted
         times.overhead += self.config.master_selection_cost
-        self._advance(times, None, started)
+        self._advance(
+            times, None, started, activity="choose_evaluation", branch=branch.id
+        )
         runtime.scores[branch.id] = score
         runtime.alive.add(branch.id)
         self.score_store.put(choose.name, branch.id, score)
@@ -920,11 +938,38 @@ class Master:
         return comp_id
 
     # ------------------------------------------------------------- timing
-    def _advance(self, times: StageTimes, stage: Optional[Stage], started: float) -> None:
+    def _advance(
+        self,
+        times: StageTimes,
+        stage: Optional[Stage],
+        started: float,
+        activity: Optional[str] = None,
+        branch: Optional[str] = None,
+    ) -> None:
+        """Advance the simulated clock and record the advance as a span.
+
+        This is the ONLY place the job's clock moves, and every advance
+        emits either an extended ``stage_completed`` event (stage spans)
+        or a ``span`` event tagged with ``activity`` (everything else:
+        choose evaluation, deferred-tail stores, checkpoints, recovery
+        reloads) — which is what lets ``repro.prof`` reconstruct a span
+        timeline that tiles ``[0, completion_time]`` exactly
+        (``check_profile_conserved``).
+        """
         self.cluster.clock.advance(times.total)
         self.result.wall_compute += times.compute
         self.result.wall_io += times.io
         self.result.wall_network += times.network
+        finished = self.cluster.clock.now
+        for category, seconds in registry_categories(
+            times.io,
+            times.compute,
+            times.network,
+            times.overhead,
+            activity=activity,
+            recovery=self._in_recovery and stage is not None,
+        ).items():
+            self.cluster.obs.counter(f"profile_{category}_seconds").inc(seconds)
         if stage is not None:
             self.cluster.obs.histogram(
                 "stage_seconds", stage=stage.id, branch=stage.branch_id
@@ -935,7 +980,7 @@ class Master:
                     ops=[op.name for op in stage.ops],
                     branch_id=stage.branch_id,
                     started=started,
-                    finished=self.cluster.clock.now,
+                    finished=finished,
                 )
             )
             self.cluster.trace.emit(
@@ -944,5 +989,25 @@ class Master:
                 ops=[op.name for op in stage.ops],
                 branch=stage.branch_id,
                 started=started,
-                finished=self.cluster.clock.now,
+                finished=finished,
+                io=times.io,
+                compute=times.compute,
+                network=times.network,
+                overhead=times.overhead,
+                per_node_io=dict(times.per_node_io),
+                per_node_compute=dict(times.per_node_compute),
+            )
+        elif activity is not None:
+            self.cluster.trace.emit(
+                "span",
+                activity=activity,
+                branch=branch,
+                started=started,
+                finished=finished,
+                io=times.io,
+                compute=times.compute,
+                network=times.network,
+                overhead=times.overhead,
+                per_node_io=dict(times.per_node_io),
+                per_node_compute=dict(times.per_node_compute),
             )

@@ -69,6 +69,21 @@ class RecoveryManager:
         cluster = self.cluster
         master = self.master
         started = cluster.clock.now
+        # everything the clock pays for until we return is §5 recovery:
+        # the profiler's "recovery" category and the live profile counters
+        # both key off this flag (re-executed stages) plus the
+        # recovery_reload activity tag (checkpoint reloads)
+        master._in_recovery = True
+        try:
+            return self._handle_failure(report, stage_index, started)
+        finally:
+            master._in_recovery = False
+
+    def _handle_failure(
+        self, report: FailureReport, stage_index: int, started: float
+    ) -> float:
+        cluster = self.cluster
+        master = self.master
         dropped: Dict[Optional[str], List[PartitionKey]] = {}
         recompute: Dict[str, List[PartitionKey]] = {}
         for key in report.lost:
@@ -181,7 +196,9 @@ class RecoveryManager:
         for key in sorted(keys):
             seconds += self.cluster.recover_reload(key, promote=promote)
         if seconds:
-            self.master._advance(StageTimes(io=seconds), None, started)
+            self.master._advance(
+                StageTimes(io=seconds), None, started, activity="recovery_reload"
+            )
 
     # ------------------------------------------------------------ recomputes
     def _recompute_dataset(self, live_id: str, cause: str) -> None:
@@ -318,6 +335,10 @@ class RecoveryManager:
                 else:
                     store_times = self._restore(outcome.pending, into_id, missing)
                 outcome.times.io += store_times.io
+                for node_id, io_seconds in store_times.per_node_io.items():
+                    outcome.times.per_node_io[node_id] = (
+                        outcome.times.per_node_io.get(node_id, 0.0) + io_seconds
+                    )
             cluster.trace.emit(
                 "task_dispatched", stage=stage.id, num_tasks=outcome.num_tasks
             )

@@ -23,6 +23,7 @@ from ..cluster.memory import MemoryPolicy, make_policy
 from ..core.mdf import MDF
 from ..obs.telemetry import Telemetry
 from ..obs.timeline import TelemetryConfig, TimelineSampler
+from ..prof.collect import active_profile_collector
 from ..trace.validate import assert_valid, auto_validate_enabled
 from .job import EngineConfig, JobResult
 from .master import Master
@@ -116,4 +117,7 @@ def run_mdf(
         validate = auto_validate_enabled()
     if validate:
         assert_valid(result.events)
+    collector = active_profile_collector()
+    if collector is not None:
+        collector.record(result)
     return result

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..prof.spans import registry_categories
 from .registry import MetricsRegistry
 
 #: (instrument, label dimensions) pairs on which a bridged registry must
@@ -53,6 +54,16 @@ CONSISTENCY_VIEWS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     # label context while the bridge's ambient is the last re-executed
     # stage, so only the dataset dimension is trace-reconstructible
     ("cache_invalidations", ("dataset",)),
+    # profiler category totals (repro.prof): replayed from the extended
+    # stage_completed / span events through the same category mapping the
+    # live counters use ("reload" is a profiler-only refinement of "io",
+    # so it has no counter here)
+    ("profile_compute_seconds", ("branch", "stage")),
+    ("profile_io_seconds", ("branch", "stage")),
+    ("profile_network_seconds", ("branch", "stage")),
+    ("profile_overhead_seconds", ("branch", "stage")),
+    ("profile_evaluator_seconds", ("branch", "stage")),
+    ("profile_recovery_seconds", ("branch", "stage")),
 )
 
 
@@ -68,6 +79,10 @@ def registry_from_trace(trace) -> MetricsRegistry:
     #: dataset id -> partition count (evaluate_branch task accounting)
     partitions: Dict[str, int] = {}
     live: set = set()
+    #: stage id -> outstanding stage_reexecuted announcements: the next
+    #: stage_completed of that stage is recovery work (same pairing the
+    #: profiler uses — inputs are secured before the announcement)
+    reexec_pending: Dict[str, int] = {}
     for event in trace:
         data = event.data
         kind = event.kind
@@ -170,7 +185,18 @@ def registry_from_trace(trace) -> MetricsRegistry:
         elif kind == "stage_reexecuted":
             stage = data["stage"]
             branch = data["branch"]
+            reexec_pending[stage] = reexec_pending.get(stage, 0) + 1
             registry.counter("stages_reexecuted", stage=stage, branch=branch).inc()
+        elif kind == "stage_completed":
+            if "io" in data and "per_node_io" in data:
+                recovery = reexec_pending.get(data["stage"], 0) > 0
+                if recovery:
+                    reexec_pending[data["stage"]] -= 1
+                _bridge_profile(registry, data, stage, branch, recovery=recovery)
+        elif kind == "span":
+            _bridge_profile(
+                registry, data, stage, branch, activity=data["activity"]
+            )
         elif kind == "recovery":
             action = data["action"]
             if action in ("reload", "recompute"):
@@ -223,6 +249,28 @@ def registry_from_trace(trace) -> MetricsRegistry:
                 "cache_invalidations", dataset=data["dataset"], stage=stage, branch=branch
             ).inc()
     return registry
+
+
+def _bridge_profile(
+    registry: MetricsRegistry,
+    data: Dict,
+    stage: Optional[str],
+    branch: Optional[str],
+    activity: Optional[str] = None,
+    recovery: bool = False,
+) -> None:
+    """Replay one span's category split into the profile counters."""
+    for category, seconds in registry_categories(
+        data["io"],
+        data["compute"],
+        data["network"],
+        data["overhead"],
+        activity=activity,
+        recovery=recovery,
+    ).items():
+        registry.counter(
+            f"profile_{category}_seconds", stage=stage, branch=branch
+        ).inc(seconds)
 
 
 def _partition_count(dataset_id: str, partitions: Dict[str, int], trace) -> int:

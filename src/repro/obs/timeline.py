@@ -46,6 +46,13 @@ class TimelineSample:
     live_datasets: int
     evictions: int
     per_node_memory: Dict[str, int] = field(default_factory=dict)
+    #: cumulative busy seconds per worker (io + compute walls charged to
+    #: the node so far, from ``cluster.busy_seconds``)
+    per_node_busy: Dict[str, float] = field(default_factory=dict)
+    #: mean worker utilisation over the interval since the previous
+    #: sample: Δbusy / (Δt · workers), clamped to [0, 1] (the Fig 17
+    #: busy/idle overlay)
+    utilisation: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -57,6 +64,8 @@ class TimelineSample:
             "live_datasets": self.live_datasets,
             "evictions": self.evictions,
             "per_node_memory": dict(self.per_node_memory),
+            "per_node_busy": dict(self.per_node_busy),
+            "utilisation": self.utilisation,
         }
 
 
@@ -118,11 +127,32 @@ class TimelineSampler:
         self.interval *= 2.0
         last = self.samples[-1].t if self.samples else 0.0
         self._next_t = max(self._next_t, last + self.interval)
+        # per-node busy is cumulative, so the interval utilisation of the
+        # surviving samples can be recomputed exactly over the new spacing
+        for i, sample in enumerate(self.samples):
+            prev = self.samples[i - 1] if i else None
+            sample.utilisation = self._utilisation(
+                prev, sample.t, sample.per_node_busy
+            )
+
+    @staticmethod
+    def _utilisation(prev, t: float, busy: Dict[str, float]) -> float:
+        if prev is None or t <= prev.t or not busy:
+            return 0.0
+        delta = sum(busy.values()) - sum(
+            prev.per_node_busy.get(node, 0.0) for node in busy
+        )
+        return min(1.0, max(0.0, delta / ((t - prev.t) * len(busy))))
 
     def _record(self, t: float) -> None:
         cluster = self.cluster
         metrics = cluster.metrics
         per_node = {node.id: node.mem_used for node in cluster.nodes}
+        busy = {
+            node.id: cluster.busy_seconds.get(node.id, 0.0)
+            for node in cluster.nodes
+        }
+        prev = self.samples[-1] if self.samples else None
         self.samples.append(
             TimelineSample(
                 t=t,
@@ -133,6 +163,8 @@ class TimelineSampler:
                 live_datasets=cluster.live_dataset_count(),
                 evictions=metrics.evictions,
                 per_node_memory=per_node,
+                per_node_busy=busy,
+                utilisation=self._utilisation(prev, t, busy),
             )
         )
 

@@ -1,0 +1,101 @@
+"""Critical-path extraction over the span timeline.
+
+The master executes one stage at a time (the paper's engine parallelises
+*within* a stage, across workers), so the span DAG's critical path is the
+span chain itself — but each span's wall decomposes further: its io wall
+is gated by exactly one slowest node, its compute wall by another, and
+network/overhead are cluster/master-level.  The critical path is therefore
+the sequence of *gating segments*: for every span, the components that
+made it as long as it was, each pinned to the node that set the pace.
+
+By construction the segment lengths sum to the span durations, which sum
+to the makespan — so the reported critical-path length equals the job's
+completion time to 1e-9 (tested), and shaving any segment shortens the
+job by exactly that amount (what the ``--what-if`` re-coster exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .attribution import span_attribution
+from .spans import Span, SpanProfile
+
+
+@dataclass
+class Segment:
+    """One critical-path slice: a category of one span, with its pacer."""
+
+    started: float
+    seconds: float
+    category: str
+    span_label: str
+    node: Optional[str]  # gating node (io/compute), None for master-level
+
+    @property
+    def description(self) -> str:
+        where = f" @ {self.node}" if self.node else ""
+        return f"{self.span_label}: {self.category}{where}"
+
+
+#: stable intra-span ordering of segments (arbitrary but deterministic)
+_SEGMENT_ORDER = (
+    "io",
+    "reload",
+    "compute",
+    "network",
+    "overhead",
+    "evaluator",
+    "recovery",
+)
+
+
+def _span_segments(span: Span) -> List[Segment]:
+    cats = span_attribution(span)
+    segments: List[Segment] = []
+    at = span.started
+    for category in _SEGMENT_ORDER:
+        seconds = cats.get(category, 0.0)
+        if seconds <= 0.0:
+            continue
+        if category in ("io", "reload"):
+            node = span.gating_io_node()
+        elif category == "compute":
+            node = span.gating_compute_node()
+        elif category in ("evaluator", "recovery"):
+            # whole-span categories: pin to the overall slowest node
+            node = span.gating_io_node() or span.gating_compute_node()
+        else:
+            node = None
+        segments.append(
+            Segment(
+                started=at,
+                seconds=seconds,
+                category=category,
+                span_label=span.label,
+                node=node,
+            )
+        )
+        at += seconds
+    return segments
+
+
+def critical_path(profile: SpanProfile) -> List[Segment]:
+    """Every gating segment in execution order; lengths sum to makespan."""
+    out: List[Segment] = []
+    for span in profile.spans:
+        out.extend(_span_segments(span))
+    return out
+
+
+def critical_path_length(profile: SpanProfile) -> float:
+    return sum(segment.seconds for segment in critical_path(profile))
+
+
+def top_segments(path: List[Segment], n: int = 3) -> List[Segment]:
+    """The ``n`` longest segments (ties broken by position: earliest wins)."""
+    return sorted(path, key=lambda s: (-s.seconds, s.started))[:n]
+
+
+__all__ = ["Segment", "critical_path", "critical_path_length", "top_segments"]

@@ -1,0 +1,113 @@
+"""``--what-if`` re-costing: reprice a recorded run under scaled costs.
+
+Because the critical path tiles the makespan exactly (see
+:mod:`repro.prof.critical`), scaling a category's segments by a factor
+yields the *exact* completion time the simulator would produce if that
+resource were that much faster or slower — no re-execution needed.  The
+``alpha`` pseudo-category scales all storage traffic (io + reload),
+matching the paper's §6 sensitivity axis (storage bandwidth alpha).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .attribution import attribution, span_attribution
+from .spans import CATEGORIES, SpanProfile
+
+#: factor spec keys: every exclusive category, plus the alpha alias
+VALID_KEYS = CATEGORIES + ("alpha",)
+
+
+def parse_factors(spec: str) -> Dict[str, float]:
+    """Parse ``"compute=0.5x,alpha=2x"`` into ``{category: factor}``."""
+    factors: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"bad what-if factor {part!r} (want key=FACTORx)")
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        if key not in VALID_KEYS:
+            raise ValueError(
+                f"unknown what-if key {key!r} (choose from {', '.join(VALID_KEYS)})"
+            )
+        raw = raw.strip()
+        if raw.endswith(("x", "X")):
+            raw = raw[:-1]
+        factor = float(raw)
+        if factor < 0:
+            raise ValueError(f"what-if factor for {key!r} must be >= 0")
+        factors[key] = factor
+    if not factors:
+        raise ValueError("empty what-if spec")
+    return factors
+
+
+def _effective(factors: Dict[str, float]) -> Dict[str, float]:
+    """Expand the alpha alias onto io and reload (explicit keys win)."""
+    out = {category: 1.0 for category in CATEGORIES}
+    alpha = factors.get("alpha")
+    if alpha is not None:
+        out["io"] = alpha
+        out["reload"] = alpha
+    for key, factor in factors.items():
+        if key != "alpha":
+            out[key] = factor
+    return out
+
+
+@dataclass
+class WhatIf:
+    """A repriced run: original vs projected completion, per category."""
+
+    factors: Dict[str, float]
+    original: Dict[str, float]
+    projected: Dict[str, float]
+    original_makespan: float
+    projected_makespan: float
+
+    @property
+    def speedup(self) -> float:
+        if not self.projected_makespan:
+            return float("inf") if self.original_makespan else 1.0
+        return self.original_makespan / self.projected_makespan
+
+
+def reprice(profile: SpanProfile, factors: Dict[str, float]) -> WhatIf:
+    """Project the makespan under the given per-category cost factors."""
+    scale = _effective(factors)
+    original = attribution(profile)
+    projected = {category: 0.0 for category in CATEGORIES}
+    for span in profile.spans:
+        for category, seconds in span_attribution(span).items():
+            projected[category] += seconds * scale[category]
+    return WhatIf(
+        factors=dict(factors),
+        original=original,
+        projected=projected,
+        original_makespan=sum(original.values()),
+        projected_makespan=sum(projected.values()),
+    )
+
+
+def render_whatif(result: WhatIf) -> str:
+    spec = ",".join(f"{k}={v:g}x" for k, v in sorted(result.factors.items()))
+    lines = [f"what-if [{spec}]"]
+    for category in CATEGORIES:
+        before = result.original[category]
+        after = result.projected[category]
+        if before == 0.0 and after == 0.0:
+            continue
+        lines.append(f"  {category:<9} {before:14.6f} -> {after:14.6f}")
+    lines.append(
+        f"  {'makespan':<9} {result.original_makespan:14.6f} -> "
+        f"{result.projected_makespan:14.6f}  ({result.speedup:.2f}x speedup)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["VALID_KEYS", "WhatIf", "parse_factors", "render_whatif", "reprice"]

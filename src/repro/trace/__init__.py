@@ -15,6 +15,7 @@ from .validate import (
     check_cache_sound,
     check_depth_first,
     check_no_use_after_discard,
+    check_profile_conserved,
     check_pruning_sound,
     check_recovery_sound,
     set_auto_validate,
@@ -34,6 +35,7 @@ __all__ = [
     "check_cache_sound",
     "check_depth_first",
     "check_no_use_after_discard",
+    "check_profile_conserved",
     "check_pruning_sound",
     "check_recovery_sound",
     "set_auto_validate",

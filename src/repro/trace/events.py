@@ -32,7 +32,45 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "stage_scheduled": frozenset(
         {"stage", "branch", "scheduler", "rationale", "ready", "ready_choose", "successors_ready"}
     ),
-    "stage_completed": frozenset({"stage", "ops", "branch", "started", "finished"}),
+    # started/finished plus the wall-time component breakdown (io, compute,
+    # network, overhead sum to finished - started) and the per-node io and
+    # compute walls the stage's slowest node was chosen from — everything
+    # the profiler (repro.prof) needs to attribute the stage's simulated
+    # seconds without re-running the cost model.
+    "stage_completed": frozenset(
+        {
+            "stage",
+            "ops",
+            "branch",
+            "started",
+            "finished",
+            "io",
+            "compute",
+            "network",
+            "overhead",
+            "per_node_io",
+            "per_node_compute",
+        }
+    ),
+    # a clock advance outside any stage: choose evaluation + selection
+    # ("choose_evaluation"), a deferred tail's store ("store_commit"), a
+    # periodic checkpoint write ("checkpoint") or a §5 checkpoint reload
+    # ("recovery_reload").  Together with stage_completed these spans tile
+    # [0, completion_time] exactly — check_profile_conserved enforces it.
+    "span": frozenset(
+        {
+            "activity",
+            "branch",
+            "started",
+            "finished",
+            "io",
+            "compute",
+            "network",
+            "overhead",
+            "per_node_io",
+            "per_node_compute",
+        }
+    ),
     "task_dispatched": frozenset({"stage", "num_tasks"}),
     # -- choose protocol (Definition 3.3, §4.2)
     "choose_evaluation": frozenset({"evaluator", "dataset", "pipelined"}),
@@ -44,7 +82,12 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "dataset_registered": frozenset({"dataset", "producer", "nbytes", "partitions"}),
     "composite_registered": frozenset({"dataset", "members", "producer"}),
     "dataset_discarded": frozenset({"dataset"}),
-    "dataset_access": frozenset({"dataset", "index", "node", "hit", "nbytes"}),
+    # seconds is the charged read time; reload marks a miss that streams a
+    # partition spilled by an earlier eviction (the profiler splits these
+    # out of plain disk io as "eviction-induced reload" time)
+    "dataset_access": frozenset(
+        {"dataset", "index", "node", "hit", "nbytes", "seconds", "reload"}
+    ),
     # a partition landing at a node (tier "memory" or "disk").  Distinct
     # from dataset_access so the trace→metrics bridge can rebuild the
     # per-tier byte-written counters without guessing store sizes.
@@ -249,6 +292,19 @@ class Trace:
                     {
                         "name": data["stage"],
                         "cat": "stage",
+                        "ph": "X",
+                        "ts": data["started"] * 1e6,
+                        "dur": max(data["finished"] - data["started"], 0.0) * 1e6,
+                        "pid": 0,
+                        "tid": tid_of(data.get("branch")),
+                        "args": data,
+                    }
+                )
+            elif event.kind == "span":
+                out.append(
+                    {
+                        "name": data["activity"],
+                        "cat": "span",
                         "ph": "X",
                         "ts": data["started"] * 1e6,
                         "dur": max(data["finished"] - data["started"], 0.0) * 1e6,

@@ -29,8 +29,14 @@ list of :class:`Violation` records it found (empty = invariant holds):
   exactly the bytes its admit recorded, never lands on an invalidated
   entry, and the dataset it materialises registers with the promised size
   (a hit never changes output bytes vs. cold execution).
+* :func:`check_profile_conserved` — profiler conservation: the recorded
+  spans (extended ``stage_completed`` plus ``span`` events) tile the
+  makespan with no gaps or overlaps, each span's component breakdown sums
+  to its wall to 1e-9, and no node's share exceeds the span's wall — so
+  every simulated second is attributable to exactly one category
+  (:mod:`repro.prof`).
 
-``validate_trace`` runs all six; ``assert_valid`` raises
+``validate_trace`` runs all seven; ``assert_valid`` raises
 :class:`InvariantViolation` listing every violation.  The module-level
 auto-validate flag lets the benchmark harness (``python -m repro.bench
 --validate``) check every figure-reproduction run for free.
@@ -466,6 +472,114 @@ def check_cache_sound(trace: Trace) -> List[Violation]:
     return violations
 
 
+# ------------------------------------------------------- profiler conservation
+
+#: relative tolerance of the span-conservation arithmetic (the engine sums
+#: exact cost-model floats; only the final ``now + total`` rounding drifts)
+_PROFILE_TOL = 1e-9
+
+
+def check_profile_conserved(trace: Trace) -> List[Violation]:
+    """Span events must tile the makespan exactly (profiler conservation).
+
+    Replays the spans ``repro.prof`` reconstructs — ``stage_completed``
+    events carrying the wall-time breakdown, plus ``span`` events for
+    non-stage clock advances — and verifies, self-contained (no profiler
+    import):
+
+    * each span's ``io + compute + network + overhead`` equals its
+      ``finished - started`` wall to 1e-9 (nothing inside a span escapes
+      categorisation);
+    * consecutive spans are contiguous: no gap and no overlap, so the
+      spans tile ``[first started, last finished]`` and per-span category
+      totals sum to the makespan;
+    * no node's ``per_node_io + per_node_compute`` share exceeds the
+      span's wall (a node cannot be busier than the span it is busy in);
+    * no event is timestamped after the last span's ``finished`` — time
+      past the final span would be unattributable.
+
+    Traces recorded before the profile fields existed contain no such
+    spans and pass vacuously.
+    """
+    violations: List[Violation] = []
+    spans: List[tuple] = []  # (seq, started, finished)
+    last_t = None
+    last_seq = 0
+    for event in trace:
+        data = event.data
+        if event.t is not None and (last_t is None or event.t > last_t):
+            last_t, last_seq = event.t, event.seq
+        is_span = event.kind == "span" or (
+            event.kind == "stage_completed"
+            and "io" in data
+            and "per_node_io" in data
+        )
+        if not is_span:
+            continue
+        started, finished = data["started"], data["finished"]
+        wall = finished - started
+        tol = _PROFILE_TOL * max(1.0, abs(finished))
+        parts = data["io"] + data["compute"] + data["network"] + data["overhead"]
+        if abs(parts - wall) > tol:
+            violations.append(
+                Violation(
+                    "profile_conserved",
+                    event.seq,
+                    f"span [{started}, {finished}] has wall {wall} but its "
+                    f"components sum to {parts} "
+                    f"({abs(parts - wall)} seconds unattributed)",
+                )
+            )
+        shares = {}
+        for node, seconds in data["per_node_io"].items():
+            shares[node] = shares.get(node, 0.0) + seconds
+        for node, seconds in data["per_node_compute"].items():
+            shares[node] = shares.get(node, 0.0) + seconds
+        for node, share in sorted(shares.items()):
+            if share > wall + tol:
+                violations.append(
+                    Violation(
+                        "profile_conserved",
+                        event.seq,
+                        f"node {node!r} carries {share} busy seconds inside a "
+                        f"span of wall {wall} (share exceeds the wall)",
+                    )
+                )
+        spans.append((event.seq, started, finished))
+    for (_, _, prev_end), (seq, started, _) in zip(spans, spans[1:]):
+        tol = _PROFILE_TOL * max(1.0, abs(prev_end))
+        if started > prev_end + tol:
+            violations.append(
+                Violation(
+                    "profile_conserved",
+                    seq,
+                    f"gap of {started - prev_end} seconds before the span "
+                    f"starting at {started}: that time is unattributable",
+                )
+            )
+        elif started < prev_end - tol:
+            violations.append(
+                Violation(
+                    "profile_conserved",
+                    seq,
+                    f"span starting at {started} overlaps the previous span "
+                    f"ending at {prev_end}: that time would be double-counted",
+                )
+            )
+    if spans and last_t is not None:
+        end = spans[-1][2]
+        if last_t > end + _PROFILE_TOL * max(1.0, abs(end)):
+            violations.append(
+                Violation(
+                    "profile_conserved",
+                    last_seq,
+                    f"event at t={last_t} lies {last_t - end} seconds past the "
+                    f"final span (time after the last span is unattributable)",
+                )
+            )
+    return violations
+
+
 # ----------------------------------------------------------------- aggregation
 
 ALL_CHECKS = {
@@ -475,6 +589,7 @@ ALL_CHECKS = {
     "no_use_after_discard": check_no_use_after_discard,
     "recovery_sound": check_recovery_sound,
     "cache_sound": check_cache_sound,
+    "profile_conserved": check_profile_conserved,
 }
 
 
@@ -483,7 +598,7 @@ def validate_trace(
     alpha: Optional[float] = None,
     table1: Optional[Mapping[str, Any]] = None,
 ) -> List[Violation]:
-    """Run all six invariant checkers; returns every violation found."""
+    """Run all seven invariant checkers; returns every violation found."""
     if trace is None:
         return []
     violations: List[Violation] = []
@@ -493,6 +608,7 @@ def validate_trace(
     violations.extend(check_no_use_after_discard(trace))
     violations.extend(check_recovery_sound(trace))
     violations.extend(check_cache_sound(trace))
+    violations.extend(check_profile_conserved(trace))
     return violations
 
 

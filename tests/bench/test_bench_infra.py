@@ -98,3 +98,20 @@ class TestCliModule:
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
+
+    def test_profile_flag_reports_attribution_and_artifact(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.bench.__main__ import main
+        from repro.prof import active_profile_collector
+
+        monkeypatch.chdir(tmp_path)  # artifact lands in the scratch dir
+        assert main(["--profile", "failure_recovery"]) == 0
+        out = capsys.readouterr().out
+        assert "profiling: on" in out
+        assert "[profile] failure_recovery:" in out
+        assert "compute" in out
+        artifact = tmp_path / "PROFILE_failure_recovery.speedscope.json"
+        assert artifact.exists()
+        # the collector is uninstalled afterwards: plain runs stay unprofiled
+        assert active_profile_collector() is None

@@ -103,6 +103,40 @@ class TestSampler:
         assert len(sampler) <= 5
         assert sampler.interval > 1.0
 
+    def test_utilisation_series(self):
+        """Per-node busy/idle sampling: utilisation is the fraction of the
+        inter-sample window the workers spent busy, always within [0, 1]."""
+        result = _run("amm", telemetry=True)
+        samples = result.telemetry.samples
+        for s in samples:
+            assert 0.0 <= s.utilisation <= 1.0
+            assert set(s.per_node_busy) == {f"worker-{i}" for i in range(4)}
+        # the baseline sample has no predecessor window to measure against
+        assert samples[0].utilisation == 0.0
+        # the job does real work, so some window shows busy workers
+        assert any(s.utilisation > 0.0 for s in samples[1:])
+        # per-node busy seconds are cumulative: non-decreasing per worker
+        for node in samples[0].per_node_busy:
+            series = [s.per_node_busy[node] for s in samples]
+            assert series == sorted(series)
+
+    def test_utilisation_survives_thinning(self):
+        """Thinning recomputes utilisation over the widened windows — the
+        surviving samples stay consistent with their own busy deltas."""
+        result = _run("amm", telemetry=TelemetryConfig(interval=0.01, max_samples=8))
+        samples = result.telemetry.samples
+        for prev, s in zip(samples, samples[1:]):
+            window = (s.t - prev.t) * len(s.per_node_busy)
+            delta = sum(s.per_node_busy.values()) - sum(prev.per_node_busy.values())
+            expected = min(1.0, max(0.0, delta / window)) if window > 0 else 0.0
+            assert s.utilisation == pytest.approx(expected, abs=1e-12)
+
+    def test_as_dict_exposes_utilisation(self):
+        result = _run("amm", telemetry=True)
+        payload = result.telemetry.samples[-1].as_dict()
+        assert "utilisation" in payload
+        assert "per_node_busy" in payload
+
     def test_invalid_interval_rejected(self):
         cluster = Cluster(num_workers=1, mem_per_worker=64 * MB)
         with pytest.raises(ValueError):

@@ -1,0 +1,113 @@
+"""Profile exporters: speedscope, Chrome trace, and text renderers."""
+
+import json
+
+import pytest
+
+from repro.prof import (
+    build_profile,
+    critical_path,
+    render_attribution,
+    render_branches,
+    render_critical_path,
+    render_per_node,
+    save_chrome_spans,
+    save_speedscope,
+    to_chrome_spans,
+    to_speedscope,
+)
+from repro.trace import Trace
+
+from ..golden.regenerate import GOLDEN_FILES
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return build_profile(Trace.load_jsonl(GOLDEN_FILES["explore_choose"]))
+
+
+class TestSpeedscope:
+    def test_document_shape(self, profile):
+        doc = to_speedscope(profile, name="golden")
+        assert "speedscope" in doc["$schema"]
+        assert doc["profiles"][0]["type"] == "evented"
+        assert doc["profiles"][0]["unit"] == "seconds"
+        assert doc["profiles"][0]["startValue"] == profile.start
+        assert doc["profiles"][0]["endValue"] == pytest.approx(
+            profile.completion_time
+        )
+
+    def test_events_balance_and_stay_in_range(self, profile):
+        prof = to_speedscope(profile, name="golden")["profiles"][0]
+        depth, last_at = 0, prof["startValue"]
+        for event in prof["events"]:
+            assert event["type"] in ("O", "C")
+            assert event["at"] >= last_at - 1e-12  # monotone timestamps
+            last_at = event["at"]
+            depth += 1 if event["type"] == "O" else -1
+            assert depth >= 0
+        assert depth == 0  # every opened frame is closed
+        assert last_at <= prof["endValue"] + 1e-12
+
+    def test_frames_cover_spans_and_categories(self, profile):
+        doc = to_speedscope(profile, name="golden")
+        names = {f["name"] for f in doc["shared"]["frames"]}
+        assert any(name.startswith("stage") for name in names)
+        assert {"io", "reload", "compute"} & names
+
+    def test_save_writes_valid_json(self, profile, tmp_path):
+        path = tmp_path / "p.speedscope.json"
+        save_speedscope(profile, path, name="golden")
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert loaded["profiles"][0]["events"]
+
+
+class TestChrome:
+    def test_one_complete_event_per_span(self, profile):
+        events = to_chrome_spans(profile)["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(profile.spans)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and all(e["name"] == "thread_name" for e in meta)
+
+    def test_args_carry_the_attribution(self, profile):
+        events = to_chrome_spans(profile)["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        for event, span in zip(complete, profile.spans):
+            assert event["dur"] == pytest.approx(span.duration * 1e6)
+            assert sum(event["args"].values()) == pytest.approx(
+                span.duration, rel=1e-9, abs=1e-12
+            )
+
+    def test_save_writes_valid_json(self, profile, tmp_path):
+        path = tmp_path / "chrome.json"
+        save_chrome_spans(profile, path)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert "traceEvents" in loaded
+
+
+class TestTextRenderers:
+    def test_attribution_table(self, profile):
+        text = render_attribution(profile)
+        assert "makespan attribution" in text
+        for category in ("io", "reload", "compute"):
+            assert category in text
+        assert "total" in text
+
+    def test_per_node_table_lists_workers(self, profile):
+        text = render_per_node(profile)
+        assert "worker-0" in text
+        assert "idle" in text
+
+    def test_branch_table_includes_exploration_cost(self, profile):
+        text = render_branches(profile)
+        assert "pruned" in text
+        assert "exploration cost" in text
+
+    def test_critical_path_footer_states_the_invariant(self, profile):
+        path = critical_path(profile)
+        text = render_critical_path(path, profile.makespan)
+        assert "critical-path length" in text
+        assert "== completion time" in text

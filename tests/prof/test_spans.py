@@ -1,0 +1,181 @@
+"""Span reconstruction and time attribution (repro.prof tentpole).
+
+The conservation claims under test:
+
+* spans reconstructed from a trace tile ``[0, completion_time]`` — they
+  are contiguous, never overlap, and per-node shares stay within walls;
+* makespan attribution sums to the completion time to 1e-9 on every
+  golden trace and on fresh runs, including eviction-heavy, failure and
+  checkpointed runs;
+* the critical path's segment lengths sum to exactly the completion time;
+* traces recorded before the profile fields existed pass vacuously.
+"""
+
+import pytest
+
+from repro import Cluster, FailureInjector, GB, MB, run_mdf
+from repro.cluster.fault import CheckpointConfig
+from repro.engine import EngineConfig
+from repro.prof import (
+    CATEGORIES,
+    attribution,
+    branch_attribution,
+    build_profile,
+    critical_path,
+    critical_path_length,
+    exploration_cost,
+    per_node_attribution,
+    profile_from_result,
+)
+from repro.trace import Trace
+
+from ..conftest import build_filter_mdf, build_nested_mdf
+from ..golden.regenerate import GOLDEN_FILES
+
+REL_TOL = 1e-9
+
+
+def assert_conserved(profile, completion_time):
+    totals = attribution(profile)
+    tol = REL_TOL * max(1.0, completion_time)
+    assert abs(sum(totals.values()) - completion_time) <= tol
+    assert abs(critical_path_length(profile) - completion_time) <= tol
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FILES))
+    def test_spans_tile_the_makespan(self, name):
+        profile = build_profile(Trace.load_jsonl(GOLDEN_FILES[name]))
+        assert profile.has_spans
+        assert profile.start == 0.0
+        for prev, span in zip(profile.spans, profile.spans[1:]):
+            assert span.started == pytest.approx(prev.finished, abs=1e-9)
+            assert span.finished >= span.started
+        assert_conserved(profile, profile.completion_time)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FILES))
+    def test_per_node_shares_within_walls(self, name):
+        profile = build_profile(Trace.load_jsonl(GOLDEN_FILES[name]))
+        for span in profile.spans:
+            for node in set(span.per_node_io) | set(span.per_node_compute):
+                share = span.per_node_io.get(node, 0.0) + span.per_node_compute.get(
+                    node, 0.0
+                )
+                assert share <= span.duration + 1e-9
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FILES))
+    def test_per_node_attribution_rows_sum_to_makespan(self, name):
+        profile = build_profile(Trace.load_jsonl(GOLDEN_FILES[name]))
+        per_node = per_node_attribution(profile)
+        assert per_node  # at least one worker appears
+        for node, slots in per_node.items():
+            assert slots["idle"] >= 0.0
+            assert sum(slots.values()) == pytest.approx(
+                profile.makespan, rel=1e-9, abs=1e-9
+            )
+
+    def test_starved_golden_attributes_reload(self):
+        """The explore_choose golden runs on a starved cluster: eviction
+        spills force reloads, which must appear as the 'reload' category."""
+        profile = build_profile(Trace.load_jsonl(GOLDEN_FILES["explore_choose"]))
+        totals = attribution(profile)
+        assert totals["reload"] > 0.0
+
+
+class TestFreshRuns:
+    def test_roomy_run_conserved(self, small_cluster):
+        result = run_mdf(build_filter_mdf(), small_cluster, memory="amm")
+        assert_conserved(profile_from_result(result), result.completion_time)
+
+    def test_nested_starved_run_conserved(self, tight_cluster):
+        result = run_mdf(build_nested_mdf(), tight_cluster, memory="amm")
+        assert_conserved(profile_from_result(result), result.completion_time)
+
+    @pytest.mark.parametrize("stage_index", [1, 2, 4])
+    def test_failure_run_conserved_with_recovery_category(self, stage_index):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        config = EngineConfig(
+            failures=FailureInjector.at_stages([(stage_index, "worker-0")])
+        )
+        result = run_mdf(build_filter_mdf(), cluster, memory="amm", config=config)
+        profile = profile_from_result(result)
+        assert_conserved(profile, result.completion_time)
+        totals = attribution(profile)
+        assert totals["recovery"] > 0.0
+        # §5 exactness bridges to the profiler: the recovery category is
+        # exactly what the recovery_seconds histogram charged
+        assert totals["recovery"] == pytest.approx(
+            cluster.obs.value("recovery_seconds"), rel=1e-9
+        )
+
+    def test_checkpointed_failure_run_conserved(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        config = EngineConfig(
+            failures=FailureInjector.at_stages([(4, "worker-0")]),
+            checkpointing=CheckpointConfig(interval_stages=1),
+        )
+        result = run_mdf(build_filter_mdf(), cluster, memory="amm", config=config)
+        assert_conserved(profile_from_result(result), result.completion_time)
+
+
+class TestCriticalPath:
+    def test_segments_cover_every_span_category(self, small_cluster):
+        result = run_mdf(build_filter_mdf(), small_cluster, memory="amm")
+        profile = profile_from_result(result)
+        path = critical_path(profile)
+        assert sum(s.seconds for s in path) == pytest.approx(
+            result.completion_time, rel=1e-9
+        )
+        assert all(s.seconds > 0.0 for s in path)
+        assert all(s.category in CATEGORIES for s in path)
+        # io/compute segments are pinned to the gating worker
+        assert any(s.node for s in path)
+
+    def test_segments_are_time_ordered_and_contiguous(self, small_cluster):
+        result = run_mdf(build_filter_mdf(), small_cluster, memory="amm")
+        path = critical_path(profile_from_result(result))
+        for prev, seg in zip(path, path[1:]):
+            assert seg.started == pytest.approx(
+                prev.started + prev.seconds, abs=1e-9
+            )
+
+
+class TestBranchAttribution:
+    def test_fates_and_exploration_cost(self):
+        """The starved golden prunes tail branches: kept + discarded carry
+        time, pruned branches cost exactly nothing (the paper's win)."""
+        profile = build_profile(Trace.load_jsonl(GOLDEN_FILES["explore_choose"]))
+        costs = {c.branch: c for c in branch_attribution(profile)}
+        fates = {c.fate for c in costs.values()}
+        assert {"kept", "discarded", "pruned", "main"} <= fates
+        for cost in costs.values():
+            if cost.fate == "pruned":
+                assert cost.seconds == 0.0
+        explo = exploration_cost(profile)
+        assert explo.sunk_seconds > 0.0
+        assert 0.0 < explo.sunk_share < 1.0
+        assert explo.pruned_branches == 3
+
+    def test_branch_times_sum_to_makespan(self, small_cluster):
+        result = run_mdf(build_filter_mdf(), small_cluster, memory="amm")
+        profile = profile_from_result(result)
+        total = sum(c.seconds for c in branch_attribution(profile))
+        assert total == pytest.approx(result.completion_time, rel=1e-9)
+
+
+class TestPreProfileTraces:
+    def test_trace_without_profile_fields_is_vacuous(self):
+        """A trace stripped of every span event (as recorded before the
+        profiler existed) reconstructs to an empty, passing profile."""
+        trace = Trace.load_jsonl(GOLDEN_FILES["quickstart"])
+        stripped = Trace()
+        stripped.strict = False
+        for event in trace:
+            if event.kind in ("stage_completed", "span"):
+                continue
+            stripped.events.append(event)
+        profile = build_profile(stripped)
+        assert not profile.has_spans
+        assert profile.makespan == 0.0
+        assert sum(attribution(profile).values()) == 0.0
+        assert critical_path(profile) == []

@@ -1,0 +1,116 @@
+"""Broken-emitter detection: ``check_profile_conserved`` catches traces
+whose span events no longer tile the makespan.
+
+Each test takes a healthy golden trace, breaks it the way a buggy
+emitter would (drop a completion event, lose a category, inflate a
+per-node share, log past the final span), and asserts the validator
+reports the damage.  The untouched goldens must keep passing — the
+validator is part of the default ``validate_trace`` suite.
+"""
+
+import pytest
+
+from repro.trace import Trace, check_profile_conserved, validate_trace
+from repro.trace.validate import ALL_CHECKS
+
+from ..golden.regenerate import GOLDEN_FILES
+
+
+def load_golden(name="explore_choose"):
+    trace = Trace.load_jsonl(GOLDEN_FILES[name])
+    trace.strict = False  # let tests mutate payloads the emitter never would
+    return trace
+
+
+def span_events(trace):
+    return [
+        e
+        for e in trace.events
+        if e.kind == "span"
+        or (e.kind == "stage_completed" and "io" in e.data and "per_node_io" in e.data)
+    ]
+
+
+def messages(violations):
+    return " | ".join(v.message for v in violations)
+
+
+class TestHealthyTraces:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FILES))
+    def test_goldens_pass(self, name):
+        assert check_profile_conserved(load_golden(name)) == []
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FILES))
+    def test_goldens_pass_full_suite(self, name):
+        assert validate_trace(load_golden(name)) == []
+
+    def test_registered_in_all_checks(self):
+        assert ALL_CHECKS["profile_conserved"] is check_profile_conserved
+
+
+class TestBrokenEmitters:
+    def test_dropped_end_event_leaves_a_gap(self):
+        """An emitter that loses a stage_completed leaves the interval it
+        covered unattributed — the validator must flag the gap."""
+        trace = load_golden()
+        victims = span_events(trace)
+        victim = victims[len(victims) // 2]
+        trace.events.remove(victim)
+        violations = check_profile_conserved(trace)
+        assert violations, "dropped span event went undetected"
+        assert "gap" in messages(violations)
+
+    def test_corrupted_component_breaks_conservation(self):
+        trace = load_golden()
+        victim = next(e for e in span_events(trace) if e.data["io"] > 0.0)
+        victim.data["io"] *= 0.5  # half the io seconds silently vanish
+        violations = check_profile_conserved(trace)
+        assert violations
+        assert "unattributed" in messages(violations)
+
+    def test_inflated_per_node_share_exceeds_wall(self):
+        trace = load_golden()
+        victim = next(e for e in span_events(trace) if e.data["per_node_io"])
+        node = next(iter(victim.data["per_node_io"]))
+        wall = victim.data["finished"] - victim.data["started"]
+        victim.data["per_node_io"][node] = 2.0 * wall + 1.0
+        violations = check_profile_conserved(trace)
+        assert violations
+        assert "exceeds the wall" in messages(violations)
+
+    def test_overlapping_spans_are_flagged(self):
+        trace = load_golden()
+        victims = span_events(trace)
+        victim = victims[len(victims) // 2]
+        # rewind the span's start into its predecessor: double-counted time
+        victim.data["started"] -= 0.01
+        victim.data["io"] += 0.01  # keep the span internally conserved
+        violations = check_profile_conserved(trace)
+        assert violations
+        assert "overlaps" in messages(violations)
+
+    def test_event_past_final_span_is_flagged(self):
+        from repro.trace import TraceEvent
+
+        trace = load_golden()
+        final = span_events(trace)[-1]
+        trace.events.append(
+            TraceEvent(
+                len(trace.events),
+                final.data["finished"] + 1.0,
+                "dataset_discarded",
+                {"dataset": "d:straggler"},
+            )
+        )
+        violations = check_profile_conserved(trace)
+        assert violations
+        assert "past the" in messages(violations)
+
+    def test_breakage_fails_validate_trace_too(self):
+        """The damage surfaces through the aggregate suite, not only the
+        dedicated checker (this is what --validate runs)."""
+        trace = load_golden()
+        victims = span_events(trace)
+        trace.events.remove(victims[len(victims) // 2])
+        names = {v.check for v in validate_trace(trace)}
+        assert "profile_conserved" in names

@@ -1,0 +1,87 @@
+"""What-if repricing (``--what-if compute=0.5x,alpha=2x``)."""
+
+import pytest
+
+from repro import Cluster, GB, run_mdf
+from repro.prof import (
+    attribution,
+    parse_factors,
+    profile_from_result,
+    render_whatif,
+    reprice,
+)
+
+from ..conftest import build_filter_mdf
+
+
+@pytest.fixture(scope="module")
+def profile():
+    cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+    result = run_mdf(build_filter_mdf(), cluster, scheduler="bas", memory="amm")
+    return profile_from_result(result)
+
+
+class TestParseFactors:
+    def test_plain_and_x_suffixed_values(self):
+        assert parse_factors("compute=0.5x,alpha=2x") == {
+            "compute": 0.5,
+            "alpha": 2.0,
+        }
+        assert parse_factors("io=0.25") == {"io": 0.25}
+
+    def test_whitespace_tolerated(self):
+        assert parse_factors(" compute = 2x , io = 1 ") == {"compute": 2.0, "io": 1.0}
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["bogus=2x", "compute", "compute=fast", "compute=-1", ""],
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_factors(spec)
+
+
+class TestReprice:
+    def test_identity_factors_keep_the_makespan(self, profile):
+        factors = {"compute": 1.0, "io": 1.0, "alpha": 1.0}
+        result = reprice(profile, factors)
+        assert result.projected_makespan == pytest.approx(
+            result.original_makespan, rel=1e-12
+        )
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_zero_compute_removes_exactly_the_compute_total(self, profile):
+        totals = attribution(profile)
+        result = reprice(profile, {"compute": 0.0})
+        assert result.original_makespan - result.projected_makespan == pytest.approx(
+            totals["compute"], rel=1e-9
+        )
+        assert result.projected["compute"] == 0.0
+
+    def test_alpha_scales_io_and_reload_together(self, profile):
+        """alpha is the paper's knob for storage-vs-recompute pricing: it
+        is an alias for scaling io and reload jointly."""
+        totals = attribution(profile)
+        result = reprice(profile, {"alpha": 2.0})
+        grown = result.projected_makespan - result.original_makespan
+        assert grown == pytest.approx(totals["io"] + totals["reload"], rel=1e-9)
+
+    def test_explicit_key_wins_over_alpha(self, profile):
+        totals = attribution(profile)
+        result = reprice(profile, {"alpha": 2.0, "io": 1.0})
+        grown = result.projected_makespan - result.original_makespan
+        assert grown == pytest.approx(totals["reload"], rel=1e-9, abs=1e-12)
+
+    def test_speedup_reported_for_faster_compute(self, profile):
+        result = reprice(profile, {"compute": 0.5})
+        assert result.speedup > 1.0
+        assert result.projected_makespan < result.original_makespan
+
+
+class TestRender:
+    def test_render_mentions_factors_and_makespans(self, profile):
+        result = reprice(profile, {"compute": 0.5})
+        text = render_whatif(result)
+        assert "compute" in text
+        assert f"{result.projected_makespan:.6f}" in text
+        assert "speedup" in text.lower() or "x" in text

@@ -115,13 +115,16 @@ class TestChromeExport:
         trace = self.run_trace()
         chrome = trace.to_chrome()
         events = chrome["traceEvents"]
+        # stage_completed events and non-stage span events both render as
+        # complete ("X") events, together covering every clock advance
         stages = [e for e in events if e["ph"] == "X"]
-        assert len(stages) == len(trace.filter("stage_completed"))
+        spans = trace.filter("stage_completed") + trace.filter("span")
+        assert len(stages) == len(spans)
         for e in stages:
             assert e["dur"] >= 0.0
         # one timeline row (tid) per branch plus the main row
         branch_tids = {e["tid"] for e in stages}
-        branches = {e.data["branch"] for e in trace.filter("stage_completed")}
+        branches = {e.data["branch"] for e in spans}
         assert len(branch_tids) == len(branches)
 
     def test_decisions_become_instant_events(self):

@@ -218,7 +218,14 @@ class TestPruningSoundSynthetic:
 class TestUseAfterDiscardSynthetic:
     def access(self, trace, dataset):
         trace.emit(
-            "dataset_access", dataset=dataset, index=0, node="worker-0", hit=True, nbytes=1
+            "dataset_access",
+            dataset=dataset,
+            index=0,
+            node="worker-0",
+            hit=True,
+            nbytes=1,
+            seconds=0.0,
+            reload=False,
         )
 
     def register(self, trace, dataset):
@@ -361,7 +368,14 @@ class TestRecoverySoundSynthetic:
 
     def access(self, trace, dataset):
         trace.emit(
-            "dataset_access", dataset=dataset, index=0, node="worker-1", hit=True, nbytes=1
+            "dataset_access",
+            dataset=dataset,
+            index=0,
+            node="worker-1",
+            hit=True,
+            nbytes=1,
+            seconds=0.0,
+            reload=False,
         )
 
     def test_read_before_recompute_caught(self):
