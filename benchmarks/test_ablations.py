@@ -11,22 +11,16 @@
 
 from repro.cluster import GB, Cluster
 from repro.engine import EngineConfig, run_mdf
-from repro.workloads import string_int_pairs, synthetic_mdf
 
 
-def _mdf(nominal=int(2.5 * GB), b=6):
-    pairs = string_int_pairs(1500)
-    return synthetic_mdf(pairs, b1=b, b2=b, nominal_bytes=nominal)
-
-
-def test_ablation_choose_split(benchmark):
+def test_ablation_choose_split(benchmark, ablation_mdf, ablation_cluster):
     """Worker-side evaluators beat evaluate-at-master (network + serial)."""
-    mdf = _mdf()
+    mdf = ablation_mdf
 
     def run():
         out = {}
         for on_master in (False, True):
-            cluster = Cluster(8, 1 * GB)
+            cluster = ablation_cluster()
             # the master ablation needs the separate-evaluation path, so
             # incremental pipelining is disabled for both sides of the
             # comparison to isolate the placement effect
@@ -46,14 +40,14 @@ def test_ablation_choose_split(benchmark):
     )
 
 
-def test_ablation_bas_vs_bfs_peak_datasets(benchmark):
+def test_ablation_bas_vs_bfs_peak_datasets(benchmark, ablation_mdf, ablation_cluster):
     """BAS maintains fewer datasets than BFS on the real engine (Thm 4.3)."""
-    mdf = _mdf()
+    mdf = ablation_mdf
 
     def run():
         out = {}
         for sched in ("bas", "bfs"):
-            cluster = Cluster(8, 1 * GB)
+            cluster = ablation_cluster()
             result = run_mdf(mdf, cluster, scheduler=sched, memory="amm")
             out[sched] = {
                 "time": result.completion_time,
@@ -70,14 +64,14 @@ def test_ablation_bas_vs_bfs_peak_datasets(benchmark):
     assert out["bas"]["time"] <= out["bfs"]["time"]
 
 
-def test_ablation_amm_formula(benchmark):
+def test_ablation_amm_formula(benchmark, ablation_mdf, ablation_cluster):
     """Full AMM preference vs access-only and size-only degenerates."""
-    mdf = _mdf()
+    mdf = ablation_mdf
 
     def run():
         out = {}
         for policy in ("amm", "amm-access-only", "amm-size-only", "lru"):
-            cluster = Cluster(8, 1 * GB)
+            cluster = ablation_cluster()
             result = run_mdf(mdf, cluster, scheduler="bas", memory=policy)
             out[policy] = result.completion_time
         return out
@@ -90,18 +84,18 @@ def test_ablation_amm_formula(benchmark):
     assert times["amm"] <= times["amm-access-only"] * 1.10
 
 
-def test_ablation_eager_release(benchmark):
+def test_ablation_eager_release(benchmark, ablation_mdf, ablation_cluster):
     """Non-eager release + AMM's free drops vs eager refcount release.
 
     Eagerly freeing consumed intermediates is an idealisation real systems
     skip; AMM recovers most of its benefit by dropping acc=0 data at zero
     spill cost when eviction pressure arrives."""
-    mdf = _mdf()
+    mdf = ablation_mdf
 
     def run():
         out = {}
         for eager in (False, True):
-            cluster = Cluster(8, 1 * GB)
+            cluster = ablation_cluster()
             config = EngineConfig(eager_release=eager)
             result = run_mdf(mdf, cluster, scheduler="bas", memory="amm", config=config)
             out["eager" if eager else "lazy"] = result.completion_time
@@ -160,19 +154,19 @@ def test_ablation_model_based_hint(benchmark):
     assert scored["model"] <= scored["sorted"] + 1
 
 
-def test_fault_tolerance_overhead(benchmark):
+def test_fault_tolerance_overhead(benchmark, ablation_mdf_small, ablation_cluster):
     """§5: recovery reads checkpointed partitions instead of re-running
     branches; the overhead of a mid-job worker failure stays small."""
     from repro import FailureInjector
 
-    mdf = _mdf(b=4)
+    mdf = ablation_mdf_small
 
     def run():
-        clean = run_mdf(_mdf(b=4), Cluster(8, 1 * GB), scheduler="bas", memory="amm")
+        clean = run_mdf(mdf, ablation_cluster(), scheduler="bas", memory="amm")
         config = EngineConfig(
             failures=FailureInjector.at_stages([(3, "worker-0"), (9, "worker-4")])
         )
-        failed = run_mdf(mdf, Cluster(8, 1 * GB), scheduler="bas", memory="amm", config=config)
+        failed = run_mdf(mdf, ablation_cluster(), scheduler="bas", memory="amm", config=config)
         return {
             "clean": clean.completion_time,
             "with_failures": failed.completion_time,
@@ -187,7 +181,7 @@ def test_fault_tolerance_overhead(benchmark):
     assert out["recoveries"] > 0
 
 
-def test_straggler_mitigation(benchmark):
+def test_straggler_mitigation(benchmark, ablation_mdf_small, ablation_cluster):
     """§5: speculative re-execution bounds the damage of a slow worker."""
     from repro import SpeculationConfig, StragglerProfile
 
@@ -195,7 +189,7 @@ def test_straggler_mitigation(benchmark):
 
     def run():
         out = {}
-        clean = run_mdf(_mdf(b=4), Cluster(8, 1 * GB), scheduler="bas", memory="amm")
+        clean = run_mdf(ablation_mdf_small, ablation_cluster(), scheduler="bas", memory="amm")
         out["clean"] = clean.completion_time
         for label, spec in (
             ("unmitigated", SpeculationConfig(enabled=False)),
@@ -203,7 +197,7 @@ def test_straggler_mitigation(benchmark):
         ):
             config = EngineConfig(stragglers=profile, speculation=spec)
             result = run_mdf(
-                _mdf(b=4), Cluster(8, 1 * GB), scheduler="bas", memory="amm", config=config
+                ablation_mdf_small, ablation_cluster(), scheduler="bas", memory="amm", config=config
             )
             out[label] = result.completion_time
         return out

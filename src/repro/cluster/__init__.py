@@ -20,10 +20,13 @@ from .fault import (
 from .memory import (
     AccessOnlyPolicy,
     AMMPolicy,
+    EvictionPolicy,
     LRUPolicy,
     MemoryPolicy,
     SizeOnlyPolicy,
+    available_policies,
     make_policy,
+    register_eviction_policy,
 )
 from .metrics import Metrics
 from .node import Node, PartitionKey, Slot
@@ -37,6 +40,7 @@ __all__ = [
     "Cluster",
     "CostModel",
     "DatasetRecord",
+    "EvictionPolicy",
     "FailureEvent",
     "FailureInjector",
     "FailureReport",
@@ -54,6 +58,8 @@ __all__ = [
     "StragglerProfile",
     "TaskFailureEvent",
     "apply_stragglers",
+    "available_policies",
     "make_policy",
     "recover_partitions",
+    "register_eviction_policy",
 ]

@@ -296,15 +296,48 @@ class SizeOnlyPolicy(AMMPolicy):
         return float(slot.nbytes)
 
 
+#: Public alias for the eviction seam: a memory policy *is* the eviction
+#: policy (``select_victim`` + ``should_spill`` + ``ranking_snapshot``).
+EvictionPolicy = MemoryPolicy
+
+# ------------------------------------------------------------------ registry
+
+#: name -> factory() -> MemoryPolicy.  Mirrors the scheduler registry in
+#: :mod:`repro.engine.policies`; factories return a fresh instance per
+#: call (policies hold per-run bindings via :meth:`MemoryPolicy.bind`).
+EVICTION_POLICIES: Dict[str, Callable[[], MemoryPolicy]] = {}
+
+
+def register_eviction_policy(
+    name: str, factory: Callable[[], MemoryPolicy]
+) -> None:
+    """Register an eviction policy under ``name`` for string resolution."""
+    if name in EVICTION_POLICIES:
+        raise ValueError(f"eviction policy {name!r} already registered")
+    EVICTION_POLICIES[name] = factory
+
+
+def available_policies() -> List[str]:
+    """Registered eviction-policy names, sorted."""
+    return sorted(EVICTION_POLICIES)
+
+
 def make_policy(name: str) -> MemoryPolicy:
-    """Factory used by benchmarks: ``lru``, ``amm``, or an ablation name."""
-    policies = {
-        "lru": LRUPolicy,
-        "amm": AMMPolicy,
-        "amm-access-only": AccessOnlyPolicy,
-        "amm-size-only": SizeOnlyPolicy,
-    }
+    """Resolve an eviction-policy name to a fresh instance.
+
+    Used by ``run_mdf(memory=...)``, the benchmarks and the policy lab;
+    any name added via :func:`register_eviction_policy` resolves here.
+    """
     try:
-        return policies[name]()
+        factory = EVICTION_POLICIES[name]
     except KeyError:
-        raise ValueError(f"unknown memory policy {name!r}") from None
+        raise ValueError(
+            f"unknown memory policy {name!r} (registered: {available_policies()})"
+        ) from None
+    return factory()
+
+
+register_eviction_policy("lru", LRUPolicy)
+register_eviction_policy("amm", AMMPolicy)
+register_eviction_policy("amm-access-only", AccessOnlyPolicy)
+register_eviction_policy("amm-size-only", SizeOnlyPolicy)

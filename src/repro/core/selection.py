@@ -69,10 +69,15 @@ class SelectionFunction:
     """Base class for all selection functions.
 
     ``associative`` and ``non_exhaustive`` are the Table 1 property flags.
+    ``ranked`` marks selections whose kept *order* is meaningful (top-k's
+    best-first ranking); unranked selections keep a plain set, and the
+    engine presents it in branch-domain order so the choose output is
+    independent of the evaluation order the scheduler happened to pick.
     """
 
     associative: bool = True
     non_exhaustive: bool = False
+    ranked: bool = False
 
     def select(self, scored: Sequence[Tuple[BranchId, Score]]) -> List[BranchId]:
         """Batch selection: returns the kept branch ids, in offer order."""
@@ -127,6 +132,7 @@ class TopK(SelectionFunction):
     final top-k is known.  ``largest=True`` keeps the highest scores.
     """
 
+    ranked = True
     associative = True
     non_exhaustive = False
 

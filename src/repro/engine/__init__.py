@@ -11,6 +11,14 @@ from .hints import (
 )
 from .job import ChooseDecision, EngineConfig, JobResult, StageTrace
 from .master import Master
+from .policies import (
+    ListScheduler,
+    RandomScheduler,
+    SpeculativeScheduler,
+    WorkStealingScheduler,
+    available_schedulers,
+    register_scheduler,
+)
 from .recovery import RecoveryManager
 from .runner import make_scheduler, run_mdf
 from .scheduler import (
@@ -28,23 +36,29 @@ __all__ = [
     "CostEstimate",
     "EngineConfig",
     "JobResult",
+    "ListScheduler",
     "Master",
     "ModelBasedHint",
     "PriorityHint",
     "RandomHint",
+    "RandomScheduler",
     "RecoveryManager",
     "Scheduler",
     "SchedulerContext",
     "SchedulingHint",
     "SortedHint",
+    "SpeculativeScheduler",
     "StageExecutor",
     "StageOutcome",
     "StageTimes",
     "StageEstimate",
     "StageTrace",
     "Task",
+    "WorkStealingScheduler",
+    "available_schedulers",
     "estimate_mdf",
     "expand_stage",
     "make_scheduler",
+    "register_scheduler",
     "run_mdf",
 ]

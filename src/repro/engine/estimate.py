@@ -39,6 +39,11 @@ class StageEstimate:
     output_bytes: int
     compute_units: float
     is_wide: bool
+    #: modelled wall seconds under all-memory reads / all-disk reads; the
+    #: cost-aware schedulers (HEFT list scheduling, work stealing) rank
+    #: ready stages by these
+    optimistic_seconds: float = 0.0
+    pessimistic_seconds: float = 0.0
 
 
 @dataclass
@@ -162,8 +167,10 @@ def estimate_mdf(
             cost_model.disk_read_time(in_bytes // workers)
             + cost_model.disk_write_time(out_bytes // workers)
         )
-        optimistic += compute_wall + opt_io + overhead + network
-        pessimistic += compute_wall + pes_io + overhead + network
+        stage_opt = compute_wall + opt_io + overhead + network
+        stage_pes = compute_wall + pes_io + overhead + network
+        optimistic += stage_opt
+        pessimistic += stage_pes
 
         stage_estimates.append(
             StageEstimate(
@@ -173,6 +180,8 @@ def estimate_mdf(
                 out_bytes,
                 compute,
                 is_wide,
+                optimistic_seconds=stage_opt,
+                pessimistic_seconds=stage_pes,
             )
         )
 

@@ -63,6 +63,24 @@ class _ScopeRuntime:
         self.pruned: Set[str] = set()
         self.tail_dataset: Dict[str, str] = {}
         self.finalized = False
+        # The monotone/convex trend pruners (Table 1) reason over scores
+        # observed *in the explorable's domain order* — their soundness
+        # precondition.  BAS (sorted hint) and BFS evaluate branches in
+        # domain order; a pluggable policy need not.  Track whether every
+        # evaluation so far extended the ordered prefix 0,1,...,i and
+        # consult the trend pruner only while that holds, so any
+        # scheduler stays prune-sound (it merely loses the shortcut).
+        self._next_ordered_index = 0
+        self._in_domain_order = True
+
+    def note_evaluation_order(self, branch_index: int) -> bool:
+        """Record one evaluation; True while evaluations form the ordered
+        prefix of the domain (the trend pruners' soundness precondition)."""
+        if self._in_domain_order and branch_index == self._next_ordered_index:
+            self._next_ordered_index += 1
+        else:
+            self._in_domain_order = False
+        return self._in_domain_order
 
     @property
     def branches(self) -> List[Branch]:
@@ -133,6 +151,23 @@ class Master:
         self._tail_stage_to_branch: Dict[str, Tuple[str, Branch]] = {}
         self._context = SchedulerContext()
         self._context.registry = cluster.obs
+        self._context.stage_graph = self.stage_graph
+        self._context.num_workers = cluster.num_workers
+        if getattr(self.scheduler, "needs_estimates", False):
+            # cost-aware policies rank by the static estimator's modelled
+            # per-stage seconds; computed once, before the first select
+            from .estimate import estimate_mdf
+
+            estimate = estimate_mdf(
+                mdf,
+                cluster.num_workers,
+                cost_model=cluster.cost_model,
+                task_overhead=self.config.task_overhead,
+                partitions_per_worker=self.config.partitions_per_worker,
+            )
+            self._context.stage_costs = {
+                e.stage_id: e.pessimistic_seconds for e in estimate.stages
+            }
         #: set by the RecoveryManager around §5 failure handling, so stage
         #: re-executions are attributed to "recovery" rather than their
         #: normal component split (the profiler applies the same rule by
@@ -679,10 +714,16 @@ class Master:
             self._register_output(stage.tail, outcome.pending.id)
             self._note_fingerprint(outcome.pending.id, outcome.fingerprint)
             self._maybe_checkpoint(outcome.pending.id)
+        ordered = runtime.note_evaluation_order(branch.index)
         can_prune = self.config.pruning and runtime.plan.prune_superfluous
         if decision.done and can_prune:
             self._prune_remaining(runtime, reason="selection-done")
-        elif runtime.pruner is not None and can_prune and runtime.pruner.observe(score):
+        elif (
+            runtime.pruner is not None
+            and can_prune
+            and ordered
+            and runtime.pruner.observe(score)
+        ):
             self._prune_remaining(runtime, reason=self._pruner_reason(runtime))
         self._maybe_finalize(runtime)
         self._update_live_branches()
@@ -756,10 +797,11 @@ class Master:
         decision = runtime.selector.offer(branch.id, score)
         for discarded_id in decision.discarded:
             self._discard_branch_dataset(runtime, discarded_id)
+        ordered = runtime.note_evaluation_order(branch.index)
         can_prune = self.config.pruning and runtime.plan.prune_superfluous
         if decision.done and can_prune:
             self._prune_remaining(runtime, reason="selection-done")
-        elif runtime.pruner is not None and can_prune:
+        elif runtime.pruner is not None and can_prune and ordered:
             if runtime.pruner.observe(score):
                 self._prune_remaining(runtime, reason=self._pruner_reason(runtime))
         self._update_live_branches()
@@ -863,6 +905,16 @@ class Master:
             return
         choose = runtime.choose
         kept_ids = [b for b in runtime.selector.finalize() if b in runtime.alive]
+        selection = choose.selection
+        if not selection.ranked and not selection.non_exhaustive:
+            # Unranked exhaustive selections (Threshold, Interval, Mode)
+            # keep a plain *set*; present it in branch-domain order so the
+            # choose output (and the ⊕ composite built from it) does not
+            # depend on the evaluation order the scheduler picked.  Ranked
+            # selections keep their score order; non-exhaustive first-k
+            # keeps arrival order (which *is* its semantics, Fig. 8).
+            domain_order = {b.id: b.index for b in runtime.branches}
+            kept_ids.sort(key=lambda b: domain_order[b])
         # branches that were evaluated but not selected lose their datasets
         for branch in runtime.branches:
             if branch.id in runtime.scores and branch.id not in kept_ids:

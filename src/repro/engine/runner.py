@@ -8,10 +8,13 @@ This is the function downstream users call::
     result = run_mdf(mdf, cluster, scheduler="bas", memory="amm")
     print(result.completion_time, result.output)
 
-``scheduler`` picks breadth-first (``"bfs"``) or branch-aware (``"bas"``,
-Algorithm 1); ``memory`` picks the eviction policy (``"lru"`` or ``"amm"``,
-Algorithm 2).  The cluster is reset before the run (cold caches) unless
-``reset=False``.
+``scheduler`` picks any registered scheduling policy by name — the paper's
+branch-aware ``"bas"`` (Algorithm 1), the ``"bfs"`` baseline, or one of
+the lab contenders (``"heft"``, ``"speculative"``, ``"wsteal"``,
+``"random"``; see :mod:`repro.engine.policies`).  ``memory`` picks the
+eviction policy by name (``"lru"``, ``"amm"``/Algorithm 2, or any name in
+:data:`repro.cluster.memory.EVICTION_POLICIES`).  The cluster is reset
+before the run (cold caches) unless ``reset=False``.
 """
 
 from __future__ import annotations
@@ -27,17 +30,8 @@ from ..prof.collect import active_profile_collector
 from ..trace.validate import assert_valid, auto_validate_enabled
 from .job import EngineConfig, JobResult
 from .master import Master
-from .scheduler import BFSScheduler, BranchAwareScheduler, Scheduler
-
-
-def make_scheduler(name: str, config: Optional[EngineConfig] = None) -> Scheduler:
-    """Factory: ``"bfs"`` or ``"bas"`` (branch-aware, with the config's hint)."""
-    if name == "bfs":
-        return BFSScheduler()
-    if name == "bas":
-        hint = config.hint if config is not None else None
-        return BranchAwareScheduler(hint)
-    raise ValueError(f"unknown scheduler {name!r}")
+from .policies import available_schedulers, make_scheduler, register_scheduler
+from .scheduler import Scheduler
 
 
 def run_mdf(
@@ -60,7 +54,11 @@ def run_mdf(
         The simulated cluster.  Its clock and metrics are reset first
         unless ``reset=False`` (warm-cache continuation runs).
     scheduler:
-        ``"bas"`` (default, Algorithm 1), ``"bfs"``, or a scheduler object.
+        A registered policy name — ``"bas"`` (default, Algorithm 1),
+        ``"bfs"``, ``"heft"``, ``"speculative"``, ``"wsteal"``,
+        ``"random"`` or anything added via
+        :func:`~repro.engine.policies.register_scheduler` — or a
+        scheduler object.
     memory:
         ``"lru"``, ``"amm"``, a policy object, or None to keep the
         cluster's current policy.

@@ -26,8 +26,17 @@ from .hints import SchedulingHint, SortedHint
 class SchedulerContext:
     """What a scheduler may inspect when ranking candidate stages.
 
-    Provided by the master: branch metadata per stage and the scores
-    observed so far per explore scope (for model-based hints).
+    Provided by the master: branch metadata per stage, the scores observed
+    so far per explore scope (for model-based hints), static per-stage
+    cost estimates (for cost-aware policies) and the stage graph's
+    successor structure (for list-scheduling ranks).
+
+    The context is strictly *read-only* for schedulers: a policy may
+    change **when** a stage runs, never **what** the job computes (the
+    byte-identity contract checked by ``repro.lab``'s differential
+    matrix).  Anything the context exposes is derived from the MDF
+    structure or already-recorded observations, so reading it cannot
+    perturb the job.
     """
 
     def __init__(self):
@@ -40,18 +49,75 @@ class SchedulerContext:
         #: the job's metrics registry (set by the master); schedulers record
         #: their selections into it with the rationale as the policy label
         self.registry = None
+        #: the job's :class:`~repro.core.stages.StageGraph` (set by the
+        #: master); lets list schedulers walk successor chains
+        self.stage_graph = None
+        #: stage id -> modelled pessimistic wall seconds (set by the master
+        #: when the scheduler declares ``needs_estimates``); explore/choose
+        #: stages are metadata-only and carry no entry (treated as 0)
+        self.stage_costs: Dict[str, float] = {}
+        #: number of cluster workers (virtual lanes for work stealing)
+        self.num_workers: int = 1
+        self._upward_ranks: Optional[Dict[str, float]] = None
 
     def branch_info(self, stage: Stage) -> Optional[Tuple[str, int, dict]]:
         return self.stage_branch.get(stage.id)
 
+    def stage_cost(self, stage: Stage) -> float:
+        """Modelled wall seconds of one stage (0 for metadata stages)."""
+        return self.stage_costs.get(stage.id, 0.0)
+
+    def upward_rank(self, stage: Stage) -> float:
+        """HEFT's upward rank: stage cost + longest downstream cost chain.
+
+        Computed once over the whole stage graph on first use and cached
+        for the job's lifetime (the graph and the static estimates never
+        change mid-run — pruning only removes stages, which can only
+        shorten true ranks, so the static rank stays an admissible
+        priority).
+        """
+        if self._upward_ranks is None:
+            self._upward_ranks = self._compute_upward_ranks()
+        return self._upward_ranks.get(stage.id, 0.0)
+
+    def _compute_upward_ranks(self) -> Dict[str, float]:
+        if self.stage_graph is None:
+            return {}
+        ranks: Dict[str, float] = {}
+        # reverse-topological accumulation over the stage DAG
+        for stage in reversed(self.stage_graph.topological_stages()):
+            succ_rank = max(
+                (ranks.get(s.id, 0.0) for s in self.stage_graph.post(stage)),
+                default=0.0,
+            )
+            ranks[stage.id] = self.stage_cost(stage) + succ_rank
+        return ranks
+
 
 class Scheduler:
-    """Picks the next stage to execute from the ready set."""
+    """Picks the next stage to execute from the ready set.
+
+    The contract every policy must honour (documented in
+    ``docs/scheduling.md`` and enforced by the master, the trace
+    validators and ``repro.lab``'s differential matrix):
+
+    * ``select`` returns a member of ``ready`` — nothing else is
+      executable, and the master raises on any other pick;
+    * the context is read-only — a scheduler observes, it never mutates
+      job state;
+    * policies are single-job objects — ``make_scheduler`` builds a fresh
+      instance per run, so stateful policies (speculation, lane loads)
+      need no reset logic.
+    """
 
     name = "base"
     #: why the last ``select`` picked its stage — recorded into the
     #: ``stage_scheduled`` trace event for observability
     last_rationale: Optional[str] = None
+    #: set True on policies that rank by modelled stage cost: the master
+    #: then runs the static estimator once and fills
+    #: ``SchedulerContext.stage_costs`` before the first ``select``
+    needs_estimates: bool = False
 
     def select(
         self,

@@ -78,12 +78,31 @@ def _scenario_chain() -> float:
     return run_mdf(builder.build(), cluster, scheduler="bas", memory="amm").completion_time
 
 
+def _scenario_lab(workload: str, scheduler: str) -> Callable[[], float]:
+    """One policy-lab cell as a gate scenario (same recipe as the lab's
+    golden traces, so a drift fails both gates consistently)."""
+
+    def scenario() -> float:
+        from ..lab.workloads import get_workload
+
+        result, _ = get_workload(workload).run(scheduler=scheduler, memory="amm")
+        return result.completion_time
+
+    scenario.__name__ = f"_scenario_lab_{scheduler}"
+    return scenario
+
+
 #: the gated scenario set: small, fast, and covering the three engine
-#: regimes (roomy explore, starved explore with evictions, plain chain)
+#: regimes (roomy explore, starved explore with evictions, plain chain),
+#: plus one pinned policy-lab cell per contender scheduler
 SCENARIOS: Dict[str, Callable[[], float]] = {
     "quickstart": _scenario_quickstart,
     "starved_explore": _scenario_starved_explore,
     "chain": _scenario_chain,
+    "lab_heft": _scenario_lab("wide_topk", "heft"),
+    "lab_speculative": _scenario_lab("nested_topk", "speculative"),
+    "lab_wsteal": _scenario_lab("starved_explore", "wsteal"),
+    "lab_random": _scenario_lab("filter_min", "random"),
 }
 
 

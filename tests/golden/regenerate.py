@@ -32,6 +32,14 @@ REPO_ROOT = GOLDEN_DIR.parents[1]
 GOLDEN_FILES = {
     "quickstart": GOLDEN_DIR / "quickstart.trace.jsonl",
     "explore_choose": GOLDEN_DIR / "explore_choose.trace.jsonl",
+    # one representative run per lab scheduler, each over the zoo
+    # workload that exercises it hardest (wide reordering for HEFT,
+    # sibling speculation for speculative, eviction pressure for work
+    # stealing, arbitrary order for the random control)
+    "policy_heft": GOLDEN_DIR / "policy_heft.trace.jsonl",
+    "policy_speculative": GOLDEN_DIR / "policy_speculative.trace.jsonl",
+    "policy_wsteal": GOLDEN_DIR / "policy_wsteal.trace.jsonl",
+    "policy_random": GOLDEN_DIR / "policy_random.trace.jsonl",
 }
 
 
@@ -78,9 +86,39 @@ def record_explore_choose():
     return run_mdf(mdf, cluster, scheduler="bas", memory="amm", validate=True)
 
 
+def _record_lab_policy(workload_name: str, scheduler: str):
+    """One lab-zoo workload under one contender scheduler (validated)."""
+    from repro.lab.workloads import get_workload
+
+    result, _ = get_workload(workload_name).run(
+        scheduler=scheduler, memory="amm", validate=True
+    )
+    return result
+
+
+def record_policy_heft():
+    return _record_lab_policy("wide_topk", "heft")
+
+
+def record_policy_speculative():
+    return _record_lab_policy("nested_topk", "speculative")
+
+
+def record_policy_wsteal():
+    return _record_lab_policy("starved_explore", "wsteal")
+
+
+def record_policy_random():
+    return _record_lab_policy("filter_min", "random")
+
+
 RECORDERS = {
     "quickstart": record_quickstart,
     "explore_choose": record_explore_choose,
+    "policy_heft": record_policy_heft,
+    "policy_speculative": record_policy_speculative,
+    "policy_wsteal": record_policy_wsteal,
+    "policy_random": record_policy_random,
 }
 
 

@@ -1,0 +1,155 @@
+"""Property tests: the scheduler contract holds on random DAGs.
+
+For random one- and two-level explore/choose MDFs and *every* registered
+scheduling policy:
+
+* **ready-set law** — every ``stage_scheduled`` event picks a stage from
+  the ready set the master offered (nothing else is executable);
+* **no starvation** — the job completes with every non-pruned stage
+  executed exactly once;
+* **when-not-what** — all policies agree with ``bfs`` on the final
+  outputs and kept branches;
+* **Algorithm 1** — BAS traces additionally satisfy ``check_depth_first``.
+
+Run just these with ``pytest -m scheduler_laws``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CallableEvaluator,
+    Cluster,
+    GB,
+    MB,
+    MDFBuilder,
+    Max,
+    Min,
+    check_depth_first,
+    validate_trace,
+)
+from repro.engine import run_mdf
+from repro.engine.policies import available_schedulers
+
+pytestmark = pytest.mark.scheduler_laws
+
+multipliers = st.lists(
+    st.integers(min_value=1, max_value=97), min_size=2, max_size=6, unique=True
+)
+schedulers = st.sampled_from(available_schedulers())
+
+
+def flat_mdf(mults):
+    """One explore over multipliers; Min over sums (distinct scores)."""
+    builder = MDFBuilder("law-flat")
+    src = builder.read_data(list(range(1, 40)), name="src", nominal_bytes=24 * MB)
+    score = CallableEvaluator(lambda xs: float(sum(xs)), name="sum")
+    result = src.explore(
+        {"m": list(mults)},
+        lambda pipe, p: pipe.transform(
+            lambda xs, m=p["m"]: [x * m for x in xs], name=f"mul-{p['m']}"
+        ),
+        name="exp",
+    ).choose(score, Min(), name="ch")
+    result.write(name="out")
+    return builder.build()
+
+
+def nested_mdf(outer_mults, inner_mults):
+    """Outer × inner explores, Max per scope (distinct products)."""
+    builder = MDFBuilder("law-nested")
+    src = builder.read_data(list(range(1, 30)), name="src", nominal_bytes=24 * MB)
+    score = CallableEvaluator(lambda xs: float(sum(xs)), name="sum")
+
+    def outer_branch(pipe, p):
+        first = pipe.transform(
+            lambda xs, m=p["o"]: [x * m for x in xs], name=f"mul-{p['o']}"
+        )
+        return first.explore(
+            {"i": list(inner_mults), "_o": [p["o"]]},
+            lambda q, r: q.transform(
+                lambda xs, m=r["i"]: [x * m for x in xs],
+                name=f"mul-{r['_o']}-{r['i']}",
+            ),
+            name=f"exp-in-{p['o']}",
+        ).choose(score, Max(), name=f"ch-in-{p['o']}")
+
+    result = src.explore(
+        {"o": list(outer_mults)}, outer_branch, name="exp-out"
+    ).choose(score, Max(), name="ch-out")
+    result.write(name="out")
+    return builder.build()
+
+
+def run_one(mdf, scheduler, workers=2, mem=1 * GB):
+    cluster = Cluster(num_workers=workers, mem_per_worker=mem)
+    return run_mdf(mdf, cluster, scheduler=scheduler, memory="amm")
+
+
+def assert_ready_set_law(trace):
+    """Every scheduled stage was a member of the offered ready set."""
+    for event in trace.filter("stage_scheduled"):
+        assert event.data["stage"] in event.data["ready"], (
+            f"scheduler picked {event.data['stage']!r} outside the ready "
+            f"set {event.data['ready']}"
+        )
+
+
+def assert_no_starvation(result, trace):
+    """The job finished and each scheduled stage ran exactly once.
+
+    Worker stages outnumber ``stages_executed`` never — the scheduled
+    list also contains master-side metadata stages (explore/choose),
+    which execute at zero cost and are not counted as executed stages."""
+    scheduled = [e.data["stage"] for e in trace.filter("stage_scheduled")]
+    assert len(scheduled) == len(set(scheduled)), "a stage was scheduled twice"
+    assert result.metrics.stages_executed <= len(scheduled)
+    assert result.outputs, "job finished without producing its sink output"
+
+
+@given(scheduler=schedulers, mults=multipliers)
+@settings(max_examples=25, deadline=None)
+def test_flat_laws(scheduler, mults):
+    result = run_one(flat_mdf(mults), scheduler)
+    assert_ready_set_law(result.events)
+    assert_no_starvation(result, result.events)
+    assert validate_trace(result.events) == []
+
+
+@given(
+    scheduler=schedulers,
+    outer=st.lists(
+        st.integers(min_value=2, max_value=19), min_size=2, max_size=3, unique=True
+    ),
+    inner=st.lists(
+        st.integers(min_value=23, max_value=97), min_size=2, max_size=3, unique=True
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_nested_laws(scheduler, outer, inner):
+    result = run_one(nested_mdf(outer, inner), scheduler)
+    assert_ready_set_law(result.events)
+    assert_no_starvation(result, result.events)
+    assert validate_trace(result.events) == []
+
+
+@given(mults=multipliers)
+@settings(max_examples=15, deadline=None)
+def test_all_policies_agree_on_what(mults):
+    """when-not-what at property scale: every policy, same answers."""
+    reference = run_one(flat_mdf(mults), "bfs")
+    for scheduler in available_schedulers():
+        contender = run_one(flat_mdf(mults), scheduler)
+        assert repr(contender.outputs) == repr(reference.outputs)
+        assert {n: d.kept for n, d in contender.decisions.items()} == {
+            n: d.kept for n, d in reference.decisions.items()
+        }
+
+
+@given(mults=multipliers)
+@settings(max_examples=15, deadline=None)
+def test_bas_satisfies_depth_first(mults):
+    """Algorithm 1's own law: BAS traces pass the depth-first validator."""
+    result = run_one(flat_mdf(mults), "bas")
+    assert check_depth_first(result.events) == []
