@@ -51,9 +51,15 @@ def main() -> None:
     # 1. build the meta-dataflow -------------------------------------------
     mdf = build_quickstart_mdf()
 
-    # 2. execute on a simulated cluster, telemetry on ----------------------
+    # 2. execute on a simulated cluster, telemetry + live monitoring on ----
     cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
-    job = run_mdf(mdf, cluster, scheduler="bas", memory="amm", telemetry=True)
+    job = run_mdf(
+        mdf, cluster, scheduler="bas", memory="amm", telemetry=True, live=True
+    )
+
+    # the live monitor watched the run stream by: final progress line
+    # (repro.live; mid-run the same line shows partial progress and ETA)
+    print(f"live            : {job.live.progress_line()}")
 
     # 3. inspect the outcome -------------------------------------------------
     decision = job.decision_for("keep-smallest")

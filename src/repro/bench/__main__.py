@@ -14,7 +14,12 @@ result-cache cold/warm wall-clock microbenchmark and writes
 ``--profile``, every figure run is profiled (:mod:`repro.prof`): a
 per-figure makespan-attribution table is printed after each figure and a
 speedscope flamegraph of each figure's longest run is written to
-``PROFILE_<figure>.speedscope.json``.
+``PROFILE_<figure>.speedscope.json``.  With ``--live``, every figure run
+streams its trace through :mod:`repro.live` (progress/ETA estimator +
+watchdogs): the stream/batch byte-identity verdict, final progress line
+and alert summary are printed per figure and the longest run's NDJSON is
+written to ``LIVE_<figure>.ndjson``; a byte-identity mismatch fails the
+bench.
 """
 
 from __future__ import annotations
@@ -54,6 +59,9 @@ def main(argv) -> int:
     profile = "--profile" in argv
     if profile:
         argv = [a for a in argv if a != "--profile"]
+    live = "--live" in argv
+    if live:
+        argv = [a for a in argv if a != "--live"]
     names = argv or list(ALL_FIGURES)
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
@@ -68,18 +76,28 @@ def main(argv) -> int:
             "profiling: on (per-figure attribution tables + "
             "PROFILE_<figure>.speedscope.json artifacts)"
         )
+    if live:
+        print(
+            "live monitoring: on (every run streams its trace through "
+            "repro.live; LIVE_<figure>.ndjson artifacts)"
+        )
     failed = []
     try:
         for name in names:
             collector = _install_collector() if profile else None
+            hook = _install_live_hook() if live else None
             try:
                 result = ALL_FIGURES[name]()
             finally:
                 if collector is not None:
                     _uninstall_collector()
+                if hook is not None:
+                    _uninstall_live_hook()
             print(result.render())
             if collector is not None:
                 _report_profile(name, collector)
+            if hook is not None and not _report_live(name, hook):
+                failed.append(f"{name} (live)")
             if not result.all_checks_pass:
                 failed.append(name)
     finally:
@@ -103,6 +121,59 @@ def _uninstall_collector() -> None:
     from ..prof import set_profile_collector
 
     set_profile_collector(None)
+
+
+def _install_live_hook():
+    from ..live import LiveHook, set_live_hook
+
+    hook = LiveHook()
+    set_live_hook(hook)
+    return hook
+
+
+def _uninstall_live_hook() -> None:
+    from ..live import set_live_hook
+
+    set_live_hook(None)
+
+
+def _report_live(figure: str, hook) -> bool:
+    """One figure's live verdicts: byte-identity, final progress, alerts.
+
+    Returns False (a failure) when any run's streamed NDJSON differed
+    from its post-hoc export — the live layer's core contract.  Alerts
+    are reported but not failed here (fault-injection figures alert by
+    design); CI's live-smoke job asserts "alerts: none" on a clean
+    figure via the printed line.  The longest run's stream is written to
+    ``LIVE_<figure>.ndjson`` as the artifact.
+    """
+    if not hook.runs:
+        print(f"[live] {figure}: no monitored runs")
+        return True
+    identical = hook.all_byte_identical
+    print(
+        f"[live] {figure}: {len(hook.runs)} run(s), "
+        f"stream/batch byte-identical: {'yes' if identical else 'NO'}"
+    )
+    last = hook.runs[-1].monitor
+    if last.progress is not None:
+        print(f"[live] {figure}: final {last.progress_line()}")
+    kinds = hook.alert_kinds()
+    if kinds:
+        counts = {}
+        for record in hook.runs:
+            for alert in record.monitor.alerts:
+                counts[alert.kind] = counts.get(alert.kind, 0) + 1
+        rendered = ", ".join(f"{k}x{counts[k]}" for k in kinds)
+        print(f"[live] {figure}: alerts: {rendered}")
+    else:
+        print(f"[live] {figure}: alerts: none")
+    longest = max(hook.runs, key=lambda r: len(r.streamed))
+    path = f"LIVE_{figure}.ndjson"
+    with open(path, "w") as fh:
+        fh.write(longest.streamed)
+    print(f"[live] wrote {path}")
+    return identical
 
 
 def _report_profile(figure: str, collector) -> None:

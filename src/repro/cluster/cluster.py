@@ -118,6 +118,7 @@ class Cluster:
         #: sampler reads it to derive per-node utilisation over time
         self.busy_seconds: Dict[str, float] = {}
         self._watch_nodes()
+        self._wire_trace()
 
     def note_busy(self, node_id: str, seconds: float) -> None:
         """Accumulate busy (io/compute) seconds charged against a node."""
@@ -130,6 +131,19 @@ class Cluster:
             gauge = self.obs.gauge("node_memory_in_use", node=node.id)
             node.observer = (lambda n=node, g=gauge: g.set(n.mem_used))
             node.observer()
+
+    def _wire_trace(self) -> None:
+        """Count detached live subscribers in the metrics registry.
+
+        A raising trace subscriber is detached by the bus (never fatal to
+        the job); this hook makes the failure visible as the
+        ``live_subscriber_errors`` counter so dashboards and CI can spot
+        a broken monitor.
+        """
+        counter = self.obs.counter("live_subscriber_errors")
+        self.trace.on_subscriber_error = (
+            lambda callback, exc, c=counter: c.inc()
+        )
 
     # ------------------------------------------------------------ topology
     @property
@@ -653,6 +667,7 @@ class Cluster:
         self.metrics = Metrics().bind(self.obs)
         self.trace = Trace(clock=self.clock)
         self._watch_nodes()
+        self._wire_trace()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -113,6 +113,10 @@ class JobResult:
     #: :class:`~repro.obs.telemetry.Telemetry` bundle (labeled registry +
     #: timeline samples + exporters); None unless ``run_mdf(telemetry=...)``
     telemetry: Optional[Any] = None
+    #: the :class:`~repro.live.monitor.LiveMonitor` that observed the run
+    #: (final progress snapshot, alerts, stream); None unless
+    #: ``run_mdf(live=...)`` attached one
+    live: Optional[Any] = None
 
     @property
     def output(self) -> Any:

@@ -43,6 +43,7 @@ def run_mdf(
     reset: bool = True,
     validate: Optional[bool] = None,
     telemetry: Union[bool, float, TelemetryConfig, None] = None,
+    live=None,
 ) -> JobResult:
     """Execute an MDF on a cluster and return the job result.
 
@@ -84,6 +85,18 @@ def run_mdf(
         :class:`~repro.obs.timeline.TelemetryConfig` gives full control.
         ``None``/``False`` (default) skips the sampler; the registry is
         always recorded and reachable as ``cluster.obs``.
+    live:
+        Attach a :class:`~repro.live.monitor.LiveMonitor` to the trace
+        bus for the run's duration (streaming NDJSON, online
+        progress/ETA, watchdogs; see ``docs/live_monitoring.md``).
+        ``True`` builds a default monitor, a string/path streams the
+        NDJSON there, a prebuilt monitor is attached as-is, and
+        ``None`` (default) attaches nothing unless a process-wide
+        :class:`~repro.live.hook.LiveHook` is installed (``python -m
+        repro.bench --live``); ``False`` forces monitoring off even
+        then.  The monitor is detached before returning and reachable
+        as ``result.live``.  Live subscribers are pure observers — a
+        monitored run's trace is byte-identical to an unmonitored one.
     """
     config = config or EngineConfig()
     if reset:
@@ -103,12 +116,49 @@ def run_mdf(
         sampler = TimelineSampler(
             cluster, interval=tconfig.interval, max_samples=tconfig.max_samples
         ).attach()
+    # --- live monitoring (repro.live): attach after reset, detach always.
+    # Imported lazily — repro.live depends on the engine's estimator, so a
+    # module-level import here would be circular.
+    monitor = None
+    hook = hook_buffer = None
+    if live is None:
+        from ..live.hook import active_live_hook
+
+        hook = active_live_hook()
+        if hook is not None:
+            monitor, hook_buffer = hook.monitor_for_run()
+    elif live is not False:
+        from ..live.monitor import LiveMonitor
+
+        if isinstance(live, LiveMonitor):
+            monitor = live
+        elif live is True:
+            monitor = LiveMonitor()
+        else:  # a path or writable stream for the NDJSON sink
+            monitor = LiveMonitor(stream=live)
+    if monitor is not None:
+        from ..live.plan import LivePlan
+
+        plan = LivePlan.from_mdf(
+            mdf,
+            cluster.num_workers,
+            cost_model=cluster.cost_model,
+            task_overhead=config.task_overhead,
+            partitions_per_worker=config.partitions_per_worker,
+        )
+        monitor.attach(cluster.trace, plan=plan, registry=cluster.obs)
     master = Master(mdf, cluster, scheduler=scheduler, config=config)
     try:
         result = master.run()
     finally:
         if sampler is not None:
             sampler.detach()
+        if monitor is not None:
+            monitor.detach()
+    if monitor is not None:
+        result.live = monitor
+        if hook is not None:
+            hook.record(monitor, hook_buffer, result)
     if sampler is not None:
         result.telemetry = Telemetry(cluster.obs, sampler, metrics=cluster.metrics)
     if validate is None:

@@ -60,12 +60,17 @@ class LabWorkload:
         memory: str = "amm",
         workers: Optional[int] = None,
         validate: bool = False,
+        live=None,
     ) -> Tuple[JobResult, Cluster]:
         """Execute one cell and return the result with its cluster.
 
         The cluster is returned alongside so callers can read the live
         metrics registry (``cluster.obs``) — the differential matrix
-        replays the trace against it.
+        replays the trace against it.  ``live`` passes straight through
+        to :func:`~repro.engine.runner.run_mdf` (a
+        :class:`~repro.live.monitor.LiveMonitor`, a stream target, or
+        ``True`` for the default monitor); the attached monitor comes
+        back as ``result.live``.
         """
         cluster = self.make_cluster(workers)
         result = run_mdf(
@@ -75,6 +80,7 @@ class LabWorkload:
             memory=memory,
             config=self.make_config(),
             validate=validate,
+            live=live,
         )
         return result, cluster
 

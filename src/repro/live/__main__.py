@@ -1,0 +1,142 @@
+"""Command-line entry: ``python -m repro.live <trace.ndjson> [--follow]``.
+
+Renders a terminal progress dashboard from a streamed NDJSON trace file
+(the :class:`~repro.live.stream.StreamWriter` format — which is also
+exactly the batch ``Trace.save_jsonl`` format, so post-hoc traces work
+too).  Without ``--follow`` the file is read to EOF and the final
+dashboard printed once; with ``--follow`` the file is tailed and the
+dashboard redrawn as events land, until ``--idle-timeout`` wall seconds
+pass without growth.
+
+The CLI is trace-only: it has the event stream but not the MDF, so the
+ETA column (which needs the cost-model plan) reads ``n/a`` while
+progress counts, per-branch status and the plan-free watchdogs
+(memory-pressure, retry-storm, stall) stay fully live.  In-process runs
+(``run_mdf(live=...)``) have the plan and show the full estimate.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, TextIO
+
+from .monitor import progress_line, render_dashboard
+from .progress import ProgressEstimator
+from .stream import follow_events
+from .watchdogs import (
+    MemoryPressureWatchdog,
+    RetryStormWatchdog,
+    StallWatchdog,
+    Watchdog,
+)
+
+USAGE = """\
+usage: python -m repro.live <trace.ndjson> [options]
+
+options:
+  --follow, -f          tail the file, redrawing as events arrive
+  --interval SECONDS    poll interval while following (default 0.2)
+  --idle-timeout SECS   stop following after this much silence (default 5.0)
+  --stall-seconds SECS  stall-watchdog threshold while following (default 10.0)
+  --refresh N           redraw every N events while following (default 25)
+  --plain               append progress lines instead of redrawing
+  --fail-on-alert       exit 1 if any alert was raised
+"""
+
+
+def _pop_value(argv: List[str], flag: str, default: float) -> float:
+    if flag not in argv:
+        return default
+    i = argv.index(flag)
+    try:
+        value = float(argv[i + 1])
+    except (IndexError, ValueError):
+        raise SystemExit(f"{flag} needs a numeric argument")
+    del argv[i : i + 2]
+    return value
+
+
+def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--help" in argv or "-h" in argv or not argv:
+        out.write(USAGE)
+        return 0 if argv else 2
+    follow = False
+    for flag in ("--follow", "-f"):
+        if flag in argv:
+            follow = True
+            argv.remove(flag)
+    plain = "--plain" in argv
+    if plain:
+        argv.remove("--plain")
+    fail_on_alert = "--fail-on-alert" in argv
+    if fail_on_alert:
+        argv.remove("--fail-on-alert")
+    interval = _pop_value(argv, "--interval", 0.2)
+    idle_timeout = _pop_value(argv, "--idle-timeout", 5.0)
+    stall_seconds = _pop_value(argv, "--stall-seconds", 10.0)
+    refresh = int(_pop_value(argv, "--refresh", 25))
+    if len(argv) != 1:
+        out.write(USAGE)
+        return 2
+    path = argv[0]
+
+    progress = ProgressEstimator()  # trace-only: no plan, ETA n/a
+    stall = StallWatchdog(threshold_seconds=stall_seconds)
+    watchdogs: List[Watchdog] = [
+        MemoryPressureWatchdog(),
+        RetryStormWatchdog(),
+        stall,
+    ]
+
+    def alerts():
+        return sorted(
+            (a for dog in watchdogs for a in dog.alerts),
+            key=lambda a: (a.t, a.kind, a.subject),
+        )
+
+    def draw(final: bool = False) -> None:
+        snap = progress.snapshot()
+        snap.alerts = len(alerts())
+        if final:
+            out.write(render_dashboard(snap, alerts()) + "\n")
+        elif plain:
+            out.write(progress_line(snap) + "\n")
+        else:
+            # redraw in place: clear screen, home cursor
+            out.write("\x1b[2J\x1b[H" + render_dashboard(snap, alerts()) + "\n")
+        out.flush()
+
+    try:
+        events = follow_events(
+            path,
+            follow=follow,
+            poll_interval=interval,
+            idle_timeout=idle_timeout,
+        )
+        since_draw = 0
+        for event in events:
+            progress.on_event(event)
+            for dog in watchdogs:
+                dog.on_event(event)
+            stall.poll()
+            since_draw += 1
+            if follow and since_draw >= refresh:
+                draw()
+                since_draw = 0
+    except FileNotFoundError:
+        out.write(f"no such trace file: {path}\n")
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    progress.mark_finished()
+    stall.mark_finished()
+    draw(final=True)
+    raised = alerts()
+    if raised:
+        out.write(f"{len(raised)} alert(s) raised\n")
+    return 1 if (fail_on_alert and raised) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""Online progress and ETA estimation over the streaming trace.
+
+:class:`ProgressEstimator` is a pure fold: subscribed to the trace bus
+(or replayed over an NDJSON file), it turns the committed event prefix
+into live job state — stages completed / total, per-branch status,
+simulated seconds elapsed, and a cost-model ETA.
+
+ETA math (with a :class:`~repro.live.plan.LivePlan`)::
+
+    pending   = real stages neither completed nor pruned
+    remaining = calibration · Σ pessimistic_seconds(pending)
+    eta       = now + remaining
+
+``now`` is the largest simulated timestamp observed (event ``t`` plus
+any ``finished`` payload field — span/stage completions timestamp their
+*start*, the clock has already advanced to ``finished``).
+``calibration`` is the ratio of observed stage walls to their modelled
+pessimistic costs over *completed* stages (1.0 until the first stage
+completes), so the estimate tightens as the run reveals where between
+the optimistic and pessimistic bounds it actually lands.
+
+Two properties the tests pin down:
+
+* **exact convergence** — at the final event the pending set is empty,
+  so ``eta == now == completion_time`` (to 1e-9 on every golden
+  workload);
+* **monotone tightening on prunes** — ``branch_pruned`` removes its
+  ``stages`` payload from the pending set without advancing ``now``, so
+  the ETA can only shrink across a prune (likewise ``choose_finalized``,
+  whose choose stage is metadata and costs 0).
+
+Without a plan (trace-only mode, e.g. tailing a file the CLI knows
+nothing else about) the estimator still tracks completion counts,
+elapsed time and branch statuses learned from the events themselves;
+the ETA is then ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..trace.events import TraceEvent
+from .plan import LivePlan
+
+#: branch lifecycle states, in the order the dashboard lists them
+BRANCH_STATES = ("pending", "running", "kept", "discarded", "pruned")
+
+#: states a branch can never leave (a pruned branch stays pruned even if
+#: a later discard event names its dataset)
+_TERMINAL = frozenset({"kept", "discarded", "pruned"})
+
+
+@dataclass
+class ProgressSnapshot:
+    """One immutable reading of the estimator (what renderers consume)."""
+
+    now: float
+    stages_completed: int
+    stages_total: Optional[int]
+    stages_pruned: int
+    branch_status: Dict[str, str]
+    eta: Optional[float]
+    remaining_seconds: Optional[float]
+    critical_path_seconds: Optional[float]
+    calibration: float
+    events_seen: int
+    finished: bool
+    alerts: int = 0
+
+    @property
+    def fraction(self) -> Optional[float]:
+        """Completed fraction of the stages that will actually run."""
+        if self.stages_total is None:
+            return None
+        runnable = self.stages_total - self.stages_pruned
+        if runnable <= 0:
+            return 1.0
+        return min(1.0, self.stages_completed / runnable)
+
+    def branch_counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in BRANCH_STATES}
+        for state in self.branch_status.values():
+            counts[state] = counts.get(state, 0) + 1
+        return counts
+
+
+class ProgressEstimator:
+    """Fold committed trace events into live progress + cost-model ETA."""
+
+    def __init__(self, plan: Optional[LivePlan] = None):
+        self.plan = plan
+        self.now = 0.0
+        self.events_seen = 0
+        self.finished = False
+        #: real stage ids that have completed (a set — recovery re-runs a
+        #: stage, which must not double-count)
+        self.completed: Set[str] = set()
+        #: real stage ids removed by ``branch_pruned`` before running
+        self.pruned_stages: Set[str] = set()
+        #: branch id -> lifecycle state
+        self.branch_status: Dict[str, str] = {}
+        #: Σ observed wall / Σ modelled pessimistic over completed stages
+        self._observed_wall = 0.0
+        self._modelled_wall = 0.0
+        self._pending: Optional[Set[str]] = (
+            set(plan.real_stage_ids) if plan is not None else None
+        )
+        if plan is not None:
+            for branch_id in plan.branch_stages:
+                self.branch_status[branch_id] = "pending"
+
+    # ------------------------------------------------------------- the fold
+    def __call__(self, event: TraceEvent) -> None:
+        self.on_event(event)
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        self.now = max(self.now, event.t)
+        kind, data = event.kind, event.data
+        if kind in ("stage_completed", "span"):
+            self.now = max(self.now, float(data["finished"]))
+        if kind == "stage_scheduled":
+            branch = data.get("branch")
+            if branch is not None:
+                self._set_branch(branch, "running")
+        elif kind == "stage_completed":
+            sid = data["stage"]
+            if sid not in self.completed:
+                self.completed.add(sid)
+                if self._pending is not None:
+                    self._pending.discard(sid)
+                if self.plan is not None and sid in self.plan.stage_costs:
+                    self._observed_wall += float(data["finished"]) - float(
+                        data["started"]
+                    )
+                    self._modelled_wall += self.plan.stage_costs[sid]
+        elif kind == "branch_pruned":
+            self._set_branch(data["branch"], "pruned", force=True)
+            for sid in data.get("stages", ()):
+                if sid not in self.completed:
+                    self.pruned_stages.add(sid)
+                if self._pending is not None:
+                    self._pending.discard(sid)
+        elif kind == "branch_discarded":
+            self._set_branch(data["branch"], "discarded")
+        elif kind == "branch_evaluated":
+            self._set_branch(data["branch"], "running")
+        elif kind == "choose_finalized":
+            for branch in data.get("kept", ()):
+                self._set_branch(branch, "kept", force=True)
+            for branch in data.get("discarded", ()):
+                self._set_branch(branch, "discarded")
+            for branch in data.get("pruned", ()):
+                self._set_branch(branch, "pruned", force=True)
+
+    def _set_branch(self, branch_id: str, state: str, force: bool = False) -> None:
+        current = self.branch_status.get(branch_id)
+        if current in _TERMINAL and not (force and state in _TERMINAL):
+            return
+        if current in _TERMINAL and current != "discarded":
+            return  # kept/pruned never change
+        self.branch_status[branch_id] = state
+
+    def mark_finished(self) -> None:
+        """Note end-of-stream (the CLI calls this at EOF)."""
+        self.finished = True
+
+    # ------------------------------------------------------------ estimates
+    @property
+    def stages_total(self) -> Optional[int]:
+        if self.plan is None:
+            return None
+        return len(self.plan.real_stage_ids)
+
+    @property
+    def calibration(self) -> float:
+        """Observed-over-modelled wall ratio on completed stages."""
+        if self._modelled_wall <= 0.0:
+            return 1.0
+        return self._observed_wall / self._modelled_wall
+
+    @property
+    def remaining_seconds(self) -> Optional[float]:
+        """Calibrated modelled seconds of work still pending (plan mode)."""
+        if self.plan is None or self._pending is None:
+            return None
+        if not self._pending:
+            return 0.0
+        return self.calibration * self.plan.remaining_seconds(self._pending)
+
+    @property
+    def eta(self) -> Optional[float]:
+        """Estimated completion time on the simulated clock."""
+        remaining = self.remaining_seconds
+        if remaining is None:
+            return None
+        return self.now + remaining
+
+    @property
+    def critical_path_seconds(self) -> Optional[float]:
+        """Lower-bound remaining time via memoised HEFT upward ranks."""
+        if self.plan is None or self._pending is None:
+            return None
+        if not self._pending:
+            return 0.0
+        return self.plan.critical_path_remaining(self._pending)
+
+    def pending_stage_ids(self) -> List[str]:
+        """Real stages not yet completed or pruned (plan order)."""
+        if self.plan is None or self._pending is None:
+            return []
+        return [s for s in self.plan.real_stage_ids if s in self._pending]
+
+    def remaining_by_branch(self) -> Dict[str, float]:
+        """Pending modelled seconds per *live* branch (plan mode only).
+
+        Pruned and discarded branches never appear — after a
+        ``branch_pruned`` event the estimate must not reference the
+        branch again (pinned by ``tests/live/test_progress.py``).
+        """
+        if self.plan is None or self._pending is None:
+            return {}
+        out: Dict[str, float] = {}
+        for branch_id, stage_ids in self.plan.branch_stages.items():
+            if self.branch_status.get(branch_id) in ("pruned", "discarded"):
+                continue
+            pending = stage_ids & self._pending
+            if pending:
+                out[branch_id] = self.plan.remaining_seconds(pending)
+        return out
+
+    # ------------------------------------------------------------ snapshot
+    def snapshot(self) -> ProgressSnapshot:
+        return ProgressSnapshot(
+            now=self.now,
+            stages_completed=len(self.completed),
+            stages_total=self.stages_total,
+            stages_pruned=len(self.pruned_stages),
+            branch_status=dict(self.branch_status),
+            eta=self.eta,
+            remaining_seconds=self.remaining_seconds,
+            critical_path_seconds=self.critical_path_seconds,
+            calibration=self.calibration,
+            events_seen=self.events_seen,
+            finished=self.finished,
+        )

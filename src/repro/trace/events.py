@@ -21,8 +21,11 @@ visual inspection in ``chrome://tracing`` / Perfetto.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+logger = logging.getLogger("repro.trace")
 
 #: kind -> exact payload field set.  Emission is strict both ways: missing
 #: and unexpected fields are errors, so the schema documented in
@@ -169,6 +172,19 @@ class Trace:
     The cluster owns one trace per run (reset with the cluster); the master,
     executor and memory manager all emit into it through the cluster.  A
     disabled trace (``enabled = False``) turns every emit into a no-op.
+
+    **Subscriber bus** (``repro.live``): callbacks registered with
+    :meth:`subscribe` are invoked *after* each event is committed to
+    ``self.events``, in registration order.  Because notification happens
+    strictly post-append, every subscriber observes exactly the committed
+    event sequence — at any point, the events a subscriber has seen are a
+    prefix of the final trace.  Subscribers are pure observers: they must
+    not emit events or mutate engine state (a subscriber that did would
+    break the byte-identity contract between monitored and unmonitored
+    runs).  A raising subscriber is detached after a logged warning — one
+    bad dashboard must never kill a job — and the optional
+    ``on_subscriber_error`` hook (wired by the cluster to the
+    ``live_subscriber_errors`` obs counter) is informed.
     """
 
     def __init__(self, clock=None, strict: bool = True):
@@ -176,10 +192,83 @@ class Trace:
         self._clock = clock  # duck-typed: anything with a ``.now`` float
         self.strict = strict
         self.enabled = True
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+        #: called as ``hook(subscriber, exception)`` when a subscriber
+        #: raises (after the subscriber has been detached); set by the
+        #: owning cluster to count ``live_subscriber_errors``
+        self.on_subscriber_error: Optional[
+            Callable[[Callable[[TraceEvent], None], BaseException], None]
+        ] = None
+
+    # ---------------------------------------------------------- subscribers
+    def subscribe(
+        self, callback: Callable[[TraceEvent], None]
+    ) -> Callable[[TraceEvent], None]:
+        """Register a callback invoked with every *committed* event.
+
+        Callbacks run synchronously, in registration order, after the
+        event is appended.  Returns the callback (handy for later
+        :meth:`unsubscribe`).  Registering the same callable twice is an
+        error — it would double-deliver every event.
+        """
+        if callback in self._subscribers:
+            raise ValueError(f"subscriber {callback!r} already registered")
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> bool:
+        """Remove a subscriber; returns whether it was registered."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def subscribers(self) -> List[Callable[[TraceEvent], None]]:
+        """The currently attached subscribers (a copy, in call order)."""
+        return list(self._subscribers)
+
+    def _notify(self, event: TraceEvent) -> None:
+        """Deliver one committed event to every subscriber, in order.
+
+        Exception isolation: a raising subscriber is detached (so it can
+        never raise twice), the failure is logged as a warning, and the
+        ``on_subscriber_error`` hook is told — the emitting engine code
+        path never sees the exception.
+        """
+        for callback in list(self._subscribers):
+            try:
+                callback(event)
+            except Exception as exc:
+                try:
+                    self._subscribers.remove(callback)
+                except ValueError:
+                    pass  # already detached (e.g. by a prior event)
+                logger.warning(
+                    "trace subscriber %r raised %r on %s event (seq %d); "
+                    "detached",
+                    callback,
+                    exc,
+                    event.kind,
+                    event.seq,
+                )
+                hook = self.on_subscriber_error
+                if hook is not None:
+                    hook(callback, exc)
 
     # ------------------------------------------------------------- recording
     def emit(self, kind: str, **data: Any) -> Optional[TraceEvent]:
-        """Append one event, timestamped with the bound simulated clock."""
+        """Append one event, timestamped with the bound simulated clock.
+
+        Return contract: the *committed* :class:`TraceEvent` — or ``None``
+        if and only if the trace is disabled (``enabled = False``), in
+        which case nothing was recorded and no subscriber is invoked.
+        Subscribers are therefore never called with ``None``: every
+        notification carries a real, already-appended event.  On a strict
+        trace a malformed emission raises *before* anything is appended,
+        so subscribers never observe an event the trace rejected.
+        """
         if not self.enabled:
             return None
         if self.strict:
@@ -196,6 +285,8 @@ class Trace:
         t = float(self._clock.now) if self._clock is not None else 0.0
         event = TraceEvent(len(self.events), t, kind, data)
         self.events.append(event)
+        if self._subscribers:
+            self._notify(event)
         return event
 
     # --------------------------------------------------------------- queries

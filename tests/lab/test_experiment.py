@@ -72,6 +72,22 @@ class TestExperimentation:
         b = exp.run(progress=None)
         assert a.to_json() == b.to_json()
 
+    def test_live_mode_monitors_every_cell(self):
+        exp = Experimentation(
+            schedulers=["bas", "heft"], workloads=["filter_min"], live=True
+        )
+        report = exp.run(progress=None)
+        for cell in report.cells:
+            assert cell.live_alerts == 0
+            assert cell.live_eta_error == 0.0
+            assert cell.live_stream_identical is True
+
+    def test_live_off_leaves_cells_unmonitored(self):
+        exp = Experimentation(schedulers=["bas"], workloads=["filter_min"])
+        cell = exp.run_cell("filter_min", "bas")
+        assert cell.live_eta_error is None
+        assert cell.live_stream_identical is None
+
 
 class TestLabReport:
     def _report(self):

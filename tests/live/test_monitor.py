@@ -1,0 +1,181 @@
+"""LiveMonitor lifecycle, run_mdf wiring, the bench hook, and renderers."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import Cluster, GB, run_mdf
+from repro.live import LiveMonitor, StreamWriter
+from repro.live.hook import LiveHook, active_live_hook, set_live_hook
+from repro.trace import Trace
+
+from ..conftest import build_filter_mdf, build_nested_mdf
+
+
+class TestRunMdfWiring:
+    def test_monitoring_never_changes_the_trace(self):
+        """The invariance contract: live=True produces byte-identical
+        decisions to live=False."""
+        mdf = build_filter_mdf()
+        plain = run_mdf(
+            mdf, Cluster(num_workers=4, mem_per_worker=1 * GB), live=False
+        )
+        live = run_mdf(
+            mdf, Cluster(num_workers=4, mem_per_worker=1 * GB), live=True
+        )
+        assert live.events.to_jsonl() == plain.events.to_jsonl()
+        assert live.completion_time == plain.completion_time
+
+    def test_live_default_is_off(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        result = run_mdf(build_filter_mdf(), cluster)
+        assert result.live is None
+        assert cluster.trace.subscribers == []
+
+    def test_live_true_attaches_and_detaches_a_monitor(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        result = run_mdf(build_filter_mdf(), cluster, live=True)
+        assert isinstance(result.live, LiveMonitor)
+        assert not result.live.attached  # detached in the runner's finally
+        assert cluster.trace.subscribers == []
+        assert result.live.plan is not None
+
+    def test_explicit_monitor_instance_is_used(self):
+        buffer = io.StringIO()
+        monitor = LiveMonitor(stream=buffer)
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        result = run_mdf(build_filter_mdf(), cluster, live=monitor)
+        assert result.live is monitor
+        assert buffer.getvalue() == result.events.to_jsonl()
+
+    def test_detach_even_when_the_run_raises(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        monitor = LiveMonitor()
+        with pytest.raises(Exception):
+            run_mdf(build_filter_mdf(), cluster, scheduler="nope", live=monitor)
+        assert not monitor.attached
+        assert cluster.trace.subscribers == []
+
+
+class TestLifecycle:
+    def test_attach_twice_is_an_error(self):
+        class FakeClock:
+            now = 0.0
+
+        trace = Trace(clock=FakeClock())
+        monitor = LiveMonitor().attach(trace)
+        with pytest.raises(RuntimeError):
+            monitor.attach(trace)
+        monitor.detach()
+
+    def test_detach_is_idempotent(self):
+        class FakeClock:
+            now = 0.0
+
+        trace = Trace(clock=FakeClock())
+        monitor = LiveMonitor(stream=io.StringIO()).attach(trace)
+        monitor.detach()
+        monitor.detach()  # second call is a no-op
+        assert trace.subscribers == []
+        assert monitor.progress.finished
+
+    def test_snapshot_before_attach_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            LiveMonitor().snapshot()
+
+    def test_catch_up_replay_preserves_byte_identity(self):
+        """Attaching to a trace that already holds committed events (a
+        warm ``reset=False`` continuation) replays them first, so the
+        streamed file still equals the full export."""
+
+        class FakeClock:
+            now = 0.0
+
+        trace = Trace(clock=FakeClock())
+        for i in range(3):
+            trace.emit("dataset_discarded", dataset=f"early-{i}")
+        buffer = io.StringIO()
+        monitor = LiveMonitor(stream=buffer).attach(trace)
+        for i in range(2):
+            trace.emit("dataset_discarded", dataset=f"late-{i}")
+        monitor.detach()
+        assert buffer.getvalue() == trace.to_jsonl()
+        assert monitor.progress.events_seen == 5
+
+    def test_warm_continuation_run_streams_the_whole_trace(self):
+        """The engine-level version: run once, then a reset=False rerun
+        with a monitor — its stream covers both runs' events."""
+        mdf = build_filter_mdf()
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        run_mdf(mdf, cluster)
+        buffer = io.StringIO()
+        result = run_mdf(mdf, cluster, reset=False, live=buffer)
+        assert buffer.getvalue() == result.events.to_jsonl()
+
+
+class TestHook:
+    def setup_method(self):
+        set_live_hook(None)
+
+    def teardown_method(self):
+        set_live_hook(None)
+
+    def test_hook_records_default_runs(self):
+        hook = LiveHook()
+        set_live_hook(hook)
+        assert active_live_hook() is hook
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        result = run_mdf(build_filter_mdf(), cluster)  # live=None
+        assert len(hook.runs) == 1
+        assert hook.runs[0].byte_identical
+        assert hook.all_byte_identical
+        assert hook.total_alerts() == 0
+        assert result.live is hook.runs[0].monitor
+
+    def test_explicit_live_false_beats_the_hook(self):
+        hook = LiveHook()
+        set_live_hook(hook)
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        result = run_mdf(build_filter_mdf(), cluster, live=False)
+        assert hook.runs == []
+        assert result.live is None
+
+    def test_custom_factory_gets_a_stream(self):
+        hook = LiveHook(make_monitor=lambda: LiveMonitor())
+        monitor, buffer = hook.monitor_for_run()
+        assert isinstance(monitor.stream, StreamWriter)
+
+
+class TestRenderers:
+    def run_monitored(self):
+        cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
+        return run_mdf(build_nested_mdf(), cluster, live=True)
+
+    def test_progress_line_shape(self):
+        result = self.run_monitored()
+        line = result.live.progress_line()
+        assert "stages" in line
+        assert "done @" in line  # finished run renders completion, not ETA
+        assert "kept" in line
+        assert "0 alerts" in line
+
+    def test_dashboard_lists_every_branch(self):
+        result = self.run_monitored()
+        board = result.live.dashboard()
+        assert board.startswith("repro.live ")
+        snap = result.live.snapshot()
+        for branch_id in snap.branch_status:
+            assert branch_id in board
+
+    def test_dashboard_renders_alerts(self):
+        from repro.live.monitor import render_dashboard
+        from repro.live.watchdogs import Alert
+
+        result = self.run_monitored()
+        snap = result.live.snapshot()
+        alert = Alert("stall", 1.0, "stream", "no event for 12.0 wall seconds")
+        board = render_dashboard(snap, [alert])
+        assert "alerts (1):" in board
+        assert "[stall]" in board
