@@ -1,5 +1,5 @@
 """Command-line entry: ``python -m repro.bench [--validate] [--telemetry]
-[--wallclock] [figure ...]``.
+[--wallclock] [--wallclock-backends] [figure ...]``.
 
 Regenerates the requested tables/figures (all of them by default),
 printing the paper-style rows and the shape-check verdicts.  With
@@ -11,6 +11,10 @@ timelines, per-branch/node attribution, Prometheus and JSON expositions)
 — on its own it replaces the figure run.  With ``--wallclock``, runs the
 result-cache cold/warm wall-clock microbenchmark and writes
 ``BENCH_pr4.json`` — on its own it replaces the figure run.  With
+``--wallclock-backends``, runs the serial-vs-mp execution-backend
+comparison on the compute-dominated figures and writes ``BENCH_pr8.json``
+— on its own it replaces the figure run, and any simulated divergence
+between the backends fails the bench.  With
 ``--profile``, every figure run is profiled (:mod:`repro.prof`): a
 per-figure makespan-attribution table is printed after each figure and a
 speedscope flamegraph of each figure's longest run is written to
@@ -53,6 +57,19 @@ def main(argv) -> int:
         print("wrote BENCH_pr4.json")
         if report["wall_reduction_pct_overall"] <= 0.0:
             print("wall-clock regression: warm run was not faster")
+            return 1
+        if not argv:
+            return 0
+    wallclock_backends = "--wallclock-backends" in argv
+    if wallclock_backends:
+        argv = [a for a in argv if a != "--wallclock-backends"]
+        from .parallel import render_backend_wallclock, run_backend_wallclock
+
+        report = run_backend_wallclock()
+        print(render_backend_wallclock(report))
+        print("wrote BENCH_pr8.json")
+        if not report["all_identical"]:
+            print("backend identity violation: mp diverged from serial")
             return 1
         if not argv:
             return 0

@@ -120,6 +120,10 @@ class DiskCacheStore:
     def __init__(self, path: str):
         self.path = str(path)
         os.makedirs(self.path, exist_ok=True)
+        #: fingerprint -> loaded blob; repeated hits on the same entry
+        #: skip the unpickle.  Consumers must treat served payloads as
+        #: immutable cache property (the executor copies on serve).
+        self._loaded: Dict[str, Tuple[List[Any], List[int], Optional[str]]] = {}
 
     def _file(self, fingerprint: str) -> str:
         return os.path.join(self.path, f"{fingerprint}.pkl")
@@ -144,6 +148,7 @@ class DiskCacheStore:
             with open(tmp, "wb") as fh:
                 pickle.dump(blob, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._file(fingerprint))
+            self._loaded.pop(fingerprint, None)  # refreshed on next load
             return True
         except Exception:  # noqa: BLE001 - unpicklable payloads skip the tier
             try:
@@ -155,14 +160,24 @@ class DiskCacheStore:
     def load(
         self, fingerprint: str
     ) -> Optional[Tuple[List[Any], List[int], Optional[str]]]:
+        memo = self._loaded.get(fingerprint)
+        if memo is not None:
+            return memo
         try:
             with open(self._file(fingerprint), "rb") as fh:
                 blob = pickle.load(fh)
-            return blob["payloads"], blob["partition_bytes"], blob["producer"]
+            loaded = (
+                blob["payloads"],
+                blob["partition_bytes"],
+                blob["producer"],
+            )
+            self._loaded[fingerprint] = loaded
+            return loaded
         except Exception:  # noqa: BLE001 - corrupt/missing file = miss
             return None
 
     def clear(self) -> None:
+        self._loaded.clear()
         for name in os.listdir(self.path):
             if name.endswith(".pkl"):
                 try:

@@ -30,6 +30,13 @@ class ExecutionError(MDFError):
     def __init__(self, operator_name: str, message: str):
         super().__init__(f"operator {operator_name!r}: {message}")
         self.operator_name = operator_name
+        self.message = message
+
+    def __reduce__(self):
+        # default exception pickling replays args=(formatted string,) into
+        # __init__(operator_name, message); rebuild from the real parts so
+        # the error survives a process boundary intact
+        return (ExecutionError, (self.operator_name, self.message))
 
 
 class MemoryError_(MDFError):

@@ -1,0 +1,55 @@
+"""Pluggable execution backends (the engine's data plane).
+
+The registry maps names accepted by ``EngineConfig.backend`` /
+``run_mdf(backend=...)`` to backend classes.  Third parties can add their
+own with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, Union
+
+from .base import BackendStats, ExecutionBackend
+from .mp import MPBackend
+from .serial import SerialBackend
+
+__all__ = [
+    "BackendStats",
+    "ExecutionBackend",
+    "SerialBackend",
+    "MPBackend",
+    "BACKENDS",
+    "register_backend",
+    "available_backends",
+    "make_backend",
+]
+
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "mp": MPBackend,
+}
+
+
+def register_backend(name: str, cls: Type[ExecutionBackend]) -> None:
+    """Register a backend class under ``name`` (overwrites silently)."""
+    BACKENDS[name] = cls
+
+
+def available_backends() -> List[str]:
+    return sorted(BACKENDS)
+
+
+def make_backend(spec: Union[str, ExecutionBackend, None]) -> ExecutionBackend:
+    """Resolve a config spec (name, instance or None) to a backend instance."""
+    if spec is None:
+        spec = "serial"
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    try:
+        cls = BACKENDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {spec!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return cls()

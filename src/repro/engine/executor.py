@@ -16,6 +16,7 @@ gates the stage), after straggler stretching and speculative mitigation.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -25,7 +26,20 @@ from ..core.datasets import Dataset, Partition, split_payload
 from ..core.errors import SchedulingError
 from ..core.operators import Join, Operator, Sink, Source
 from ..core.stages import Stage
+from .backends import ExecutionBackend, make_backend
 from .job import EngineConfig
+
+
+def _split_bytes(total: int, count: int) -> List[int]:
+    """Split ``total`` nominal bytes across ``count`` partitions exactly.
+
+    The remainder lands on the first partitions so that
+    ``sum(_split_bytes(t, n)) == max(0, t)`` always holds (the old
+    ``total // count`` stamp leaked up to ``count - 1`` bytes per stage).
+    """
+    count = max(1, count)
+    base, extra = divmod(max(0, int(total)), count)
+    return [base + 1 if i < extra else base for i in range(count)]
 
 
 @dataclass
@@ -76,6 +90,18 @@ class StageExecutor:
         #: node id -> pending transient task-failure attempts, consumed by
         #: the next executed stage (retry-with-backoff, §5)
         self._pending_task_faults: Dict[str, int] = {}
+        #: the data plane: who actually runs operator functions over
+        #: payloads.  Resolved from ``config.backend`` (a registry name or
+        #: a ready instance); instances are caller-owned and survive
+        #: :meth:`close`, named backends are created and closed here.
+        spec = getattr(config, "backend", "serial")
+        self.backend = make_backend(spec)
+        self._owns_backend = not isinstance(spec, ExecutionBackend)
+
+    def close(self) -> None:
+        """Release backend resources (process pools, shared memory)."""
+        if self._owns_backend:
+            self.backend.close()
 
     def inject_task_faults(self, faults: Dict[str, int]) -> None:
         """Schedule transient task failures for the next executed stage."""
@@ -92,12 +118,18 @@ class StageExecutor:
         network: float,
         num_tasks: int,
         per_node_tasks: Optional[Dict[str, int]] = None,
+        consume_faults: bool = False,
     ) -> StageTimes:
         """Combine per-node times into stage walls, honouring stragglers.
 
         Also attributes the (straggler-adjusted) per-node times, the task
         counts, and a per-task latency estimate to the labeled registry;
         the ambient label context supplies stage/branch.
+
+        ``consume_faults`` is True only for real stage-execution walls:
+        injected transient task failures are scheduled "for the next
+        executed stage" and must not be drained by choose evaluations,
+        cache-hit serving or sink finalisation walls in between.
         """
         profile = self.config.stragglers
         if profile is not None:
@@ -107,7 +139,7 @@ class StageExecutor:
             per_node_compute = apply_stragglers(
                 per_node_compute, profile, self.config.speculation, self.cluster.metrics
             )
-        if self._pending_task_faults:
+        if consume_faults and self._pending_task_faults:
             faults, self._pending_task_faults = self._pending_task_faults, {}
             per_node_io = dict(per_node_io)
             per_node_compute = dict(per_node_compute)
@@ -166,24 +198,41 @@ class StageExecutor:
             per_node_compute=dict(per_node_compute),
         )
 
-    def _run_chain(
+    def _charge_chain(
         self,
         ops: List[Operator],
-        payload: Any,
         nbytes: int,
         node_id: str,
         per_node_compute: Dict[str, float],
-    ) -> Tuple[Any, int]:
-        """Apply a narrow operator chain to one partition payload."""
-        cur, cur_bytes = payload, nbytes
+    ) -> int:
+        """Charge a narrow chain's modelled compute for one partition.
+
+        Control-plane half of the old inline chain loop: accumulates the
+        per-operator compute times in the same order as before (float
+        accumulation order is part of the byte-identity contract) and
+        returns the chain's nominal output bytes.  The data-plane half —
+        actually transforming the payloads — runs in :meth:`_apply_chain`.
+        """
+        cur_bytes = nbytes
         for op in ops:
             cost = op.compute_cost(cur_bytes)
             per_node_compute[node_id] = per_node_compute.get(node_id, 0.0) + (
                 self.cluster.cost_model.compute_time(cost)
             )
-            cur = op.apply_partition(cur)
             cur_bytes = op.output_bytes(cur_bytes)
-        return cur, cur_bytes
+        return cur_bytes
+
+    def _apply_chain(
+        self, stage_id: str, ops: List[Operator], payloads: List[Any]
+    ) -> List[Any]:
+        """Run the pure payload transform, consuming a prefetch if present."""
+        if self.backend.has_prefetched(stage_id):
+            prefetched = self.backend.take_prefetched(stage_id)
+            if prefetched is not None:
+                return prefetched
+        if not ops:
+            return list(payloads)
+        return self.backend.map_chain(ops, payloads)
 
     # ------------------------------------------------------ result cache
     def _note_miss(self, stage: Stage, fingerprint: Optional[str], reason: str) -> None:
@@ -345,6 +394,12 @@ class StageExecutor:
                     cluster.cost_model.disk_read_time(nbytes)
                 )
                 per_node_tasks[node.id] = per_node_tasks.get(node.id, 0) + 1
+                # copy on serve: the hit's payloads belong to the cache
+                # blob — aliasing them into a live dataset would let any
+                # downstream in-place mutation corrupt every later hit
+                payload = pickle.loads(
+                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                )
                 out_parts.append(Partition("", index, payload, nbytes))
             output = Dataset(
                 out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name
@@ -407,12 +462,14 @@ class StageExecutor:
         if isinstance(head, Source):
             cached = self._try_cache(stage, fingerprint, [], defer_store)
             if cached is not None:
+                self.backend.drop_prefetched(stage.id)
                 return cached
             return self._execute_source_stage(stage, fingerprint)
         if input_dataset_id is None:
             raise SchedulingError(f"stage {stage.id} has no input dataset")
         cached = self._try_cache(stage, fingerprint, [input_dataset_id], defer_store)
         if cached is not None:
+            self.backend.drop_prefetched(stage.id)
             return cached
         if head.narrow:
             return self._execute_narrow_stage(
@@ -473,17 +530,24 @@ class StageExecutor:
 
             left_payload = concat_payloads(operands[0])
             right_payload = concat_payloads(operands[1])
-            joined = head.apply_join(left_payload, right_payload)
+            joined = self.backend.run_join(head, left_payload, right_payload)
             out_payloads = split_payload(joined, self.cluster.num_workers)
             out_total = head.output_bytes(total_bytes)
-            per_part_bytes = max(1, out_total // max(1, len(out_payloads)))
-            out_parts: List[Partition] = []
-            for index, payload in enumerate(out_payloads):
-                node = self.cluster.node_for_partition(index)
-                out_payload, out_bytes = self._run_chain(
-                    rest, payload, per_part_bytes, node.id, per_node_compute
+            part_bytes = _split_bytes(out_total, len(out_payloads))
+            out_bytes_list = [
+                self._charge_chain(
+                    rest,
+                    part_bytes[index],
+                    self.cluster.node_for_partition(index).id,
+                    per_node_compute,
                 )
-                out_parts.append(Partition("", index, out_payload, out_bytes))
+                for index in range(len(out_payloads))
+            ]
+            out_payloads = self._apply_chain(stage.id, rest, out_payloads)
+            out_parts: List[Partition] = [
+                Partition("", index, payload, out_bytes_list[index])
+                for index, payload in enumerate(out_payloads)
+            ]
             output = Dataset(
                 out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name
             )
@@ -492,7 +556,12 @@ class StageExecutor:
         num_tasks = sum(len(p) for p in operands)
         if defer_store:
             times = self._wall(
-                per_node_io, per_node_compute, network, num_tasks, per_node_tasks
+                per_node_io,
+                per_node_compute,
+                network,
+                num_tasks,
+                per_node_tasks,
+                consume_faults=True,
             )
             return StageOutcome(
                 output.id, times, num_tasks, pending=output, fingerprint=fingerprint
@@ -501,7 +570,12 @@ class StageExecutor:
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
         times = self._wall(
-            per_node_io, per_node_compute, network, num_tasks, per_node_tasks
+            per_node_io,
+            per_node_compute,
+            network,
+            num_tasks,
+            per_node_tasks,
+            consume_faults=True,
         )
         return StageOutcome(output.id, times, num_tasks, fingerprint=fingerprint)
 
@@ -548,7 +622,9 @@ class StageExecutor:
         per_node_compute: Dict[str, float] = {}
         per_node_tasks: Dict[str, int] = {}
         # Reading the job input from distributed storage is a disk read.
-        out_parts: List[Partition] = []
+        chain = stage.ops[1:]
+        in_payloads: List[Any] = []
+        out_bytes_list: List[int] = []
         for partition in raw.partitions:
             node = self.cluster.node_for_partition(partition.index)
             self.cluster.obs.counter(
@@ -565,17 +641,29 @@ class StageExecutor:
                 self.cluster.cost_model.disk_read_time(partition.nominal_bytes)
             )
             per_node_tasks[node.id] = per_node_tasks.get(node.id, 0) + 1
-            payload, nbytes = self._run_chain(
-                stage.ops[1:], partition.data, partition.nominal_bytes, node.id, per_node_compute
+            out_bytes_list.append(
+                self._charge_chain(
+                    chain, partition.nominal_bytes, node.id, per_node_compute
+                )
             )
-            out_parts.append(Partition(raw.id, partition.index, payload, nbytes))
+            in_payloads.append(partition.data)
+        out_payloads = self._apply_chain(stage.id, chain, in_payloads)
+        out_parts: List[Partition] = [
+            Partition(raw.id, partition.index, out_payloads[i], out_bytes_list[i])
+            for i, partition in enumerate(raw.partitions)
+        ]
         output = Dataset(out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name)
         store_seconds = self.cluster.register_dataset(output)
         self._maybe_admit(fingerprint, output)
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
         times = self._wall(
-            per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
+            per_node_io,
+            per_node_compute,
+            0.0,
+            len(out_parts),
+            per_node_tasks,
+            consume_faults=True,
         )
         return StageOutcome(output.id, times, len(out_parts), fingerprint=fingerprint)
 
@@ -590,8 +678,9 @@ class StageExecutor:
         per_node_io: Dict[str, float] = {}
         per_node_compute: Dict[str, float] = {}
         per_node_tasks: Dict[str, int] = {}
-        out_parts: List[Partition] = []
         with self.cluster.protect([input_dataset_id]):
+            in_payloads: List[Any] = []
+            out_bytes_list: List[int] = []
             for index in range(record.num_partitions):
                 payload, seconds, node_id = self.cluster.load_partition(
                     input_dataset_id, index
@@ -599,10 +688,15 @@ class StageExecutor:
                 per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
                 per_node_tasks[node_id] = per_node_tasks.get(node_id, 0) + 1
                 nbytes = record.partition_bytes[index]
-                out_payload, out_bytes = self._run_chain(
-                    stage.ops, payload, nbytes, node_id, per_node_compute
+                out_bytes_list.append(
+                    self._charge_chain(stage.ops, nbytes, node_id, per_node_compute)
                 )
-                out_parts.append(Partition("", index, out_payload, out_bytes))
+                in_payloads.append(payload)
+            out_payloads = self._apply_chain(stage.id, stage.ops, in_payloads)
+            out_parts: List[Partition] = [
+                Partition("", index, payload, out_bytes_list[index])
+                for index, payload in enumerate(out_payloads)
+            ]
             output = Dataset(
                 out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name
             )
@@ -610,7 +704,12 @@ class StageExecutor:
                 store_seconds = self.cluster.register_dataset(output)
         if defer_store:
             times = self._wall(
-                per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
+                per_node_io,
+                per_node_compute,
+                0.0,
+                len(out_parts),
+                per_node_tasks,
+                consume_faults=True,
             )
             return StageOutcome(
                 output.id,
@@ -623,7 +722,12 @@ class StageExecutor:
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
         times = self._wall(
-            per_node_io, per_node_compute, 0.0, len(out_parts), per_node_tasks
+            per_node_io,
+            per_node_compute,
+            0.0,
+            len(out_parts),
+            per_node_tasks,
+            consume_faults=True,
         )
         return StageOutcome(output.id, times, len(out_parts), fingerprint=fingerprint)
 
@@ -664,16 +768,37 @@ class StageExecutor:
                 per_node_compute[node.id] = (
                     per_node_compute.get(node.id, 0.0) + per_worker_compute
                 )
-            out_payloads = head.apply_global(payloads)
+            # data plane: a prefetched wide stage already ran head + rest
+            # off-turn, so only the (identical) charges remain to be made
+            final_payloads: Optional[List[Any]] = None
+            if self.backend.has_prefetched(stage.id):
+                final_payloads = self.backend.take_prefetched(stage.id)
+            if final_payloads is None:
+                mid_payloads = self.backend.run_global(head, payloads)
+                nout = len(mid_payloads)
+            else:
+                nout = len(final_payloads)
             out_total = head.output_bytes(total_bytes)
-            per_part_bytes = max(1, out_total // max(1, len(out_payloads)))
-            out_parts: List[Partition] = []
-            for index, payload in enumerate(out_payloads):
-                node = self.cluster.node_for_partition(index)
-                out_payload, out_bytes = self._run_chain(
-                    rest, payload, per_part_bytes, node.id, per_node_compute
+            part_bytes = _split_bytes(out_total, nout)
+            out_bytes_list = [
+                self._charge_chain(
+                    rest,
+                    part_bytes[index],
+                    self.cluster.node_for_partition(index).id,
+                    per_node_compute,
                 )
-                out_parts.append(Partition("", index, out_payload, out_bytes))
+                for index in range(nout)
+            ]
+            if final_payloads is None:
+                final_payloads = (
+                    self.backend.map_chain(rest, mid_payloads)
+                    if rest
+                    else list(mid_payloads)
+                )
+            out_parts: List[Partition] = [
+                Partition("", index, payload, out_bytes_list[index])
+                for index, payload in enumerate(final_payloads)
+            ]
             output = Dataset(
                 out_parts, dataset_id=f"d:{stage.tail.name}", producer=stage.tail.name
             )
@@ -681,7 +806,12 @@ class StageExecutor:
                 store_seconds = self.cluster.register_dataset(output)
         if defer_store:
             times = self._wall(
-                per_node_io, per_node_compute, network, len(payloads), per_node_tasks
+                per_node_io,
+                per_node_compute,
+                network,
+                len(payloads),
+                per_node_tasks,
+                consume_faults=True,
             )
             return StageOutcome(
                 output.id,
@@ -694,7 +824,12 @@ class StageExecutor:
         for node_id, seconds in store_seconds.items():
             per_node_io[node_id] = per_node_io.get(node_id, 0.0) + seconds
         times = self._wall(
-            per_node_io, per_node_compute, network, len(payloads), per_node_tasks
+            per_node_io,
+            per_node_compute,
+            network,
+            len(payloads),
+            per_node_tasks,
+            consume_faults=True,
         )
         return StageOutcome(output.id, times, len(payloads), fingerprint=fingerprint)
 

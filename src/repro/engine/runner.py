@@ -19,6 +19,7 @@ before the run (cold caches) unless ``reset=False``.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional, Union
 
 from ..cluster.cluster import Cluster
@@ -44,6 +45,7 @@ def run_mdf(
     validate: Optional[bool] = None,
     telemetry: Union[bool, float, TelemetryConfig, None] = None,
     live=None,
+    backend=None,
 ) -> JobResult:
     """Execute an MDF on a cluster and return the job result.
 
@@ -97,8 +99,17 @@ def run_mdf(
         then.  The monitor is detached before returning and reachable
         as ``result.live``.  Live subscribers are pure observers — a
         monitored run's trace is byte-identical to an unmonitored one.
+    backend:
+        Execution backend for the real operator work: a registry name
+        (``"serial"`` — the default — or ``"mp"``) or an
+        :class:`~repro.engine.backends.ExecutionBackend` instance.
+        Overrides ``config.backend`` when given.  Backends only change
+        real wall-clock time; simulated results are byte-identical
+        across backends (see ``docs/parallel_execution.md``).
     """
     config = config or EngineConfig()
+    if backend is not None:
+        config = dataclasses.replace(config, backend=backend)
     if reset:
         cluster.reset()
     if memory is not None:

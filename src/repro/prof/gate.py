@@ -47,11 +47,24 @@ def _threshold_explore(name: str, thresholds, nominal_bytes: int):
     return builder.build()
 
 
-def _scenario_quickstart() -> float:
+def _scenario_quickstart(backend: str = "serial") -> float:
     """The quickstart recipe: roomy cluster, three thresholds."""
     mdf = _threshold_explore("gate-quickstart", [10, 100, 500], 256 * MB)
     cluster = Cluster(num_workers=4, mem_per_worker=1 * GB)
-    return run_mdf(mdf, cluster, scheduler="bas", memory="amm").completion_time
+    return run_mdf(
+        mdf, cluster, scheduler="bas", memory="amm", backend=backend
+    ).completion_time
+
+
+def _scenario_quickstart_mp() -> float:
+    """Quickstart on the ``mp`` backend.
+
+    Backends are forbidden from moving simulated time at all, so this
+    scenario shares the exact baseline value with ``quickstart`` — any
+    drift between the two is a backend-identity regression, caught here
+    even if both baselines were regenerated together.
+    """
+    return _scenario_quickstart(backend="mp")
 
 
 def _scenario_starved_explore() -> float:
@@ -60,7 +73,9 @@ def _scenario_starved_explore() -> float:
         "gate-starved", [50, 150, 400, 700, 900], 96 * MB
     )
     cluster = Cluster(num_workers=2, mem_per_worker=48 * MB)
-    return run_mdf(mdf, cluster, scheduler="bas", memory="amm").completion_time
+    return run_mdf(
+        mdf, cluster, scheduler="bas", memory="amm", backend="serial"
+    ).completion_time
 
 
 def _scenario_chain() -> float:
@@ -75,7 +90,9 @@ def _scenario_chain() -> float:
         )
     pipe.write(name="out")
     cluster = Cluster(num_workers=2, mem_per_worker=256 * MB)
-    return run_mdf(builder.build(), cluster, scheduler="bas", memory="amm").completion_time
+    return run_mdf(
+        builder.build(), cluster, scheduler="bas", memory="amm", backend="serial"
+    ).completion_time
 
 
 def _scenario_lab(workload: str, scheduler: str) -> Callable[[], float]:
@@ -85,7 +102,9 @@ def _scenario_lab(workload: str, scheduler: str) -> Callable[[], float]:
     def scenario() -> float:
         from ..lab.workloads import get_workload
 
-        result, _ = get_workload(workload).run(scheduler=scheduler, memory="amm")
+        result, _ = get_workload(workload).run(
+            scheduler=scheduler, memory="amm", backend="serial"
+        )
         return result.completion_time
 
     scenario.__name__ = f"_scenario_lab_{scheduler}"
@@ -94,9 +113,13 @@ def _scenario_lab(workload: str, scheduler: str) -> Callable[[], float]:
 
 #: the gated scenario set: small, fast, and covering the three engine
 #: regimes (roomy explore, starved explore with evictions, plain chain),
-#: plus one pinned policy-lab cell per contender scheduler
+#: plus one pinned policy-lab cell per contender scheduler and one
+#: mp-backend parity scenario.  Every scenario pins its backend
+#: explicitly, so a change to the default backend (or a backend that
+#: perturbs simulated time) can never slip through the gate silently.
 SCENARIOS: Dict[str, Callable[[], float]] = {
     "quickstart": _scenario_quickstart,
+    "quickstart_mp": _scenario_quickstart_mp,
     "starved_explore": _scenario_starved_explore,
     "chain": _scenario_chain,
     "lab_heft": _scenario_lab("wide_topk", "heft"),
