@@ -1,5 +1,5 @@
 """Command-line entry: ``python -m repro.bench [--validate] [--telemetry]
-[--wallclock] [--wallclock-backends] [figure ...]``.
+[--wallclock] [--wallclock-backends] [--loadgen] [figure ...]``.
 
 Regenerates the requested tables/figures (all of them by default),
 printing the paper-style rows and the shape-check verdicts.  With
@@ -14,7 +14,11 @@ result-cache cold/warm wall-clock microbenchmark and writes
 ``--wallclock-backends``, runs the serial-vs-mp execution-backend
 comparison on the compute-dominated figures and writes ``BENCH_pr8.json``
 — on its own it replaces the figure run, and any simulated divergence
-between the backends fails the bench.  With
+between the backends fails the bench.  With ``--loadgen`` (or the
+CI-sized ``--loadgen-quick``), drives the multi-tenant job service with
+a mixed-tenant load and writes ``BENCH_pr9.json`` — on its own it
+replaces the figure run, and any solo-run identity breach, validator
+violation, or missing cross-tenant reuse fails the bench.  With
 ``--profile``, every figure run is profiled (:mod:`repro.prof`): a
 per-figure makespan-attribution table is printed after each figure and a
 speedscope flamegraph of each figure's longest run is written to
@@ -57,6 +61,28 @@ def main(argv) -> int:
         print("wrote BENCH_pr4.json")
         if report["wall_reduction_pct_overall"] <= 0.0:
             print("wall-clock regression: warm run was not faster")
+            return 1
+        if not argv:
+            return 0
+    loadgen = "--loadgen" in argv or "--loadgen-quick" in argv
+    if loadgen:
+        quick = "--loadgen-quick" in argv
+        argv = [a for a in argv if a not in ("--loadgen", "--loadgen-quick")]
+        from .loadgen import render_loadgen, run_loadgen
+
+        if quick:  # CI-sized: 2 tenants, smoke-scale job counts
+            report = run_loadgen(
+                tenants=(2,), jobs_per_tenant=2, overlaps=(0.0, 1.0)
+            )
+        else:
+            report = run_loadgen()
+        print(render_loadgen(report))
+        print("wrote BENCH_pr9.json")
+        if not report["ok"]:
+            print(
+                "loadgen failure: identity breach, validator violation, "
+                "or no cross-tenant reuse"
+            )
             return 1
         if not argv:
             return 0

@@ -8,7 +8,10 @@ lineage, partitioning)* so identical sub-computations are executed once:
 
 * :mod:`repro.cache.fingerprint` — canonical, conservative fingerprints;
 * :mod:`repro.cache.store` — the :class:`ResultCache` (cluster tier +
-  optional persistent :class:`DiskCacheStore`), entry lifecycle and stats.
+  optional persistent :class:`DiskCacheStore`), entry lifecycle and stats;
+  :class:`SharedCacheStore` promotes the disk tier to a concurrency-safe
+  shared cross-tenant tier (write locking, single-flight deduplication,
+  per-tenant quotas) for the :mod:`repro.service` job service.
 
 Enable it via ``EngineConfig(cache=ResultCache())``; it is **off by
 default** and a disabled run is byte-identical to one built before this
@@ -24,7 +27,14 @@ from .fingerprint import (
     stage_fingerprint,
     value_token,
 )
-from .store import CacheEntry, CacheHit, CacheStats, DiskCacheStore, ResultCache
+from .store import (
+    CacheEntry,
+    CacheHit,
+    CacheStats,
+    DiskCacheStore,
+    ResultCache,
+    SharedCacheStore,
+)
 
 __all__ = [
     "CacheEntry",
@@ -33,6 +43,7 @@ __all__ = [
     "DiskCacheStore",
     "FingerprintError",
     "ResultCache",
+    "SharedCacheStore",
     "callable_token",
     "choose_fingerprint",
     "digest",

@@ -24,16 +24,33 @@ partition restores the same key with byte-identical content, so its entry
 entry unbacked and it is invalidated — eagerly by
 :meth:`ResultCache.invalidate_dataset`/:meth:`ResultCache.revalidate`,
 lazily at the next lookup.
+
+:class:`SharedCacheStore` promotes the store tier to a **shared
+cross-tenant tier** for the multi-tenant job service (:mod:`repro.
+service`): many concurrent jobs — different processes, different tenants
+— read and write one directory safely (cross-process write locking on
+top of the per-writer-unique-tmp + ``os.replace`` atomicity),
+single-flight leases deduplicate concurrent computation of the same
+fingerprint, and per-tenant byte quotas bound each tenant's footprint
+with oldest-first eviction.  See ``docs/service.md``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-__all__ = ["CacheEntry", "CacheHit", "CacheStats", "DiskCacheStore", "ResultCache"]
+__all__ = [
+    "CacheEntry",
+    "CacheHit",
+    "CacheStats",
+    "DiskCacheStore",
+    "SharedCacheStore",
+    "ResultCache",
+]
 
 
 @dataclass
@@ -64,6 +81,11 @@ class CacheHit:
     locations: Optional[List[Tuple[str, int]]] = None
     #: store tier: the unpickled payloads per index
     payloads: Optional[List[Any]] = None
+    #: store tier under a :class:`SharedCacheStore`: the tenant whose run
+    #: wrote the entry (None on the cluster tier / unlabelled stores).
+    #: A hit whose owner differs from the reading cache's tenant is a
+    #: *cross-tenant* hit — one user's explore warmed another's.
+    owner_tenant: Optional[str] = None
 
     @property
     def total_bytes(self) -> int:
@@ -87,6 +109,13 @@ class CacheStats:
     store_hits: int = 0
     store_writes: int = 0
     unpicklable_skipped: int = 0
+    #: corrupt/truncated store entries detected (unlinked, served as miss)
+    corrupt_entries: int = 0
+    #: store hits whose entry was written by a *different* tenant
+    cross_tenant_hits: int = 0
+    #: store misses that were resolved by waiting out another job's
+    #: in-flight computation of the same fingerprint (single-flight)
+    singleflight_waits: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -99,6 +128,9 @@ class CacheStats:
             "store_hits": self.store_hits,
             "store_writes": self.store_writes,
             "unpicklable_skipped": self.unpicklable_skipped,
+            "corrupt_entries": self.corrupt_entries,
+            "cross_tenant_hits": self.cross_tenant_hits,
+            "singleflight_waits": self.singleflight_waits,
         }
 
     @property
@@ -115,18 +147,47 @@ class DiskCacheStore:
     simulated clock — the store stands in for the shared artifact storage
     an exploratory platform writes behind the scenes, and charging it
     would perturb the cost-model comparisons the benchmarks assert on.
+
+    Robustness contract: a truncated or otherwise corrupt entry file is
+    never served and never raises — :meth:`load` unlinks it, counts it in
+    :attr:`corrupt_entries` and reports a miss, so the run recomputes the
+    stage through the normal path.  Writers dump into a per-pid temporary
+    file and publish with an atomic ``os.replace``; stale ``*.tmp`` files
+    left behind by a killed writer are swept when the store is opened
+    (``tmp_sweep_age`` bounds how young a tmp may be and still be swept —
+    keep it above zero when concurrent writers may be mid-publish).
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, tmp_sweep_age: float = 0.0):
         self.path = str(path)
         os.makedirs(self.path, exist_ok=True)
         #: fingerprint -> loaded blob; repeated hits on the same entry
         #: skip the unpickle.  Consumers must treat served payloads as
         #: immutable cache property (the executor copies on serve).
         self._loaded: Dict[str, Tuple[List[Any], List[int], Optional[str]]] = {}
+        #: corrupt entry files detected (and unlinked) by :meth:`load`
+        self.corrupt_entries = 0
+        #: stale tmp files swept at open (crashed writers' leftovers)
+        self.tmps_swept = self._sweep_tmps(tmp_sweep_age)
 
     def _file(self, fingerprint: str) -> str:
         return os.path.join(self.path, f"{fingerprint}.pkl")
+
+    def _sweep_tmps(self, min_age: float) -> int:
+        """Remove ``*.tmp`` leftovers of killed writers (open-time sweep)."""
+        swept = 0
+        now = time.time()
+        for name in os.listdir(self.path):
+            if not name.endswith(".tmp"):
+                continue
+            full = os.path.join(self.path, name)
+            try:
+                if now - os.path.getmtime(full) >= min_age:
+                    os.unlink(full)
+                    swept += 1
+            except OSError:
+                pass
+        return swept
 
     def contains(self, fingerprint: str) -> bool:
         return os.path.exists(self._file(fingerprint))
@@ -137,17 +198,20 @@ class DiskCacheStore:
         payloads: List[Any],
         partition_bytes: List[int],
         producer: Optional[str],
+        tenant: Optional[str] = None,
     ) -> bool:
         blob = {
             "payloads": payloads,
             "partition_bytes": list(partition_bytes),
             "producer": producer,
         }
-        tmp = self._file(fingerprint) + ".tmp"
+        # per-pid tmp name: two processes publishing the same fingerprint
+        # never interleave writes into one file (each replace is atomic)
+        tmp = f"{self._file(fingerprint)}.{os.getpid()}.tmp"
         try:
             with open(tmp, "wb") as fh:
                 pickle.dump(blob, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._file(fingerprint))
+            self._publish(fingerprint, tmp, tenant)
             self._loaded.pop(fingerprint, None)  # refreshed on next load
             return True
         except Exception:  # noqa: BLE001 - unpicklable payloads skip the tier
@@ -157,29 +221,49 @@ class DiskCacheStore:
                 pass
             return False
 
+    def _publish(self, fingerprint: str, tmp: str, tenant: Optional[str]) -> None:
+        """Atomically move a fully written tmp into place."""
+        os.replace(tmp, self._file(fingerprint))
+
+    def _decode_blob(
+        self, blob: Any
+    ) -> Tuple[List[Any], List[int], Optional[str]]:
+        """Validate a loaded blob's shape (anything else is corrupt)."""
+        payloads = blob["payloads"]
+        partition_bytes = blob["partition_bytes"]
+        if not isinstance(payloads, list) or not isinstance(partition_bytes, list):
+            raise ValueError("malformed cache blob")
+        if len(payloads) != len(partition_bytes):
+            raise ValueError("cache blob payload/bytes length mismatch")
+        return payloads, partition_bytes, blob["producer"]
+
     def load(
         self, fingerprint: str
     ) -> Optional[Tuple[List[Any], List[int], Optional[str]]]:
         memo = self._loaded.get(fingerprint)
         if memo is not None:
             return memo
+        path = self._file(fingerprint)
         try:
-            with open(self._file(fingerprint), "rb") as fh:
+            with open(path, "rb") as fh:
                 blob = pickle.load(fh)
-            loaded = (
-                blob["payloads"],
-                blob["partition_bytes"],
-                blob["producer"],
-            )
-            self._loaded[fingerprint] = loaded
-            return loaded
-        except Exception:  # noqa: BLE001 - corrupt/missing file = miss
+            loaded = self._decode_blob(blob)
+        except FileNotFoundError:
             return None
+        except Exception:  # noqa: BLE001 - truncated/corrupt entry: quarantine
+            self.corrupt_entries += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self._loaded[fingerprint] = loaded
+        return loaded
 
     def clear(self) -> None:
         self._loaded.clear()
         for name in os.listdir(self.path):
-            if name.endswith(".pkl"):
+            if name.endswith((".pkl", ".tmp")):
                 try:
                     os.unlink(os.path.join(self.path, name))
                 except OSError:
@@ -187,6 +271,248 @@ class DiskCacheStore:
 
     def __len__(self) -> int:
         return sum(1 for n in os.listdir(self.path) if n.endswith(".pkl"))
+
+
+class _StoreLock:
+    """Cross-process exclusive lock over one store directory.
+
+    ``fcntl.flock`` on a dedicated ``.lock`` file: advisory, held only
+    around metadata mutations (publish, sidecar writes, quota eviction),
+    released automatically by the kernel if the holder dies.  Falls back
+    to no-op locking on platforms without :mod:`fcntl` — single-process
+    use stays correct there.
+    """
+
+    def __init__(self, path: str):
+        self._path = os.path.join(path, ".lock")
+        self._fh = None
+        try:
+            import fcntl  # noqa: F401 - probe availability once
+
+            self._fcntl = fcntl
+        except ImportError:  # pragma: no cover - posix containers have it
+            self._fcntl = None
+
+    def __enter__(self) -> "_StoreLock":
+        if self._fcntl is not None:
+            self._fh = open(self._path, "a+")
+            self._fcntl.flock(self._fh.fileno(), self._fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            self._fcntl.flock(self._fh.fileno(), self._fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None
+
+
+class SharedCacheStore(DiskCacheStore):
+    """The shared cross-tenant store tier of the multi-tenant job service.
+
+    One directory, many concurrent writer/reader processes, three
+    additions over :class:`DiskCacheStore`:
+
+    * **Cross-process write locking** — publishes (the atomic
+      ``os.replace``), owner-sidecar writes and quota evictions happen
+      under an exclusive ``flock``, so directory metadata never tears.
+      Payload pickling stays *outside* the lock (each writer dumps into
+      its own per-pid tmp file first).
+    * **Single-flight leases** — the first job to miss a fingerprint
+      creates ``<fp>.flight`` (``O_CREAT | O_EXCL``); concurrent jobs
+      missing the same fingerprint wait (bounded) for the computing job
+      to publish instead of recomputing.  Leases are crash-safe: a lease
+      older than ``flight_timeout`` real seconds is broken and taken
+      over.  Waits are bounded by ``flight_wait`` — on timeout the
+      waiter simply recomputes (correct either way; operators are pure).
+    * **Per-tenant byte quotas** — every entry carries a ``<fp>.owner``
+      sidecar naming the tenant whose run wrote it.  After each save the
+      writing tenant's footprint is re-measured and its *oldest* entries
+      (publish mtime) are evicted until the quota holds again.  Quotas
+      bound footprint, not sharing: any tenant may *read* any entry.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        tenant: str = "default",
+        quota_bytes: Optional[int] = None,
+        flight_timeout: float = 30.0,
+        flight_wait: float = 5.0,
+        flight_poll: float = 0.005,
+        tmp_sweep_age: float = 60.0,
+    ):
+        self.tenant = str(tenant)
+        self.quota_bytes = quota_bytes
+        self.flight_timeout = float(flight_timeout)
+        self.flight_wait = float(flight_wait)
+        self.flight_poll = float(flight_poll)
+        #: entries this store evicted to keep its tenant under quota
+        self.quota_evictions = 0
+        super().__init__(path, tmp_sweep_age=tmp_sweep_age)
+        self._lock = _StoreLock(self.path)
+        self._owners: Dict[str, Optional[str]] = {}
+
+    # ------------------------------------------------------------ sidecars
+    def _owner_file(self, fingerprint: str) -> str:
+        return os.path.join(self.path, f"{fingerprint}.owner")
+
+    def owner_of(self, fingerprint: str) -> Optional[str]:
+        """Tenant that published an entry (None when unlabelled/missing)."""
+        memo = self._owners.get(fingerprint)
+        if memo is not None:
+            return memo
+        try:
+            with open(self._owner_file(fingerprint)) as fh:
+                owner = fh.read().strip() or None
+        except OSError:
+            return None
+        self._owners[fingerprint] = owner
+        return owner
+
+    def _publish(self, fingerprint: str, tmp: str, tenant: Optional[str]) -> None:
+        owner = tenant or self.tenant
+        with self._lock:
+            os.replace(tmp, self._file(fingerprint))
+            sidecar_tmp = f"{self._owner_file(fingerprint)}.{os.getpid()}.tmp"
+            with open(sidecar_tmp, "w") as fh:
+                fh.write(owner)
+            os.replace(sidecar_tmp, self._owner_file(fingerprint))
+            self._owners[fingerprint] = owner
+            self._enforce_quota(owner, keep=fingerprint)
+
+    # -------------------------------------------------------------- quotas
+    def tenant_usage(self, tenant: str) -> int:
+        """Bytes of entry files currently owned by ``tenant`` (on disk)."""
+        return sum(nbytes for _, nbytes, _ in self._owned_entries(tenant))
+
+    def _owned_entries(self, tenant: str) -> List[Tuple[str, int, float]]:
+        """``(fingerprint, file bytes, publish mtime)`` per owned entry."""
+        owned = []
+        for name in os.listdir(self.path):
+            if not name.endswith(".pkl"):
+                continue
+            fingerprint = name[: -len(".pkl")]
+            if self.owner_of(fingerprint) != tenant:
+                continue
+            full = os.path.join(self.path, name)
+            try:
+                stat = os.stat(full)
+            except OSError:
+                continue
+            owned.append((fingerprint, stat.st_size, stat.st_mtime))
+        return owned
+
+    def _enforce_quota(self, tenant: str, keep: Optional[str] = None) -> None:
+        """Evict the tenant's oldest entries until its quota holds.
+
+        Called with the store lock held.  The just-published entry
+        (``keep``) is evicted only as a last resort — when it alone
+        exceeds the quota.
+        """
+        if self.quota_bytes is None:
+            return
+        owned = sorted(self._owned_entries(tenant), key=lambda e: (e[2], e[0]))
+        usage = sum(nbytes for _, nbytes, _ in owned)
+        for fingerprint, nbytes, _ in owned:
+            if usage <= self.quota_bytes:
+                return
+            if fingerprint == keep and usage - nbytes <= self.quota_bytes:
+                continue  # evicting an older sibling suffices
+            self._evict(fingerprint)
+            usage -= nbytes
+        if usage > self.quota_bytes and keep is not None:
+            self._evict(keep)
+
+    def _evict(self, fingerprint: str) -> None:
+        for path in (self._file(fingerprint), self._owner_file(fingerprint)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._loaded.pop(fingerprint, None)
+        self._owners.pop(fingerprint, None)
+        self.quota_evictions += 1
+
+    # ------------------------------------------------------- single flight
+    def _flight_file(self, fingerprint: str) -> str:
+        return os.path.join(self.path, f"{fingerprint}.flight")
+
+    def try_begin_flight(self, fingerprint: str) -> bool:
+        """Claim the right to compute a fingerprint (True = we compute).
+
+        The lease is a file created with ``O_CREAT | O_EXCL`` — exactly
+        one concurrent claimant wins.  A lease older than
+        ``flight_timeout`` belongs to a crashed/stuck writer and is
+        broken before retrying once.
+        """
+        path = self._flight_file(fingerprint)
+        for _ in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - os.path.getmtime(path)
+                except OSError:
+                    continue  # holder just released; retry the claim
+                if age < self.flight_timeout:
+                    return False
+                try:  # stale lease: break it and retry the claim once
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(f"{os.getpid()} {time.time():.3f}")
+            return True
+        return False
+
+    def end_flight(self, fingerprint: str) -> None:
+        """Release a lease taken with :meth:`try_begin_flight`."""
+        try:
+            os.unlink(self._flight_file(fingerprint))
+        except OSError:
+            pass
+
+    def flight_active(self, fingerprint: str) -> bool:
+        try:
+            age = time.time() - os.path.getmtime(self._flight_file(fingerprint))
+        except OSError:
+            return False
+        return age < self.flight_timeout
+
+    def wait_for_flight(
+        self, fingerprint: str
+    ) -> Optional[Tuple[List[Any], List[int], Optional[str]]]:
+        """Wait (bounded) for another job's in-flight computation.
+
+        Polls until the entry is published, the lease disappears without
+        a publish (the computing job failed or skipped persistence), or
+        ``flight_wait`` real seconds elapse.  Returns the loaded blob on
+        publish, else ``None`` (the caller recomputes).
+        """
+        deadline = time.monotonic() + self.flight_wait
+        while True:
+            if self.contains(fingerprint):
+                loaded = self.load(fingerprint)
+                if loaded is not None:
+                    return loaded
+            if not self.flight_active(fingerprint):
+                # one final check: the publish may have landed between the
+                # contains() poll and the lease release
+                return self.load(fingerprint) if self.contains(fingerprint) else None
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(self.flight_poll)
+
+    def clear(self) -> None:
+        super().clear()
+        self._owners.clear()
+        for name in os.listdir(self.path):
+            if name.endswith((".owner", ".flight")):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except OSError:
+                    pass
 
 
 class ResultCache:
@@ -214,6 +540,16 @@ class ResultCache:
         self.stats = CacheStats()
         self._entries: Dict[str, CacheEntry] = {}
         self._by_dataset: Dict[str, Set[str]] = {}
+        #: single-flight leases this cache holds (fingerprints it claimed
+        #: on a miss and must release at admission or run end)
+        self._owned_flights: Set[str] = set()
+        #: store-level corrupt-entry count already surfaced into stats
+        self._seen_corrupt = getattr(store, "corrupt_entries", 0)
+
+    @property
+    def tenant(self) -> Optional[str]:
+        """The tenant this cache reads/writes as (shared stores only)."""
+        return getattr(self.store, "tenant", None)
 
     # -------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -241,8 +577,13 @@ class ResultCache:
                     locations=locations,
                 )
             self._drop(fingerprint, cluster, reason="backing-lost")
-        if self.store is not None and self.store.contains(fingerprint):
-            loaded = self.store.load(fingerprint)
+        if self.store is not None:
+            loaded = None
+            if self.store.contains(fingerprint):
+                loaded = self.store.load(fingerprint)
+                self._surface_corruption(cluster)
+            if loaded is None and self._singleflight_capable():
+                loaded = self._singleflight(fingerprint, cluster)
             if loaded is not None:
                 payloads, partition_bytes, producer = loaded
                 return CacheHit(
@@ -251,8 +592,66 @@ class ResultCache:
                     partition_bytes=list(partition_bytes),
                     producer=producer,
                     payloads=payloads,
+                    owner_tenant=self._owner_of(fingerprint),
                 )
         return None
+
+    def _owner_of(self, fingerprint: str) -> Optional[str]:
+        owner_of = getattr(self.store, "owner_of", None)
+        return owner_of(fingerprint) if owner_of is not None else None
+
+    def _surface_corruption(self, cluster) -> None:
+        """Mirror store-detected corrupt entries into stats + obs."""
+        seen = getattr(self.store, "corrupt_entries", 0)
+        if seen > self._seen_corrupt:
+            delta = seen - self._seen_corrupt
+            self._seen_corrupt = seen
+            self.stats.corrupt_entries += delta
+            cluster.obs.counter("cache_corrupt_entries").inc(delta)
+
+    # --------------------------------------------------------- single flight
+    def _singleflight_capable(self) -> bool:
+        return hasattr(self.store, "try_begin_flight")
+
+    def _singleflight(self, fingerprint: str, cluster):
+        """Resolve a store miss through the single-flight protocol.
+
+        Either we claim the lease (remembering to release it at admission
+        or run end) and return ``None`` — meaning *we* compute — or
+        another job already holds it and we wait, bounded, for its
+        publish.  A successful wait is served as a normal store hit.
+        """
+        if fingerprint in self._owned_flights:
+            return None  # we are the computing job; proceed to execute
+        if self.store.try_begin_flight(fingerprint):
+            self._owned_flights.add(fingerprint)
+            return None
+        loaded = self.store.wait_for_flight(fingerprint)
+        self._surface_corruption(cluster)
+        if loaded is not None:
+            self.stats.singleflight_waits += 1
+            tenant = self.tenant
+            cluster.obs.counter(
+                "cache_singleflight_waits", policy=tenant or ""
+            ).inc()
+        return loaded
+
+    def _release_flight(self, fingerprint: str) -> None:
+        if fingerprint in self._owned_flights:
+            self.store.end_flight(fingerprint)
+            self._owned_flights.discard(fingerprint)
+
+    def finish_run(self) -> None:
+        """Release any single-flight leases still held (run teardown).
+
+        A lease survives to run end when its stage output was never
+        admitted — a deferred branch tail the choose discarded, a failed
+        run, or persistence skipped.  Waiters time out anyway (bounded
+        waits), but releasing promptly keeps them from stalling.
+        """
+        for fingerprint in sorted(self._owned_flights):
+            self.store.end_flight(fingerprint)
+        self._owned_flights.clear()
 
     def _resolve(
         self, entry: CacheEntry, cluster
@@ -311,6 +710,10 @@ class ResultCache:
                 self.stats.unpicklable_skipped += 1
         elif self.store is not None:
             tier = "cluster+store"
+        if self.store is not None:
+            # the fingerprint is now published (or persistence was skipped
+            # for good) — stop holding concurrent jobs back either way
+            self._release_flight(fingerprint)
         self.stats.admissions += 1
         cluster.obs.counter(
             "cache_admissions", dataset=dataset.id, policy=tier

@@ -240,6 +240,9 @@ class StageExecutor:
         cache = self.config.cache
         cache.stats.misses += 1
         self.cluster.obs.counter("cache_misses").inc()
+        tenant = getattr(cache, "tenant", None)
+        if tenant:
+            self.cluster.obs.counter("cache_tenant_misses", policy=tenant).inc()
         self.cluster.trace.emit(
             "cache_miss", stage=stage.id, fingerprint=fingerprint, reason=reason
         )
@@ -433,6 +436,17 @@ class StageExecutor:
         obs.counter("cache_hits", **labels).inc()
         obs.counter("cache_bytes_saved", **labels).inc(hit.total_bytes)
         obs.counter("cache_compute_seconds_saved", **labels).inc(saved_seconds)
+        # tenant-labelled accounting (shared cross-tenant stores only; these
+        # counters are additive — not part of the bridge's replay views)
+        tenant = getattr(cache, "tenant", None)
+        if tenant:
+            obs.counter("cache_tenant_hits", policy=tenant).inc()
+            owner = getattr(hit, "owner_tenant", None)
+            if owner and owner != tenant:
+                cache.stats.cross_tenant_hits += 1
+                obs.counter(
+                    "cache_cross_tenant_hits", policy=f"{owner}->{tenant}"
+                ).inc()
         self.cluster.trace.emit(
             "cache_hit",
             stage=stage.id,

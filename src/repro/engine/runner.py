@@ -166,6 +166,12 @@ def run_mdf(
             sampler.detach()
         if monitor is not None:
             monitor.detach()
+        # release single-flight leases a shared-store cache may still hold
+        # (discarded deferred tails, failed runs) so concurrent jobs
+        # waiting on them unblock promptly
+        finish = getattr(config.cache, "finish_run", None)
+        if finish is not None:
+            finish()
     if monitor is not None:
         result.live = monitor
         if hook is not None:

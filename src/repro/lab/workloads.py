@@ -188,6 +188,38 @@ def _threshold_keepers_mdf(
     return b.build()
 
 
+def _dl_grid_mdf() -> MDF:
+    """Compute-heavy hyper-parameter grid: real SGD training per branch.
+
+    The service/loadgen shared workload.  Four distinct (rate, momentum)
+    combinations give distinct validation accuracies (seeded training),
+    and re-training a branch is far costlier than a modelled disk read —
+    so *store-tier* hits pass the profitability gate, which the cheap
+    filter workloads never do.  Pair with the materialised-choose config
+    below so losing branches are written behind to the shared store."""
+    from ..workloads.datagen import cifar_like
+    from ..workloads.deeplearning import MLPTrainer
+    from ..workloads.mdfs import deep_learning_mdf
+
+    data = cifar_like(n_samples=600, features=64, seed=17)
+    trainer = MLPTrainer(hidden=16, epochs=5, seed=3)
+    return deep_learning_mdf(
+        data,
+        mode="hyper_only",
+        trainer=trainer,
+        rates=(0.005, 0.05),
+        momenta=(0.0, 0.9),
+        nominal_bytes=1 * GB,
+    )
+
+
+def _dl_grid_config() -> EngineConfig:
+    # materialised choose (the fig05 pattern): losing branch results live
+    # long enough to be written behind to the store tier, so a later
+    # tenant's run reuses every branch, not just the winner's
+    return EngineConfig(pruning=False, incremental_choose=False)
+
+
 def _time_series_mdf() -> MDF:
     """The paper's time-series job (Fig. 22) at lab scale."""
     from ..workloads.datagen import oil_well_trace
@@ -304,3 +336,39 @@ register_workload(
         tags=("full",),
     )
 )
+register_workload(
+    LabWorkload(
+        name="dl_grid",
+        description="compute-heavy DL hyper grid (real SGD), materialised choose",
+        make_mdf=_dl_grid_mdf,
+        workers=4,
+        mem_per_worker=4 * GB,
+        tags=("service",),
+        make_config=_dl_grid_config,
+    )
+)
+# Per-tenant private workloads for the loadgen's overlap control: same
+# shape as filter_min but distinct thresholds *and* data sizes, so no two
+# tenants' private fingerprints collide (zero cross-tenant overlap).
+for _i, (_thresholds, _data_n) in enumerate(
+    [
+        ((11, 101, 501), 600),
+        ((12, 102, 502), 700),
+        ((13, 103, 503), 800),
+        ((14, 104, 504), 900),
+    ]
+):
+    register_workload(
+        LabWorkload(
+            name=f"svc_private_t{_i}",
+            description=(
+                f"tenant-{_i} private filter grid "
+                f"(thresholds {_thresholds}, n={_data_n})"
+            ),
+            make_mdf=lambda t=_thresholds, n=_data_n: _filter_min_mdf(
+                thresholds=t, data_n=n
+            ),
+            workers=4,
+            tags=("service",),
+        )
+    )

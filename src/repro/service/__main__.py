@@ -1,0 +1,320 @@
+"""Command-line entry: ``python -m repro.service <command> --spool DIR``.
+
+The service is file-based (no network): a *spool directory* is the whole
+protocol, so clients and the server only need a shared filesystem.
+
+::
+
+    spool/
+      inbox/      submission tickets (JSON, written atomically by `submit`)
+      streams/    one live NDJSON trace per job (PR7 StreamWriter format)
+      cache/      the shared cross-tenant result store (default location)
+      state.json  full service snapshot, atomically replaced on change
+
+commands:
+
+``serve``
+    Run the service: ingest inbox tickets, admit them through the
+    weighted fair-share queue, run up to ``--workers`` jobs in parallel
+    over the shared cache.  Exits when the spool has been idle for
+    ``--max-idle`` wall seconds (or immediately after draining the
+    current inbox with ``--once``).
+``submit``
+    Write one submission ticket; prints the ticket path.  The ticket is
+    picked up by a running (or later) ``serve``.
+``status``
+    Print the latest ``state.json`` snapshot as a per-tenant/per-job
+    summary table.
+``follow``
+    Tail one job's live NDJSON stream with the ``repro.live`` terminal
+    dashboard (progress, per-branch status, watchdog alerts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from .jobs import DONE, FAILED
+from .service import JobService
+
+USAGE = """\
+usage: python -m repro.service <command> --spool DIR [options]
+
+commands:
+  serve     run the service over the spool directory
+  submit    queue one job (writes an inbox ticket)
+  status    print the latest service snapshot
+  follow    tail one job's live trace dashboard
+
+serve options:
+  --workers N           concurrent worker processes (default 2)
+  --slots N             admission window (default: workers)
+  --tenant NAME:WEIGHT  pre-register a tenant weight (repeatable)
+  --quota-bytes N       per-tenant shared-cache byte quota
+  --backend NAME        default execution backend (serial|mp)
+  --max-idle SECONDS    exit after this much inbox+queue silence (default 5)
+  --once                drain the current inbox, then exit
+  --no-validate         skip the per-job trace validators
+
+submit options:
+  --tenant NAME         submitting tenant (default "default")
+  --workload NAME       lab-zoo workload name (required)
+  --scheduler NAME      scheduler policy (default bas)
+  --memory NAME         eviction policy (default amm)
+  --backend NAME        execution backend (default serial)
+  --cost X              fair-share cost hint (default 1.0)
+
+follow options:
+  --job JOB_ID          job to follow (default: most recent)
+  (remaining flags pass through to `python -m repro.live`)
+"""
+
+
+def _pop_flag(argv: List[str], flag: str) -> bool:
+    if flag in argv:
+        argv.remove(flag)
+        return True
+    return False
+
+
+def _pop_opt(argv: List[str], flag: str) -> Optional[str]:
+    if flag not in argv:
+        return None
+    i = argv.index(flag)
+    try:
+        value = argv[i + 1]
+    except IndexError:
+        raise SystemExit(f"{flag} needs an argument")
+    del argv[i : i + 2]
+    return value
+
+
+def _pop_all(argv: List[str], flag: str) -> List[str]:
+    values = []
+    while flag in argv:
+        values.append(_pop_opt(argv, flag))
+    return values
+
+
+def _inbox(spool: str) -> str:
+    path = os.path.join(spool, "inbox")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _write_ticket(spool: str, payload: Dict[str, Any]) -> str:
+    """Atomically drop one submission ticket into the inbox."""
+    inbox = _inbox(spool)
+    name = f"{time.time():.6f}-{os.getpid()}.json"
+    tmp = os.path.join(inbox, f".{name}.tmp")
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    final = os.path.join(inbox, name)
+    os.replace(tmp, final)
+    return final
+
+
+def _ingest(service: JobService, spool: str, out: TextIO) -> int:
+    """Submit every inbox ticket (oldest first); returns the count."""
+    inbox = _inbox(spool)
+    count = 0
+    for name in sorted(os.listdir(inbox)):
+        if name.startswith(".") or not name.endswith(".json"):
+            continue
+        path = os.path.join(inbox, name)
+        try:
+            with open(path) as fh:
+                ticket = json.load(fh)
+        except (OSError, ValueError) as exc:
+            out.write(f"bad ticket {name}: {exc}\n")
+            os.unlink(path)
+            continue
+        tenant = ticket.pop("tenant", "default")
+        workload = ticket.pop("workload", None)
+        os.unlink(path)
+        if not workload:
+            out.write(f"bad ticket {name}: no workload\n")
+            continue
+        job_id = service.submit(tenant, workload, **ticket)
+        out.write(f"{job_id}  tenant={tenant}  workload={workload}\n")
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------- serve
+def cmd_serve(argv: List[str], spool: str, out: TextIO) -> int:
+    workers = int(_pop_opt(argv, "--workers") or 2)
+    slots = _pop_opt(argv, "--slots")
+    quota = _pop_opt(argv, "--quota-bytes")
+    backend = _pop_opt(argv, "--backend")
+    max_idle = float(_pop_opt(argv, "--max-idle") or 5.0)
+    once = _pop_flag(argv, "--once")
+    validate = not _pop_flag(argv, "--no-validate")
+    tenants: Dict[str, float] = {}
+    for spec in _pop_all(argv, "--tenant"):
+        name, _, weight = spec.partition(":")
+        tenants[name] = float(weight) if weight else 1.0
+    if argv:
+        out.write(f"unknown serve arguments: {argv}\n")
+        return 2
+    service = JobService(
+        workers=workers,
+        slots=int(slots) if slots else None,
+        tenants=tenants,
+        spool=spool,
+        quota_bytes=int(quota) if quota else None,
+        validate=validate,
+    )
+    out.write(
+        f"serving spool={spool} workers={service.workers} "
+        f"slots={service.queue.slots}\n"
+    )
+    last_activity = time.monotonic()
+    with service:
+        while True:
+            moved = _ingest(service, spool, out)
+            moved += service.pump()
+            if moved:
+                last_activity = time.monotonic()
+            busy = service.queue.backlog or service._running
+            if once and not busy:
+                break
+            if not busy and time.monotonic() - last_activity >= max_idle:
+                break
+            time.sleep(0.02 if busy else 0.1)
+        service.drain()
+    done = sum(1 for r in service.records.values() if r.status == DONE)
+    failed = sum(1 for r in service.records.values() if r.status == FAILED)
+    out.write(f"served {len(service.records)} job(s): {done} done, {failed} failed\n")
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------- submit
+def cmd_submit(argv: List[str], spool: str, out: TextIO) -> int:
+    tenant = _pop_opt(argv, "--tenant") or "default"
+    workload = _pop_opt(argv, "--workload")
+    if not workload:
+        out.write("submit requires --workload NAME\n")
+        return 2
+    ticket: Dict[str, Any] = {"tenant": tenant, "workload": workload}
+    for flag, key in (
+        ("--scheduler", "scheduler"),
+        ("--memory", "memory"),
+        ("--backend", "backend"),
+    ):
+        value = _pop_opt(argv, flag)
+        if value is not None:
+            ticket[key] = value
+    cost = _pop_opt(argv, "--cost")
+    if cost is not None:
+        ticket["cost"] = float(cost)
+    if argv:
+        out.write(f"unknown submit arguments: {argv}\n")
+        return 2
+    path = _write_ticket(spool, ticket)
+    out.write(f"queued ticket {os.path.basename(path)}\n")
+    return 0
+
+
+# ---------------------------------------------------------------- status
+def _load_state(spool: str) -> Optional[Dict[str, Any]]:
+    path = os.path.join(spool, "state.json")
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def cmd_status(argv: List[str], spool: str, out: TextIO) -> int:
+    as_json = _pop_flag(argv, "--json")
+    state = _load_state(spool)
+    if state is None:
+        out.write(f"no state.json under {spool} (service not started?)\n")
+        return 2
+    if as_json:
+        json.dump(state, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+    counts = state.get("counts", {})
+    out.write(
+        "jobs: "
+        + "  ".join(f"{k}={counts.get(k, 0)}" for k in sorted(counts))
+        + f"  (slots {state.get('busy', 0)}/{state.get('slots', '?')})\n"
+    )
+    shares = state.get("admission_shares", {})
+    for t in state.get("tenants", []):
+        share = shares.get(t["name"])
+        out.write(
+            f"  tenant {t['name']:<12} weight={t['weight']:<5g}"
+            f" submitted={t['submitted']:<3} completed={t['completed']:<3}"
+            f" share={share:.2f}\n" if share is not None else
+            f"  tenant {t['name']:<12} weight={t['weight']:<5g}"
+            f" submitted={t['submitted']:<3} completed={t['completed']:<3}\n"
+        )
+    for job in state.get("jobs", []):
+        spec = job["spec"]
+        latency = job.get("latency")
+        extra = f"  {latency:.2f}s" if latency is not None else ""
+        out.write(
+            f"  {spec['job_id']}  {job['status']:<8} {spec['tenant']:<12}"
+            f" {spec['workload']}{extra}\n"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------- follow
+def cmd_follow(argv: List[str], spool: str, out: TextIO) -> int:
+    job_id = _pop_opt(argv, "--job")
+    state = _load_state(spool)
+    stream = None
+    if state is not None:
+        jobs = state.get("jobs", [])
+        if job_id is None and jobs:
+            job_id = jobs[-1]["spec"]["job_id"]
+        for job in jobs:
+            if job["spec"]["job_id"] == job_id:
+                stream = job["spec"].get("stream_path")
+                break
+    if stream is None and job_id is not None:
+        stream = os.path.join(spool, "streams", f"{job_id}.ndjson")
+    if stream is None:
+        out.write("no job to follow (use --job JOB_ID)\n")
+        return 2
+    from ..live.__main__ import main as live_main
+
+    if "--follow" not in argv and "-f" not in argv:
+        argv.append("--follow")
+    return live_main([stream] + argv, out=out)
+
+
+def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or "--help" in argv or "-h" in argv:
+        out.write(USAGE)
+        return 0 if argv else 2
+    command, argv = argv[0], argv[1:]
+    spool = _pop_opt(argv, "--spool")
+    if spool is None:
+        out.write("every command needs --spool DIR\n")
+        return 2
+    os.makedirs(spool, exist_ok=True)
+    handlers = {
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
+        "follow": cmd_follow,
+    }
+    handler = handlers.get(command)
+    if handler is None:
+        out.write(USAGE)
+        return 2
+    return handler(argv, spool, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

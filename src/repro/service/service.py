@@ -1,0 +1,253 @@
+"""The long-lived multi-tenant job service.
+
+:class:`JobService` accepts MDF submissions from many tenants, admits
+them through the weighted fair-share queue
+(:class:`~repro.service.queue.FairShareQueue`), and runs up to
+``workers`` jobs **concurrently in real processes** (a fork-context
+pool; each job is one ``run_mdf`` call in a worker — the PR8 ``mp``
+backend can additionally parallelise *within* a job).  All jobs share
+one :class:`~repro.cache.SharedCacheStore` directory, so one tenant's
+exploration warms every other tenant's cache, deduplicated in flight
+and bounded per tenant by byte quotas.
+
+Every running job streams its trace to ``<spool>/streams/<job>.ndjson``
+through the PR7 :class:`~repro.live.stream.StreamWriter`, so clients can
+follow per-submission progress/ETA live (``python -m repro.service
+follow``); the service mirrors its full state to ``<spool>/state.json``
+(atomic replace) for out-of-process ``status`` queries.
+
+The dispatcher is a single-threaded pump — :meth:`pump` collects
+finished jobs and admits queued ones; :meth:`drain` pumps until idle.
+Determinism note: *which* jobs run concurrently affects only real time
+and cache hit timing; each job's sink outputs stay byte-identical to a
+solo run (asserted by the load generator and ``tests/service``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .jobs import DONE, FAILED, QUEUED, RUNNING, JobRecord, JobSpec
+from .queue import FairShareQueue, QueuedJob
+from .worker import run_job
+
+__all__ = ["JobService"]
+
+
+class JobService:
+    """Concurrent fair-share MDF job service over a shared result cache."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        slots: Optional[int] = None,
+        tenants: Optional[Dict[str, float]] = None,
+        cache_dir: Optional[str] = None,
+        spool: Optional[str] = None,
+        quota_bytes: Optional[int] = None,
+        validate: bool = True,
+        singleflight_wait: float = 5.0,
+        cache: bool = True,
+    ):
+        self.workers = max(1, int(workers))
+        self.queue = FairShareQueue(slots=slots or self.workers)
+        for name, weight in sorted((tenants or {}).items()):
+            self.queue.register(name, weight)
+        self.spool = spool or tempfile.mkdtemp(prefix="repro-service-")
+        os.makedirs(os.path.join(self.spool, "streams"), exist_ok=True)
+        if cache:
+            self.cache_dir = cache_dir or os.path.join(self.spool, "cache")
+            os.makedirs(self.cache_dir, exist_ok=True)
+        else:
+            self.cache_dir = None
+        self.quota_bytes = quota_bytes
+        self.validate = bool(validate)
+        self.singleflight_wait = float(singleflight_wait)
+        self.records: Dict[str, JobRecord] = {}
+        self._running: Dict[str, Tuple[JobRecord, QueuedJob, Any]] = {}
+        self._pool = None
+        self._next_id = 0
+        self._closed = False
+
+    # ----------------------------------------------------------- lifecycle
+    def _ensure_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = ctx.Pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Stop the service (running jobs are abandoned, state persisted)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self.write_state()
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- submit
+    def submit(
+        self,
+        tenant: str,
+        workload: str,
+        cost: float = 1.0,
+        **overrides: Any,
+    ) -> str:
+        """Queue one job; returns its id.  ``overrides`` patch the spec
+        (``scheduler``, ``memory``, ``backend``, ``validate``, ...)."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self._next_id += 1
+        job_id = f"job-{self._next_id:04d}"
+        spec = JobSpec(
+            job_id=job_id,
+            tenant=tenant,
+            workload=workload,
+            cache_dir=self.cache_dir,
+            quota_bytes=self.quota_bytes,
+            stream_path=os.path.join(self.spool, "streams", f"{job_id}.ndjson"),
+            validate=self.validate,
+            cost=cost,
+            singleflight_wait=self.singleflight_wait,
+        )
+        for key, value in overrides.items():
+            if not hasattr(spec, key):
+                raise TypeError(f"unknown JobSpec field {key!r}")
+            setattr(spec, key, value)
+        record = JobRecord(spec=spec)
+        self.records[job_id] = record
+        self.queue.put(tenant, record, cost=spec.cost)
+        self.write_state()
+        return job_id
+
+    # --------------------------------------------------------- dispatcher
+    def pump(self) -> int:
+        """One dispatcher turn: collect finished jobs, admit queued ones.
+
+        Returns the number of state transitions (0 = nothing changed —
+        callers may sleep).  Never blocks on a running job.
+        """
+        transitions = self._collect()
+        transitions += self._admit()
+        if transitions:
+            self.write_state()
+        return transitions
+
+    def _collect(self) -> int:
+        transitions = 0
+        for job_id in sorted(self._running):
+            record, queued, async_result = self._running[job_id]
+            if not async_result.ready():
+                continue
+            del self._running[job_id]
+            self.queue.release(queued)
+            record.finished_at = time.time()
+            try:
+                result = async_result.get()
+            except Exception as exc:  # noqa: BLE001 - pool-level failure
+                record.status = FAILED
+                record.error = f"{type(exc).__name__}: {exc}"
+            else:
+                record.result = result
+                if result.get("ok"):
+                    record.status = DONE
+                else:
+                    record.status = FAILED
+                    record.error = result.get("error")
+            transitions += 1
+        return transitions
+
+    def _admit(self) -> int:
+        transitions = 0
+        pool = None
+        while self.queue.free_slots and self.queue.backlog:
+            queued = self.queue.next_job()
+            if queued is None:  # pragma: no cover - guarded by the while
+                break
+            pool = pool or self._ensure_pool()
+            record: JobRecord = queued.payload
+            record.status = RUNNING
+            record.started_at = time.time()
+            async_result = pool.apply_async(run_job, (record.spec.as_dict(),))
+            self._running[record.job_id] = (record, queued, async_result)
+            transitions += 1
+        return transitions
+
+    def drain(
+        self, timeout: Optional[float] = None, poll: float = 0.01
+    ) -> List[JobRecord]:
+        """Pump until every submission finished; returns finished records."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.queue.backlog or self._running:
+            self.pump()
+            if not (self.queue.backlog or self._running):
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"drain timed out with {self.queue.backlog} queued, "
+                    f"{len(self._running)} running"
+                )
+            time.sleep(poll)
+        return [
+            self.records[job_id]
+            for job_id in sorted(self.records)
+            if self.records[job_id].status in (DONE, FAILED)
+        ]
+
+    # -------------------------------------------------------------- state
+    def record(self, job_id: str) -> JobRecord:
+        return self.records[job_id]
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of the whole service."""
+        counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for record in self.records.values():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return {
+            "workers": self.workers,
+            "slots": self.queue.slots,
+            "busy": self.queue.busy,
+            "counts": counts,
+            "admission_shares": self.queue.admission_shares(),
+            "tenants": [
+                {
+                    "name": t.name,
+                    "weight": t.weight,
+                    "submitted": t.submitted,
+                    "admitted": t.admitted,
+                    "completed": t.completed,
+                    "backlog": t.backlog,
+                }
+                for t in self.queue.tenants
+            ],
+            "cache_dir": self.cache_dir,
+            "spool": self.spool,
+            "jobs": [
+                self.records[job_id].as_dict() for job_id in sorted(self.records)
+            ],
+        }
+
+    def write_state(self) -> None:
+        """Mirror the snapshot to ``<spool>/state.json`` (atomic)."""
+        path = os.path.join(self.spool, "state.json")
+        tmp = f"{path}.{os.getpid()}.tmp"
+        payload = dict(self.status(), updated_unix=time.time())
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)

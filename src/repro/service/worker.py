@@ -1,0 +1,121 @@
+"""Worker-side job execution (runs inside a pool process).
+
+:func:`run_job` is the single function the service dispatches to its
+fork-context process pool.  It rebuilds the workload from the lab zoo by
+name (closures never cross the pipe), attaches a per-job
+:class:`~repro.cache.ResultCache` over the **shared**
+:class:`~repro.cache.SharedCacheStore` directory, streams the live trace
+to the job's NDJSON file through the PR7
+:class:`~repro.live.stream.StreamWriter`, runs ``run_mdf``, and returns
+a plain-dict summary (picklable, JSON-serialisable) to the parent.
+
+Two invariants the service asserts on top:
+
+* **Per-job byte-identity** — a job's sink outputs must be byte-identical
+  to the same workload run solo (:func:`outputs_digest` over the pickled
+  outputs); cache hits change *when* bytes are produced, never *what*.
+* **Validator cleanliness** — with ``spec.validate`` the seven paper
+  invariants run over the recorded trace and the violation count is
+  reported (the load generator and CI require zero).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+import traceback
+from typing import Any, Dict
+
+from ..cache import ResultCache, SharedCacheStore
+from ..engine.runner import run_mdf
+from ..trace.validate import validate_trace
+from .jobs import JobSpec
+
+__all__ = ["outputs_digest", "run_job"]
+
+
+def outputs_digest(outputs: Dict[str, Any]) -> str:
+    """Canonical sha256 of a job's sink outputs (byte-identity checks).
+
+    Pickled in sorted-sink order with a fixed protocol, so the digest is
+    stable across processes for the deterministic payload types the
+    workloads produce (lists, scalars, numpy arrays).
+    """
+    names = sorted(outputs)
+    blob = pickle.dumps(
+        (names, [outputs[name] for name in names]), protocol=4
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _build_cache(spec: JobSpec) -> ResultCache:
+    store = SharedCacheStore(
+        spec.cache_dir,
+        tenant=spec.tenant,
+        quota_bytes=spec.quota_bytes,
+        flight_wait=spec.singleflight_wait,
+    )
+    return ResultCache(store=store)
+
+
+def run_job(raw_spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one submission; never raises (errors are reported).
+
+    The uncaught-exception path returns ``ok=False`` with the traceback —
+    a worker process must survive a failing job (the pool is long-lived
+    and a dead worker would strand its slot).
+    """
+    spec = JobSpec.from_dict(raw_spec)
+    started = time.perf_counter()
+    try:
+        return _run(spec, started)
+    except Exception:  # noqa: BLE001 - ferried to the service as a failure
+        return {
+            "job_id": spec.job_id,
+            "tenant": spec.tenant,
+            "workload": spec.workload,
+            "ok": False,
+            "error": traceback.format_exc(limit=20),
+            "wall_s": time.perf_counter() - started,
+        }
+
+
+def _run(spec: JobSpec, started: float) -> Dict[str, Any]:
+    from ..lab.workloads import get_workload
+
+    workload = get_workload(spec.workload)
+    cluster = workload.make_cluster()
+    config = workload.make_config()
+    if spec.cache_dir is not None:
+        config.cache = _build_cache(spec)
+    result = run_mdf(
+        workload.make_mdf(),
+        cluster,
+        scheduler=spec.scheduler,
+        memory=spec.memory,
+        config=config,
+        validate=False,  # violations are *reported*, not raised
+        live=spec.stream_path,
+        backend=spec.backend,
+    )
+    violations = validate_trace(result.events) if spec.validate else []
+    cache = config.cache
+    summary: Dict[str, Any] = {
+        "job_id": spec.job_id,
+        "tenant": spec.tenant,
+        "workload": spec.workload,
+        "ok": True,
+        "error": None,
+        "wall_s": time.perf_counter() - started,
+        "completion_time": result.completion_time,
+        "outputs_digest": outputs_digest(result.outputs),
+        "violations": len(violations),
+        "violation_messages": [str(v) for v in violations[:5]],
+        "stream_path": spec.stream_path,
+        "events": len(result.events) if result.events is not None else 0,
+    }
+    if cache is not None:
+        # a fresh cache per job makes totals == this run's deltas
+        summary["cache"] = cache.stats.as_dict()
+    return summary

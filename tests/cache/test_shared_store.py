@@ -1,0 +1,239 @@
+"""Tests for the shared cross-tenant store tier (PR9 tentpole).
+
+Ownership sidecars, per-tenant byte quotas with oldest-first eviction,
+single-flight leases (claim / stale-break / bounded wait / release), and
+the tenant-labelled hit/miss accounting the executor layers on top.
+"""
+
+import os
+import time
+
+from repro import Cluster, GB
+from repro.cache import ResultCache, SharedCacheStore
+from repro.engine import EngineConfig, run_mdf
+from repro.lab.workloads import get_workload
+
+
+def fresh_cluster(workers=2):
+    return Cluster(num_workers=workers, mem_per_worker=1 * GB)
+
+
+def save_entry(store, fingerprint, nbytes=200, tenant=None):
+    payload = [list(range(nbytes // 8))]
+    assert store.save(fingerprint, payload, [nbytes], "producer", tenant=tenant)
+
+
+def backdate(path, seconds):
+    old = os.path.getmtime(path) - seconds
+    os.utime(path, (old, old))
+
+
+class TestOwnership:
+    def test_owner_sidecar_written_and_read(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice")
+        save_entry(store, "fp-1")
+        assert store.owner_of("fp-1") == "alice"
+        # a second handle (fresh process in real life) reads the sidecar
+        other = SharedCacheStore(str(tmp_path), tenant="bob")
+        assert other.owner_of("fp-1") == "alice"
+
+    def test_explicit_tenant_overrides_store_default(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice")
+        save_entry(store, "fp-1", tenant="carol")
+        assert store.owner_of("fp-1") == "carol"
+
+    def test_unlabelled_entry_has_no_owner(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice")
+        save_entry(store, "fp-1")
+        os.unlink(store._owner_file("fp-1"))
+        store._owners.clear()
+        assert store.owner_of("fp-1") is None
+
+    def test_clear_removes_sidecars_and_flights(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice")
+        save_entry(store, "fp-1")
+        assert store.try_begin_flight("fp-2")
+        store.clear()
+        assert [n for n in os.listdir(tmp_path) if not n.startswith(".")] == []
+
+
+class TestQuotas:
+    def test_oldest_entry_evicted_first(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice", quota_bytes=None)
+        for i, fp in enumerate(["fp-old", "fp-mid", "fp-new"]):
+            save_entry(store, fp, nbytes=400)
+            backdate(store._file(fp), (3 - i) * 100)  # old < mid < new
+        sizes = sum(
+            os.path.getsize(store._file(fp)) for fp in ["fp-mid", "fp-new"]
+        )
+        store.quota_bytes = sizes  # room for exactly the two newest
+        store._enforce_quota("alice")
+        assert not store.contains("fp-old")
+        assert store.contains("fp-mid") and store.contains("fp-new")
+        assert store.quota_evictions == 1
+        assert store.owner_of("fp-old") is None  # sidecar gone too
+
+    def test_publish_triggers_enforcement(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice", quota_bytes=None)
+        save_entry(store, "fp-a", nbytes=400)
+        backdate(store._file("fp-a"), 100)
+        store.quota_bytes = int(os.path.getsize(store._file("fp-a")) * 1.5)
+        save_entry(store, "fp-b", nbytes=400)  # pushes alice over quota
+        assert not store.contains("fp-a")  # oldest went
+        assert store.contains("fp-b")  # the fresh publish survives
+
+    def test_just_published_entry_kept_unless_it_alone_exceeds(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice", quota_bytes=8)
+        save_entry(store, "fp-huge", nbytes=4000)
+        assert not store.contains("fp-huge")  # alone over quota: evicted
+
+    def test_quota_is_per_tenant(self, tmp_path):
+        alice = SharedCacheStore(str(tmp_path), tenant="alice", quota_bytes=None)
+        save_entry(alice, "fp-alice", nbytes=400)
+        backdate(alice._file("fp-alice"), 100)
+        bob = SharedCacheStore(
+            str(tmp_path),
+            tenant="bob",
+            quota_bytes=int(os.path.getsize(alice._file("fp-alice")) * 1.2),
+        )
+        save_entry(bob, "fp-bob", nbytes=400)
+        # bob is under *his* quota with one entry; alice's older, bigger
+        # footprint is not his to evict
+        assert bob.contains("fp-alice") and bob.contains("fp-bob")
+        assert bob.quota_evictions == 0
+
+    def test_tenant_usage_counts_only_owned_bytes(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice")
+        save_entry(store, "fp-1", nbytes=400)
+        save_entry(store, "fp-2", nbytes=400, tenant="bob")
+        assert store.tenant_usage("alice") == os.path.getsize(store._file("fp-1"))
+        assert store.tenant_usage("bob") == os.path.getsize(store._file("fp-2"))
+        assert store.tenant_usage("nobody") == 0
+
+
+class TestSingleFlight:
+    def test_exactly_one_claimant_wins(self, tmp_path):
+        a = SharedCacheStore(str(tmp_path), tenant="a")
+        b = SharedCacheStore(str(tmp_path), tenant="b")
+        assert a.try_begin_flight("fp-1")
+        assert not b.try_begin_flight("fp-1")
+        a.end_flight("fp-1")
+        assert b.try_begin_flight("fp-1")
+
+    def test_stale_lease_is_broken(self, tmp_path):
+        a = SharedCacheStore(str(tmp_path), tenant="a", flight_timeout=0.5)
+        b = SharedCacheStore(str(tmp_path), tenant="b", flight_timeout=0.5)
+        assert a.try_begin_flight("fp-1")
+        backdate(a._flight_file("fp-1"), 10)  # holder looks crashed
+        assert not a.flight_active("fp-1")
+        assert b.try_begin_flight("fp-1")  # broke the stale lease
+
+    def test_wait_returns_published_blob(self, tmp_path):
+        a = SharedCacheStore(str(tmp_path), tenant="a")
+        b = SharedCacheStore(str(tmp_path), tenant="b", flight_wait=5.0)
+        assert a.try_begin_flight("fp-1")
+        save_entry(a, "fp-1")  # publish while the lease is held
+        loaded = b.wait_for_flight("fp-1")
+        assert loaded is not None and loaded[2] == "producer"
+
+    def test_wait_times_out_to_recompute(self, tmp_path):
+        a = SharedCacheStore(str(tmp_path), tenant="a")
+        b = SharedCacheStore(
+            str(tmp_path), tenant="b", flight_wait=0.05, flight_poll=0.005
+        )
+        assert a.try_begin_flight("fp-1")  # ...and never publishes
+        started = time.monotonic()
+        assert b.wait_for_flight("fp-1") is None
+        assert time.monotonic() - started < 2.0  # bounded, not a deadlock
+
+    def test_wait_stops_when_lease_released_without_publish(self, tmp_path):
+        a = SharedCacheStore(str(tmp_path), tenant="a")
+        b = SharedCacheStore(str(tmp_path), tenant="b", flight_wait=5.0)
+        assert a.try_begin_flight("fp-1")
+        a.end_flight("fp-1")  # failed run / persistence skipped
+        started = time.monotonic()
+        assert b.wait_for_flight("fp-1") is None
+        assert time.monotonic() - started < 2.0  # no full-wait stall
+
+
+class TestResultCacheIntegration:
+    def test_miss_claims_flight_and_finish_run_releases(self, tmp_path):
+        store = SharedCacheStore(str(tmp_path), tenant="alice")
+        cache = ResultCache(store=store)
+        cluster = fresh_cluster()
+        assert cache.lookup("fp-1", cluster) is None  # miss: we compute
+        assert store.flight_active("fp-1")
+        assert cache.lookup("fp-1", cluster) is None  # own flight: no wait
+        cache.finish_run()
+        assert not store.flight_active("fp-1")
+        assert cache.lookup("fp-1", cluster) is None  # reclaims cleanly
+        cache.finish_run()
+
+    def test_waiter_serves_other_jobs_publish_as_store_hit(self, tmp_path):
+        writer = SharedCacheStore(str(tmp_path), tenant="alice")
+        assert writer.try_begin_flight("fp-1")
+        save_entry(writer, "fp-1")
+        reader = ResultCache(
+            store=SharedCacheStore(str(tmp_path), tenant="bob", flight_wait=5.0)
+        )
+        hit = reader.lookup("fp-1", fresh_cluster())
+        assert hit is not None and hit.tier == "store"
+        assert hit.owner_tenant == "alice"
+        writer.end_flight("fp-1")
+
+    def test_singleflight_wait_counted(self, tmp_path):
+        """A lookup that resolves by waiting out another job's flight
+        counts in ``singleflight_waits`` and the tenant-labelled obs."""
+        import threading
+
+        writer = SharedCacheStore(str(tmp_path), tenant="alice")
+        reader = ResultCache(
+            store=SharedCacheStore(str(tmp_path), tenant="bob", flight_wait=5.0)
+        )
+        cluster = fresh_cluster()
+        assert writer.try_begin_flight("fp-1")
+
+        def publish_later():
+            time.sleep(0.05)
+            save_entry(writer, "fp-1")
+            writer.end_flight("fp-1")
+
+        thread = threading.Thread(target=publish_later)
+        thread.start()
+        try:
+            hit = reader.lookup("fp-1", cluster)
+        finally:
+            thread.join()
+        assert hit is not None and hit.tier == "store"
+        assert reader.stats.singleflight_waits == 1
+        assert cluster.obs.value("cache_singleflight_waits", policy="bob") == 1
+
+    def test_cross_tenant_run_hits_and_labels(self, tmp_path):
+        """Tenant alice's run populates the shared store; tenant bob's
+        run hits it — stats and tenant-labelled obs counters move."""
+        workload = get_workload("filter_min")
+
+        def run(tenant):
+            cache = ResultCache(
+                store=SharedCacheStore(str(tmp_path), tenant=tenant),
+                cost_based=False,  # cheap workload: let store hits serve
+            )
+            cluster = workload.make_cluster()
+            result = run_mdf(
+                workload.make_mdf(), cluster, scheduler="bas", memory="amm",
+                config=EngineConfig(cache=cache), validate=True,
+            )
+            return result, cache, cluster
+
+        cold, cold_cache, _ = run("alice")
+        assert cold_cache.stats.store_writes > 0
+        warm, warm_cache, cluster = run("bob")
+        assert repr(warm.outputs) == repr(cold.outputs)
+        assert warm_cache.stats.hits > 0
+        assert warm_cache.stats.cross_tenant_hits == warm_cache.stats.hits
+        obs = cluster.obs
+        assert obs.value("cache_tenant_hits", policy="bob") > 0
+        assert (
+            obs.value("cache_cross_tenant_hits", policy="alice->bob")
+            == warm_cache.stats.cross_tenant_hits
+        )

@@ -1,0 +1,155 @@
+"""Tests for the weighted fair-share admission queue (SFQ laws).
+
+Weighted shares under backlog, per-tenant FIFO, no starvation, work
+conservation, and the slot-window bookkeeping the service relies on.
+"""
+
+import pytest
+
+from repro.service import FairShareQueue
+
+
+def drain_admissions(queue, count):
+    """Admit ``count`` jobs, releasing each slot immediately (so the
+    admission *order* is isolated from slot contention)."""
+    admitted = []
+    for _ in range(count):
+        job = queue.next_job()
+        if job is None:
+            break
+        admitted.append(job)
+        queue.release(job)
+    return admitted
+
+
+class TestFairShares:
+    def test_weighted_shares_under_backlog(self):
+        queue = FairShareQueue(slots=1)
+        queue.register("heavy", weight=2.0)
+        queue.register("light", weight=1.0)
+        for i in range(30):
+            queue.put("heavy", f"h{i}")
+            queue.put("light", f"l{i}")
+        admitted = drain_admissions(queue, 30)
+        heavy = sum(1 for j in admitted if j.tenant == "heavy")
+        light = sum(1 for j in admitted if j.tenant == "light")
+        # SFQ converges to exact weighted round-robin with uniform costs
+        assert heavy == 20 and light == 10
+        shares = queue.admission_shares()
+        assert shares["heavy"] == pytest.approx(2 / 3)
+        assert shares["light"] == pytest.approx(1 / 3)
+
+    def test_equal_weights_alternate(self):
+        queue = FairShareQueue(slots=1)
+        for i in range(6):
+            queue.put("a", f"a{i}")
+            queue.put("b", f"b{i}")
+        admitted = drain_admissions(queue, 12)
+        counts = {"a": 0, "b": 0}
+        for job in admitted[:6]:
+            counts[job.tenant] += 1
+        assert counts == {"a": 3, "b": 3}  # interleaved, not clustered
+
+    def test_cost_scales_finish_tags(self):
+        """A tenant submitting double-cost jobs gets half the admissions
+        — fairness is in served *cost*, not job count."""
+        queue = FairShareQueue(slots=1)
+        for i in range(20):
+            queue.put("big", f"b{i}", cost=2.0)
+            queue.put("small", f"s{i}", cost=1.0)
+        admitted = drain_admissions(queue, 15)
+        big = sum(1 for j in admitted if j.tenant == "big")
+        small = sum(1 for j in admitted if j.tenant == "small")
+        assert small == 2 * big
+
+    def test_no_starvation_for_light_tenant(self):
+        """A tenant arriving into a deep foreign backlog is admitted
+        promptly — its finish tag starts at the current virtual time,
+        not behind the backlog."""
+        queue = FairShareQueue(slots=1)
+        for i in range(50):
+            queue.put("flood", f"f{i}")
+        drain_admissions(queue, 5)  # vtime has advanced
+        queue.put("late", "the-one-job")
+        admitted = drain_admissions(queue, 3)
+        assert any(j.tenant == "late" for j in admitted)
+
+
+class TestOrdering:
+    def test_fifo_within_tenant(self):
+        queue = FairShareQueue(slots=1)
+        for i in range(8):
+            queue.put("t", f"job-{i}")
+        admitted = drain_admissions(queue, 8)
+        assert [j.payload for j in admitted] == [f"job-{i}" for i in range(8)]
+
+    def test_deterministic_tiebreak(self):
+        """Identical tags admit in arrival order (seq), repeatably."""
+        def run():
+            queue = FairShareQueue(slots=1)
+            queue.put("a", "a0")
+            queue.put("b", "b0")
+            queue.put("c", "c0")
+            return [j.payload for j in drain_admissions(queue, 3)]
+
+        assert run() == run()
+
+
+class TestSlots:
+    def test_slot_window_respected(self):
+        queue = FairShareQueue(slots=2)
+        for i in range(5):
+            queue.put("t", i)
+        first = queue.next_job()
+        second = queue.next_job()
+        assert first is not None and second is not None
+        assert queue.next_job() is None  # window full
+        assert queue.free_slots == 0
+        queue.release(first)
+        assert queue.free_slots == 1
+        assert queue.next_job() is not None  # work conservation
+
+    def test_backlog_counts_all_tenants(self):
+        queue = FairShareQueue(slots=1)
+        queue.put("a", 1)
+        queue.put("b", 2)
+        assert queue.backlog == 2
+        job = queue.next_job()
+        assert queue.backlog == 1
+        queue.release(job)
+
+    def test_auto_registration_on_put(self):
+        queue = FairShareQueue()
+        queue.put("new-tenant", "x")
+        assert queue.tenant("new-tenant").weight == 1.0
+
+    def test_completed_counted_on_release(self):
+        queue = FairShareQueue(slots=1)
+        queue.put("t", 1)
+        job = queue.next_job()
+        assert queue.tenant("t").admitted == 1
+        assert queue.tenant("t").completed == 0
+        queue.release(job)
+        assert queue.tenant("t").completed == 1
+
+
+class TestValidation:
+    def test_rejects_bad_weight(self):
+        queue = FairShareQueue()
+        with pytest.raises(ValueError):
+            queue.register("t", weight=0.0)
+
+    def test_rejects_bad_cost(self):
+        queue = FairShareQueue()
+        with pytest.raises(ValueError):
+            queue.put("t", "x", cost=-1.0)
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ValueError):
+            FairShareQueue(slots=0)
+
+    def test_release_without_admit_raises(self):
+        queue = FairShareQueue()
+        job = queue.put("t", "x")
+        with pytest.raises(RuntimeError):
+            queue.release(job)

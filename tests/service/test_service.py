@@ -1,0 +1,200 @@
+"""End-to-end tests for the multi-tenant job service and its CLI.
+
+Concurrent jobs from several tenants over one shared store: every job's
+outputs byte-identical to a solo run, traces validator-clean, streams
+parseable, spool state queryable, failures contained.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.service import DONE, FAILED, JobService, JobSpec, outputs_digest
+from repro.service.__main__ import main as service_main
+
+
+def solo_digest(workload_name):
+    with JobService(workers=1, cache=False) as service:
+        service.submit("solo", workload_name)
+        record = service.drain(timeout=120)[0]
+    assert record.status == DONE, record.error
+    return record.result["outputs_digest"]
+
+
+class TestJobSpec:
+    def test_round_trips_through_dict(self):
+        spec = JobSpec(job_id="j1", tenant="t", workload="filter_min",
+                       backend="mp", cost=2.5)
+        again = JobSpec.from_dict(spec.as_dict())
+        assert again == spec
+
+    def test_from_dict_ignores_unknown_keys(self):
+        spec = JobSpec.from_dict(
+            {"job_id": "j1", "tenant": "t", "workload": "w", "mystery": 1}
+        )
+        assert spec.job_id == "j1"
+        assert not hasattr(spec, "mystery")
+
+
+class TestJobService:
+    def test_concurrent_tenants_byte_identical_to_solo(self, tmp_path):
+        reference = {
+            "filter_min": solo_digest("filter_min"),
+            "nested_topk": solo_digest("nested_topk"),
+        }
+        with JobService(
+            workers=2, spool=str(tmp_path), tenants={"alice": 2.0, "bob": 1.0}
+        ) as service:
+            for tenant in ("alice", "bob"):
+                service.submit(tenant, "filter_min")
+                service.submit(tenant, "nested_topk")
+            records = service.drain(timeout=120)
+        assert len(records) == 4
+        for record in records:
+            assert record.status == DONE, record.error
+            assert record.result["violations"] == 0
+            assert (
+                record.result["outputs_digest"]
+                == reference[record.spec.workload]
+            )
+            assert record.latency is not None and record.latency > 0
+
+    def test_streams_written_and_parseable(self, tmp_path):
+        with JobService(workers=1, spool=str(tmp_path)) as service:
+            job_id = service.submit("t", "filter_min")
+            record = service.drain(timeout=120)[0]
+        stream = os.path.join(str(tmp_path), "streams", f"{job_id}.ndjson")
+        assert record.result["stream_path"] == stream
+        events = [json.loads(line) for line in open(stream)]
+        assert len(events) == record.result["events"]
+        assert all("kind" in e and "t" in e for e in events)
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_state_json_snapshot(self, tmp_path):
+        with JobService(workers=1, spool=str(tmp_path)) as service:
+            service.submit("t", "filter_min")
+            service.drain(timeout=120)
+        state = json.load(open(os.path.join(str(tmp_path), "state.json")))
+        assert state["counts"]["done"] == 1
+        assert state["jobs"][0]["spec"]["workload"] == "filter_min"
+        assert state["jobs"][0]["latency"] > 0
+
+    def test_failed_job_contained(self, tmp_path):
+        """A bad submission fails its own record; the pool survives and
+        other jobs complete."""
+        with JobService(workers=1, spool=str(tmp_path)) as service:
+            bad = service.submit("t", "no-such-workload")
+            good = service.submit("t", "filter_min")
+            service.drain(timeout=120)
+            assert service.record(bad).status == FAILED
+            assert "no-such-workload" in service.record(bad).error
+            assert service.record(good).status == DONE
+
+    def test_unknown_spec_override_rejected(self, tmp_path):
+        with JobService(workers=1, spool=str(tmp_path)) as service:
+            with pytest.raises(TypeError):
+                service.submit("t", "filter_min", not_a_field=1)
+
+    def test_submit_after_close_rejected(self, tmp_path):
+        service = JobService(workers=1, spool=str(tmp_path))
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit("t", "filter_min")
+
+    def test_shared_cache_cross_tenant_reuse(self, tmp_path):
+        """Sequential tenants on the compute-heavy workload: the second
+        run hits entries the first tenant owns."""
+        with JobService(workers=1, spool=str(tmp_path)) as service:
+            service.submit("cold", "dl_grid")
+            service.drain(timeout=240)
+            service.submit("warm", "dl_grid")
+            records = service.drain(timeout=240)
+        by_tenant = {r.tenant: r for r in records}
+        cold_cache = by_tenant["cold"].result["cache"]
+        warm_cache = by_tenant["warm"].result["cache"]
+        assert cold_cache["store_writes"] > 0
+        assert warm_cache["cross_tenant_hits"] > 0
+        assert (
+            by_tenant["warm"].result["outputs_digest"]
+            == by_tenant["cold"].result["outputs_digest"]
+        )
+
+
+class TestOutputsDigest:
+    def test_digest_is_order_insensitive_over_sink_names(self):
+        a = outputs_digest({"x": [1, 2], "y": [3]})
+        b = outputs_digest({"y": [3], "x": [1, 2]})
+        assert a == b
+
+    def test_digest_differs_on_payload(self):
+        assert outputs_digest({"x": [1]}) != outputs_digest({"x": [2]})
+
+
+class TestCLI:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = service_main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_submit_serve_status_follow(self, tmp_path):
+        spool = str(tmp_path)
+        code, text = self.run_cli(
+            "submit", "--spool", spool, "--tenant", "alice",
+            "--workload", "filter_min",
+        )
+        assert code == 0 and "queued ticket" in text
+        code, text = self.run_cli(
+            "submit", "--spool", spool, "--tenant", "bob",
+            "--workload", "filter_min", "--cost", "2.0",
+        )
+        assert code == 0
+        code, text = self.run_cli(
+            "serve", "--spool", spool, "--workers", "2",
+            "--tenant", "alice:2", "--tenant", "bob:1", "--once",
+        )
+        assert code == 0, text
+        assert "served 2 job(s): 2 done, 0 failed" in text
+        code, text = self.run_cli("status", "--spool", spool)
+        assert code == 0
+        assert "done=2" in text and "tenant alice" in text
+        code, text = self.run_cli(
+            "follow", "--spool", spool, "--job", "job-0001",
+            "--idle-timeout", "0.2",
+        )
+        assert code == 0
+        assert "stages" in text  # the live dashboard rendered
+
+    def test_status_json_mode(self, tmp_path):
+        spool = str(tmp_path)
+        self.run_cli("submit", "--spool", spool, "--workload", "filter_min")
+        self.run_cli("serve", "--spool", spool, "--once")
+        code, text = self.run_cli("status", "--spool", spool, "--json")
+        assert code == 0
+        assert json.loads(text)["counts"]["done"] == 1
+
+    def test_bad_ticket_is_skipped(self, tmp_path):
+        spool = str(tmp_path)
+        inbox = os.path.join(spool, "inbox")
+        os.makedirs(inbox)
+        with open(os.path.join(inbox, "bad.json"), "w") as fh:
+            fh.write("{not json")
+        self.run_cli("submit", "--spool", spool, "--workload", "filter_min")
+        code, text = self.run_cli("serve", "--spool", spool, "--once")
+        assert code == 0
+        assert "bad ticket" in text and "served 1 job(s)" in text
+
+    def test_usage_and_errors(self, tmp_path):
+        code, text = self.run_cli("--help")
+        assert code == 0 and "usage" in text
+        code, _ = self.run_cli("serve")  # no --spool
+        assert code == 2
+        code, _ = self.run_cli("not-a-command", "--spool", str(tmp_path))
+        assert code == 2
+        code, text = self.run_cli("submit", "--spool", str(tmp_path))
+        assert code == 2 and "--workload" in text
+
+    def test_status_without_state(self, tmp_path):
+        code, text = self.run_cli("status", "--spool", str(tmp_path))
+        assert code == 2 and "no state.json" in text
