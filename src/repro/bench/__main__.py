@@ -16,9 +16,11 @@ comparison on the compute-dominated figures and writes ``BENCH_pr8.json``
 — on its own it replaces the figure run, and any simulated divergence
 between the backends fails the bench.  With ``--loadgen`` (or the
 CI-sized ``--loadgen-quick``), drives the multi-tenant job service with
-a mixed-tenant load and writes ``BENCH_pr9.json`` — on its own it
-replaces the figure run, and any solo-run identity breach, validator
-violation, or missing cross-tenant reuse fails the bench.  With
+a mixed-tenant load and writes ``BENCH_pr10.json`` (per-tenant fairness
+shares, SLO attainment, replay-parity verdicts included) — on its own
+it replaces the figure run, and any solo-run identity breach, validator
+violation, missing cross-tenant reuse, service replay-parity mismatch
+or fairness alert fails the bench.  With
 ``--profile``, every figure run is profiled (:mod:`repro.prof`): a
 per-figure makespan-attribution table is printed after each figure and a
 speedscope flamegraph of each figure's longest run is written to
@@ -77,11 +79,12 @@ def main(argv) -> int:
         else:
             report = run_loadgen()
         print(render_loadgen(report))
-        print("wrote BENCH_pr9.json")
+        print("wrote BENCH_pr10.json")
         if not report["ok"]:
             print(
                 "loadgen failure: identity breach, validator violation, "
-                "or no cross-tenant reuse"
+                "no cross-tenant reuse, replay-parity mismatch, or "
+                "fairness alert"
             )
             return 1
         if not argv:

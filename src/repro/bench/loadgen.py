@@ -14,6 +14,17 @@ measures what a service operator cares about:
 * **concurrency** — the same job set run serially vs on a worker pool
   (honest about ``os.cpu_count()``: a 1-core box shows no speedup).
 
+With the PR10 observability plane on (the default), every scenario also
+reports the service-altitude verdicts:
+
+* **replay parity** — the service registry rebuilt from
+  ``service_events.ndjson`` + the per-job NDJSON streams must satisfy
+  ``diff_registries == []`` on every scenario;
+* **fairness** — per-tenant achieved vs entitled weighted share from
+  the SFQ virtual-clock audit, with zero fairness alerts on clean runs;
+* **SLO attainment** — per-tenant attainment against the loadgen's
+  default objective (:data:`DEFAULT_SLOS`).
+
 The two hard invariants are asserted on every single job and reported
 as verdict lines (CI greps them):
 
@@ -23,7 +34,7 @@ as verdict lines (CI greps them):
   violations).
 
 ``python -m repro.bench --loadgen`` runs everything and writes
-``BENCH_pr9.json``; ``--loadgen-quick`` is the CI-sized variant.
+``BENCH_pr10.json``; ``--loadgen-quick`` is the CI-sized variant.
 """
 
 from __future__ import annotations
@@ -35,12 +46,21 @@ import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..lab.workloads import get_workload
-from ..service import DONE, JobService
+from ..service import (
+    DONE,
+    JobService,
+    replay_service_registry,
+    service_registry_diff,
+)
 
-__all__ = ["percentile", "run_loadgen", "render_loadgen"]
+__all__ = ["DEFAULT_SLOS", "percentile", "run_loadgen", "render_loadgen"]
 
 SHARED_WORKLOAD = "dl_grid"
 PRIVATE_WORKLOADS = [f"svc_private_t{i}" for i in range(4)]
+
+#: the loadgen's default per-tenant objective — generous latency bound,
+#: so a clean run attains 1.0 and any burn alert is a real regression
+DEFAULT_SLOS = {"*": {"latency_s": 300.0, "target": 0.9}}
 
 
 def percentile(values: Sequence[float], q: float) -> Optional[float]:
@@ -50,6 +70,25 @@ def percentile(values: Sequence[float], q: float) -> Optional[float]:
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[min(rank, len(ordered)) - 1]
+
+
+def _obs_verdict(service: JobService) -> Dict[str, Any]:
+    """The service-plane verdicts of one drained run: replay parity,
+    per-tenant fairness shares, SLO attainment, alert counts."""
+    obs = service.obs
+    if obs is None:
+        return {"enabled": False}
+    replayed = replay_service_registry(service.spool)
+    parity = service_registry_diff(obs, replayed)
+    return {
+        "enabled": True,
+        "replay_parity": not parity,
+        "replay_parity_failures": parity[:20],
+        "fairness": obs.fairness.shares(),
+        "fairness_alerts": sum(1 for a in obs.alerts if a.kind == "fairness"),
+        "slo": obs.slo.attainment(),
+        "slo_alerts": sum(1 for a in obs.alerts if a.kind == "slo"),
+    }
 
 
 def _drain(service: JobService, timeout: float = 600.0):
@@ -114,7 +153,7 @@ def _solo_baselines(workloads: Sequence[str]) -> Dict[str, Dict[str, Any]]:
     baselines: Dict[str, Dict[str, Any]] = {}
     for name in workloads:
         get_workload(name)  # fail fast on unknown names
-        with JobService(workers=1, cache=False) as service:
+        with JobService(workers=1, cache=False, slos=DEFAULT_SLOS) as service:
             service.submit("solo", name)
             record = _drain(service)[0]
         baselines[name] = {
@@ -123,6 +162,7 @@ def _solo_baselines(workloads: Sequence[str]) -> Dict[str, Dict[str, Any]]:
             "wall_s": record.result["wall_s"],
             "latency_s": record.latency,
             "validator_violations": record.result["violations"],
+            "obs": _obs_verdict(service),
         }
     return baselines
 
@@ -133,14 +173,17 @@ def _concurrency_scenario(workers: int, jobs: int) -> Dict[str, Any]:
     job_set = [PRIVATE_WORKLOADS[i % len(PRIVATE_WORKLOADS)] for i in range(jobs)]
     job_set += [SHARED_WORKLOAD] * min(2, jobs)
     timings = {}
+    obs_verdicts = {}
     for label, pool in (("serial", 1), ("concurrent", workers)):
         started = time.perf_counter()
-        with JobService(workers=pool, cache=False) as service:
+        with JobService(workers=pool, cache=False, slos=DEFAULT_SLOS) as service:
             for i, workload in enumerate(job_set):
                 service.submit(f"t{i % 2}", workload)
             _drain(service)
         timings[label] = time.perf_counter() - started
+        obs_verdicts[label] = _obs_verdict(service)
     return {
+        "obs": obs_verdicts,
         "jobs": len(job_set),
         "workers": workers,
         "cpu_count": os.cpu_count(),
@@ -164,6 +207,7 @@ def _overlap_cell(
     with JobService(
         workers=workers,
         tenants={f"tenant-{i}": 1.0 for i in range(tenants)},
+        slos=DEFAULT_SLOS,
     ) as service:
         for j in range(jobs_per_tenant):
             for i in range(tenants):
@@ -175,6 +219,7 @@ def _overlap_cell(
                 service.submit(f"tenant-{i}", workload)
         records = _drain(service)
         shares = service.queue.admission_shares()
+    obs = _obs_verdict(service)
     cell = _job_summary(records)
     cell.update(
         tenants=tenants,
@@ -183,6 +228,30 @@ def _overlap_cell(
         workers=workers,
         admission_shares=shares,
         identity_breaches=_check_identity(records, solo_digests),
+        obs=obs,
+        # per-tenant observability columns (flattened for easy plotting);
+        # the fair bound is the pairwise SFQ lag bound for *ragged*
+        # admission windows: the tenant's own granule plus the largest
+        # granule among its competitors
+        fairness={
+            name: {
+                "achieved_share": share["achieved_share"],
+                "entitled_share": share["entitled_share"],
+                "within_fair_bound": (
+                    abs(share["achieved_cost"] - share["entitled_cost"])
+                    <= share["granule"]
+                    + max(
+                        s["granule"]
+                        for s in obs.get("fairness", {}).values()
+                    )
+                    + 1e-9
+                ),
+            }
+            for name, share in obs.get("fairness", {}).items()
+        },
+        slo_attainment={
+            name: slo["attained"] for name, slo in obs.get("slo", {}).items()
+        },
     )
     return cell
 
@@ -193,13 +262,14 @@ def _warm_reuse_scenario(
     """Cold tenant populates the shared store; a *different* tenant then
     runs the same workload and must be faster with nonzero cross-tenant
     hits — the service's whole reason to share the cache."""
-    with JobService(workers=workers) as service:
+    with JobService(workers=workers, slos=DEFAULT_SLOS) as service:
         service.submit("cold-tenant", SHARED_WORKLOAD)
         cold = _drain(service)[0]
         service.submit("warm-tenant", SHARED_WORKLOAD)
         warm = [r for r in _drain(service) if r.tenant == "warm-tenant"][0]
     warm_cache = warm.result["cache"]
     return {
+        "obs": _obs_verdict(service),
         "workload": SHARED_WORKLOAD,
         "cold_latency_s": cold.latency,
         "warm_latency_s": warm.latency,
@@ -216,7 +286,7 @@ def _warm_reuse_scenario(
 
 # ------------------------------------------------------------ entry point
 def run_loadgen(
-    out_path: str = "BENCH_pr9.json",
+    out_path: str = "BENCH_pr10.json",
     tenants: Sequence[int] = (2, 3),
     jobs_per_tenant: int = 3,
     overlaps: Sequence[float] = (0.0, 0.5, 1.0),
@@ -241,11 +311,27 @@ def run_loadgen(
     violations += warm["validator_violations"]
     violations += sum(b["validator_violations"] for b in baselines.values())
 
+    # service-plane verdicts, aggregated over every scenario's service run
+    obs_verdicts = (
+        [b["obs"] for b in baselines.values()]
+        + [c["obs"] for c in cells]
+        + [warm["obs"]]
+        + list(concurrency["obs"].values())
+    )
+    replay_failures = [
+        failure
+        for verdict in obs_verdicts
+        for failure in verdict.get("replay_parity_failures", [])
+    ]
+    fairness_alerts = sum(v.get("fairness_alerts", 0) for v in obs_verdicts)
+    slo_alerts = sum(v.get("slo_alerts", 0) for v in obs_verdicts)
+
     report = {
-        "benchmark": "pr9-multitenant-service-shared-cache",
+        "benchmark": "pr10-service-observability-loadgen",
         "created_unix": time.time(),
         "cpu_count": os.cpu_count(),
         "workers": workers,
+        "slos": DEFAULT_SLOS,
         "solo_baselines": baselines,
         "overlap_grid": cells,
         "warm_reuse": warm,
@@ -253,11 +339,17 @@ def run_loadgen(
         "identity_breaches": breaches,
         "outputs_identical": not breaches,
         "validator_violations": violations,
+        "replay_parity": not replay_failures,
+        "replay_parity_failures": replay_failures[:50],
+        "fairness_alerts": fairness_alerts,
+        "slo_alerts": slo_alerts,
         "ok": (
             not breaches
             and violations == 0
             and warm["warm_cross_tenant_hits"] > 0
             and warm["warm_latency_s"] < warm["cold_latency_s"]
+            and not replay_failures
+            and fairness_alerts == 0
         ),
     }
     if out_path:
@@ -296,6 +388,26 @@ def render_loadgen(report: Dict[str, Any]) -> str:
         f" {concurrency['workers']} workers {concurrency['wall_concurrent_s']:.3f}s"
         f" -> {concurrency['speedup']:.2f}x on {concurrency['cpu_count']} core(s)"
     )
+    # per-tenant fairness / SLO columns of the busiest overlap cell
+    audited = [c for c in report["overlap_grid"] if c.get("fairness")]
+    if audited:
+        cell = audited[-1]
+        lines.append("")
+        lines.append(
+            f"fairness/SLO ({cell['tenants']} tenants, "
+            f"overlap {cell['overlap']:.2f}):"
+        )
+        lines.append("  tenant      achieved  entitled  fair-bound  slo-attained")
+        for name in sorted(cell["fairness"]):
+            fair = cell["fairness"][name]
+            attained = cell.get("slo_attainment", {}).get(name)
+            lines.append(
+                f"  {name:<10}  {fair['achieved_share']:>8.2f}"
+                f"  {fair['entitled_share']:>8.2f}"
+                f"  {'yes' if fair['within_fair_bound'] else 'NO':>10}"
+                f"  {attained if attained is None else format(attained, '.2f'):>12}"
+            )
+    lines.append("")
     # verdict lines — CI greps these exact prefixes
     lines.append(
         "outputs identical to solo: "
@@ -311,4 +423,11 @@ def render_loadgen(report: Dict[str, Any]) -> str:
         "warm tenant faster than cold: "
         + ("yes" if warm["warm_latency_s"] < warm["cold_latency_s"] else "NO")
     )
+    lines.append(
+        "service replay parity: " + ("yes" if report["replay_parity"] else "NO")
+    )
+    for failure in report["replay_parity_failures"][:10]:
+        lines.append(f"  replay mismatch: {failure}")
+    lines.append(f"fairness alerts: {report['fairness_alerts']}")
+    lines.append(f"slo alerts: {report['slo_alerts']}")
     return "\n".join(lines)

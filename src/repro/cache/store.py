@@ -170,6 +170,14 @@ class DiskCacheStore:
         #: stale tmp files swept at open (crashed writers' leftovers)
         self.tmps_swept = self._sweep_tmps(tmp_sweep_age)
 
+    def obs_counters(self) -> Dict[str, int]:
+        """Store-level counters the service observability plane exports
+        (``service_store_*`` series; see :mod:`repro.service.obs`)."""
+        return {
+            "corrupt_entries": self.corrupt_entries,
+            "tmps_swept": self.tmps_swept,
+        }
+
     def _file(self, fingerprint: str) -> str:
         return os.path.join(self.path, f"{fingerprint}.pkl")
 
@@ -351,6 +359,11 @@ class SharedCacheStore(DiskCacheStore):
         super().__init__(path, tmp_sweep_age=tmp_sweep_age)
         self._lock = _StoreLock(self.path)
         self._owners: Dict[str, Optional[str]] = {}
+
+    def obs_counters(self) -> Dict[str, int]:
+        counters = super().obs_counters()
+        counters["quota_evictions"] = self.quota_evictions
+        return counters
 
     # ------------------------------------------------------------ sidecars
     def _owner_file(self, fingerprint: str) -> str:

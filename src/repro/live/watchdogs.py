@@ -33,8 +33,11 @@ from typing import Callable, Deque, Dict, List, Optional
 from ..trace.events import TraceEvent
 from .plan import LivePlan
 
-#: the alert kinds the live layer can raise
-ALERT_KINDS = ("straggler", "memory_pressure", "retry_storm", "stall")
+#: the alert kinds the live layer and the service plane can raise
+ALERT_KINDS = (
+    "straggler", "memory_pressure", "retry_storm", "stall",
+    "fairness", "slo",
+)
 
 
 @dataclass(frozen=True)
@@ -52,9 +55,17 @@ class Alert:
 
 
 class Watchdog:
-    """Base: alert storage + obs-registry accounting."""
+    """Base: alert storage + obs-registry accounting.
+
+    ``counter_name`` is the registry family alerts are counted under —
+    ``live_alerts`` for the per-job watchdogs here, ``service_alerts``
+    for the service-plane auditors (:mod:`repro.service.obs`), which
+    subclass this for the alert/counting machinery while being fed
+    service events rather than trace events.
+    """
 
     kind = "base"
+    counter_name = "live_alerts"
 
     def __init__(self, registry=None):
         self.registry = registry
@@ -78,7 +89,7 @@ class Watchdog:
         self.alerts.append(alert)
         if self.registry is not None:
             self.registry.counter(
-                "live_alerts", policy=self.kind, **labels
+                self.counter_name, policy=self.kind, **labels
             ).inc()
         return alert
 

@@ -15,11 +15,17 @@ The observability layer on top of the PR-1 decision trace:
 """
 
 from .bridge import CONSISTENCY_VIEWS, diff_registries, registry_from_trace
-from .export import prometheus_text, registry_json, registry_to_dict
+from .export import (
+    lint_prometheus_text,
+    prometheus_text,
+    registry_json,
+    registry_to_dict,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     LABEL_NAMES,
     Counter,
+    ExactHistogram,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -32,6 +38,7 @@ __all__ = [
     "CONSISTENCY_VIEWS",
     "Counter",
     "DEFAULT_BUCKETS",
+    "ExactHistogram",
     "Gauge",
     "Histogram",
     "LABEL_NAMES",
@@ -42,6 +49,7 @@ __all__ = [
     "TimelineSampler",
     "diff_registries",
     "labels_dict",
+    "lint_prometheus_text",
     "prometheus_text",
     "registry_from_trace",
     "registry_json",

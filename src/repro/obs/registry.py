@@ -11,33 +11,48 @@ same quantities as labeled time series, Prometheus-style:
 * :class:`Histogram` — fixed log-scale buckets with p50/p95/p99 estimates
   (task latency, choose-evaluation latency).
 
-Every instrument child carries the five label dimensions
-``{node, branch, stage, dataset, policy}`` (unset labels are ``""``).  The
-engine attributes low-level observations to the currently executing stage
-and branch through an ambient *label context* (:meth:`MetricsRegistry
-.label_context`) pushed by the master around each scheduled stage, so the
-cluster substrate never needs to know about branches.
+Every instrument child carries the registry's label dimensions — by
+default the five engine dimensions ``{node, branch, stage, dataset,
+policy}`` (unset labels are ``""``); a registry built for a different
+altitude (the service plane uses ``{tenant, workload, status, policy}``)
+passes its own ``label_names``.  The engine attributes low-level
+observations to the currently executing stage and branch through an
+ambient *label context* (:meth:`MetricsRegistry.label_context`) pushed by
+the master around each scheduled stage, so the cluster substrate never
+needs to know about branches.
 
 Counters and histograms merge the ambient context into their labels;
 gauges carry exactly the labels they are given (a per-node memory gauge
 must not fragment across branches).
+
+Registries cross process boundaries as plain-dict snapshots
+(:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.from_snapshot`)
+and merge (:meth:`MetricsRegistry.merge`): counters add, gauges ratchet to
+the maximum, histograms add bucket counts (identical bounds required) so
+a merged histogram is *exactly* the histogram a single process observing
+every value would have built.  This is how the multi-tenant service folds
+each worker process's per-job registry into its long-lived service
+registry (:mod:`repro.service.obs`).
 """
 
 from __future__ import annotations
 
 import bisect
 import contextlib
+import math
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-#: the fixed label dimensions, in canonical order
+#: the default (engine) label dimensions, in canonical order
 LABEL_NAMES: Tuple[str, ...] = ("node", "branch", "stage", "dataset", "policy")
 
-LabelValues = Tuple[str, str, str, str, str]
+LabelValues = Tuple[str, ...]
 
 
-def labels_dict(values: LabelValues) -> Dict[str, str]:
+def labels_dict(
+    values: LabelValues, names: Tuple[str, ...] = LABEL_NAMES
+) -> Dict[str, str]:
     """A label tuple as a ``{name: value}`` dict, empty values omitted."""
-    return {name: value for name, value in zip(LABEL_NAMES, values) if value}
+    return {name: value for name, value in zip(names, values) if value}
 
 
 class Counter:
@@ -53,6 +68,10 @@ class Counter:
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
         self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another process's counter in (monotone sums add)."""
+        self.value += other.value
 
 
 class Gauge:
@@ -77,6 +96,15 @@ class Gauge:
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        """Cross-process gauge merge keeps the maximum (peak semantics).
+
+        Instantaneous values from two processes cannot be summed
+        meaningfully after the fact; peaks (the only gauges the service
+        rolls up) ratchet.
+        """
+        self.set_max(other.value)
 
 
 #: default histogram buckets: log-scale (powers of four) from 1 µs up to
@@ -138,6 +166,63 @@ class Histogram:
     def p99(self) -> float:
         return self.quantile(0.99)
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (bucket counts add, exactly).
+
+        Requires identical bucket bounds — merged bucket counts are then
+        equal to the counts a single histogram observing every value
+        would hold, so quantile estimates after a merge are *identical*
+        to a single-process run's (the cross-process parity invariant
+        ``tests/obs/test_registry_merge.py`` asserts).
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.sum += other.sum
+        self.count += other.count
+
+
+class ExactHistogram(Histogram):
+    """A histogram that additionally retains every observation.
+
+    The service-plane latency/queue-wait series need *exact* nearest-rank
+    percentiles (matching the load generator's reporting), which bucketed
+    estimates cannot give.  Service job counts are small (thousands, not
+    billions), so keeping the raw values is cheap; the bucketed view is
+    still maintained for the Prometheus exposition.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, bounds: Optional[Iterable[float]] = None):
+        super().__init__(bounds)
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        super().observe(value)
+        self.values.append(float(value))
+
+    def quantile(self, q: float) -> float:
+        """Exact nearest-rank ``q``-quantile over the retained values."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            return float("nan")
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def merge(self, other: "Histogram") -> None:
+        super().merge(other)
+        if isinstance(other, ExactHistogram):
+            self.values.extend(other.values)
+        else:  # pragma: no cover - degenerate pairing, keep counts honest
+            raise ValueError("cannot merge a bucket-only histogram into an exact one")
+
 
 class Family:
     """All children (label sets) of one named instrument."""
@@ -165,9 +250,14 @@ class MetricsRegistry:
     decision trace); the master, executor, scheduler and memory manager all
     record into it.  Aggregation helpers power the derived
     :class:`~repro.cluster.metrics.Metrics` view and the exporters.
+
+    ``label_names`` defaults to the engine dimensions; pass a different
+    tuple to build a registry for another altitude (the service plane
+    uses ``repro.service.obs.SERVICE_LABEL_NAMES``).
     """
 
-    def __init__(self):
+    def __init__(self, label_names: Tuple[str, ...] = LABEL_NAMES):
+        self.label_names: Tuple[str, ...] = tuple(label_names)
         self._families: Dict[str, Family] = {}
         self._context: List[Dict[str, str]] = []
 
@@ -182,8 +272,10 @@ class MetricsRegistry:
         """
         frame = {k: str(v) for k, v in labels.items() if v}
         for name in frame:
-            if name not in LABEL_NAMES:
-                raise ValueError(f"unknown label {name!r} (allowed: {LABEL_NAMES})")
+            if name not in self.label_names:
+                raise ValueError(
+                    f"unknown label {name!r} (allowed: {self.label_names})"
+                )
         self._context.append(frame)
         try:
             yield self
@@ -196,11 +288,13 @@ class MetricsRegistry:
             for frame in self._context:
                 merged.update(frame)
         for name, value in explicit.items():
-            if name not in LABEL_NAMES:
-                raise ValueError(f"unknown label {name!r} (allowed: {LABEL_NAMES})")
+            if name not in self.label_names:
+                raise ValueError(
+                    f"unknown label {name!r} (allowed: {self.label_names})"
+                )
             if value:
                 merged[name] = str(value)
-        return tuple(merged.get(name, "") for name in LABEL_NAMES)  # type: ignore[return-value]
+        return tuple(merged.get(name, "") for name in self.label_names)
 
     def _family(self, name: str, kind: str, factory: Callable[[], Any]) -> Family:
         family = self._families.get(name)
@@ -229,13 +323,19 @@ class MetricsRegistry:
         self,
         name: str,
         buckets: Optional[Iterable[float]] = None,
+        exact: bool = False,
         **labels: Optional[str],
     ) -> Histogram:
-        """The histogram child for the given labels (ambient context merged)."""
+        """The histogram child for the given labels (ambient context merged).
+
+        ``exact=True`` makes children :class:`ExactHistogram`\\ s, which
+        retain every observation for exact nearest-rank quantiles (the
+        service latency series).  All children of one family share the
+        same exactness (set on first use).
+        """
         bounds = tuple(buckets) if buckets is not None else None
-        family = self._family(
-            name, "histogram", lambda: Histogram(bounds)
-        )
+        cls = ExactHistogram if exact else Histogram
+        family = self._family(name, "histogram", lambda: cls(bounds))
         return family.child(self._resolve(labels, ambient=True))
 
     # --------------------------------------------------------------- queries
@@ -251,10 +351,10 @@ class MetricsRegistry:
         family = self._families.get(name)
         return dict(family.children) if family is not None else {}
 
-    @staticmethod
-    def _matches(labels: LabelValues, where: Dict[str, str]) -> bool:
+    def _matches(self, labels: LabelValues, where: Dict[str, str]) -> bool:
         return all(
-            labels[LABEL_NAMES.index(name)] == value for name, value in where.items()
+            labels[self.label_names.index(name)] == value
+            for name, value in where.items()
         )
 
     def value(self, name: str, **where: str) -> float:
@@ -282,13 +382,121 @@ class MetricsRegistry:
         in the other dimensions are summed.  This is what the per-branch /
         per-node breakdown tables and the trace-consistency checks consume.
         """
-        indices = [LABEL_NAMES.index(dim) for dim in by]
+        indices = [self.label_names.index(dim) for dim in by]
         out: Dict[Tuple[str, ...], float] = {}
         for labels, instrument in self.series(name).items():
             key = tuple(labels[i] for i in indices)
             amount = instrument.sum if instrument.kind == "histogram" else instrument.value
             out[key] = out.get(key, 0.0) + amount
         return out
+
+    # --------------------------------------------------- snapshot / merge
+    def snapshot(self, names: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+        """The registry as a plain JSON-serialisable dict.
+
+        The snapshot is complete (bucket bounds, every count, retained
+        exact-histogram values), so :meth:`from_snapshot` rebuilds an
+        equivalent registry in another process — the transport the
+        service workers use to ship each finished job's registry back to
+        the dispatcher.  ``names`` restricts the snapshot to a subset of
+        instrument families.
+        """
+        wanted = set(names) if names is not None else None
+        families: Dict[str, Any] = {}
+        for name in self.names():
+            if wanted is not None and name not in wanted:
+                continue
+            family = self._families[name]
+            series: List[Dict[str, Any]] = []
+            for labels in sorted(family.children):
+                instrument = family.children[labels]
+                entry: Dict[str, Any] = {"labels": list(labels)}
+                if family.kind == "histogram":
+                    entry["bounds"] = list(instrument.bounds)
+                    entry["counts"] = list(instrument.counts)
+                    entry["sum"] = instrument.sum
+                    entry["count"] = instrument.count
+                    if isinstance(instrument, ExactHistogram):
+                        entry["values"] = list(instrument.values)
+                else:
+                    entry["value"] = instrument.value
+                series.append(entry)
+            families[name] = {"kind": family.kind, "series": series}
+        return {"label_names": list(self.label_names), "families": families}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict (cross-process)."""
+        registry = cls(label_names=tuple(snapshot["label_names"]))
+        for name, family_snap in snapshot["families"].items():
+            kind = family_snap["kind"]
+            for entry in family_snap["series"]:
+                labels = tuple(entry["labels"])
+                if kind == "histogram":
+                    exact = "values" in entry
+                    instrument = (ExactHistogram if exact else Histogram)(
+                        entry["bounds"]
+                    )
+                    instrument.counts = [int(c) for c in entry["counts"]]
+                    instrument.sum = float(entry["sum"])
+                    instrument.count = int(entry["count"])
+                    if exact:
+                        instrument.values = [float(v) for v in entry["values"]]
+                elif kind == "gauge":
+                    instrument = Gauge()
+                    instrument.value = float(entry["value"])
+                else:
+                    instrument = Counter()
+                    instrument.value = float(entry["value"])
+                family = registry._family(
+                    name, kind, {"counter": Counter, "gauge": Gauge}.get(kind, Histogram)
+                )
+                family.children[labels] = instrument
+        return registry
+
+    def merge(
+        self,
+        other: "MetricsRegistry",
+        labels: Optional[Dict[str, str]] = None,
+        names: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Fold another registry in (counters add, gauges ratchet,
+        histograms add bucket counts).
+
+        With ``labels`` every child of ``other`` collapses onto that one
+        label set in *this* registry's dimensions — the service plane
+        collapses a job's per-stage children onto ``{tenant, workload}``.
+        Without ``labels`` the registries must share label dimensions and
+        children merge label-set by label-set.  ``names`` restricts the
+        merge to a subset of families.  Children are merged in sorted
+        label order, so repeated merges are deterministic.
+        """
+        if labels is None and other.label_names != self.label_names:
+            raise ValueError(
+                f"cannot merge registries with different label dimensions "
+                f"{other.label_names} -> {self.label_names} without a "
+                f"collapse label set"
+            )
+        target_labels: Optional[LabelValues] = None
+        if labels is not None:
+            target_labels = self._resolve(dict(labels), ambient=False)
+        wanted = set(names) if names is not None else None
+        for name in other.names():
+            if wanted is not None and name not in wanted:
+                continue
+            source = other._families[name]
+            family = self._family(name, source.kind, source._factory)
+            for child_labels in sorted(source.children):
+                instrument = source.children[child_labels]
+                key = target_labels if target_labels is not None else child_labels
+                mine = family.children.get(key)
+                if mine is None:
+                    if source.kind == "histogram":
+                        mine = type(instrument)(instrument.bounds)
+                    else:
+                        mine = type(instrument)()
+                    family.children[key] = mine
+                mine.merge(instrument)
 
     def __repr__(self) -> str:  # pragma: no cover
         children = sum(len(f.children) for f in self._families.values())

@@ -21,6 +21,15 @@ measures throughput, latency percentiles and cross-tenant hit rates;
 """
 
 from .jobs import DONE, FAILED, QUEUED, RUNNING, JobRecord, JobSpec
+from .obs import (
+    SERVICE_CONSISTENCY_VIEWS,
+    SERVICE_LABEL_NAMES,
+    FairnessAuditor,
+    SLOTracker,
+    ServiceObs,
+    replay_service_registry,
+    service_registry_diff,
+)
 from .queue import FairShareQueue, QueuedJob, TenantState
 from .service import JobService
 from .worker import outputs_digest, run_job
@@ -30,12 +39,19 @@ __all__ = [
     "FAILED",
     "QUEUED",
     "RUNNING",
+    "SERVICE_CONSISTENCY_VIEWS",
+    "SERVICE_LABEL_NAMES",
     "FairShareQueue",
+    "FairnessAuditor",
     "JobRecord",
     "JobService",
     "JobSpec",
     "QueuedJob",
+    "SLOTracker",
+    "ServiceObs",
     "TenantState",
     "outputs_digest",
+    "replay_service_registry",
     "run_job",
+    "service_registry_diff",
 ]

@@ -24,10 +24,18 @@ commands:
     picked up by a running (or later) ``serve``.
 ``status``
     Print the latest ``state.json`` snapshot as a per-tenant/per-job
-    summary table.
+    summary table.  The snapshot is re-read atomically on every call
+    and its **age** is surfaced (a dead server shows up as a stale
+    snapshot, not as live state).  ``--metrics`` prints the service
+    registry's Prometheus text (JSON with ``--json``) instead.
 ``follow``
     Tail one job's live NDJSON stream with the ``repro.live`` terminal
     dashboard (progress, per-branch status, watchdog alerts).
+``top``
+    Follow-mode whole-service dashboard beside the per-job ``follow``:
+    slots, per-state job counts, per-tenant fairness shares and SLO
+    attainment, per-workload latency percentiles, recent alerts —
+    re-rendered from ``state.json`` + ``metrics.json`` every interval.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ commands:
   submit    queue one job (writes an inbox ticket)
   status    print the latest service snapshot
   follow    tail one job's live trace dashboard
+  top       follow-mode whole-service dashboard
 
 serve options:
   --workers N           concurrent worker processes (default 2)
@@ -68,9 +77,22 @@ submit options:
   --backend NAME        execution backend (default serial)
   --cost X              fair-share cost hint (default 1.0)
 
+status options:
+  --json                print the raw snapshot (age injected) as JSON
+  --metrics             print the service metrics export instead
+                        (Prometheus text; JSON with --json)
+  --stale-after S       age beyond which the snapshot is flagged STALE
+                        (default 30)
+
 follow options:
   --job JOB_ID          job to follow (default: most recent)
   (remaining flags pass through to `python -m repro.live`)
+
+top options:
+  --interval S          refresh period (default 2.0)
+  --iterations N        stop after N renders (default: until ^C)
+  --once                render a single frame and exit
+  --stale-after S       stale threshold, as in status (default 30)
 """
 
 
@@ -222,24 +244,68 @@ def cmd_submit(argv: List[str], spool: str, out: TextIO) -> int:
 
 # ---------------------------------------------------------------- status
 def _load_state(spool: str) -> Optional[Dict[str, Any]]:
+    """Re-read ``state.json`` freshly on every call (never cached).
+
+    The server publishes with an atomic ``os.replace``, so an open file
+    is always one complete snapshot; a decode error can still happen if
+    the file is replaced by a non-atomic writer, so one retry absorbs
+    the race instead of reporting a dead service.
+    """
     path = os.path.join(spool, "state.json")
-    try:
-        with open(path) as fh:
-            return json.load(fh)
-    except FileNotFoundError:
+    for attempt in range(2):
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except ValueError:
+            if attempt:
+                raise
+            time.sleep(0.05)
+    return None  # pragma: no cover - loop always returns/raises
+
+
+def _snapshot_age(state: Dict[str, Any]) -> Optional[float]:
+    updated = state.get("updated_unix")
+    if updated is None:
         return None
+    return max(0.0, time.time() - float(updated))
+
+
+def _age_line(state: Dict[str, Any], stale_after: float) -> str:
+    age = _snapshot_age(state)
+    if age is None:
+        return "snapshot age: unknown (no updated_unix)\n"
+    flag = "  (STALE — server gone or wedged?)" if age > stale_after else ""
+    return f"snapshot age: {age:.1f}s{flag}\n"
 
 
 def cmd_status(argv: List[str], spool: str, out: TextIO) -> int:
     as_json = _pop_flag(argv, "--json")
+    metrics = _pop_flag(argv, "--metrics")
+    stale_after = float(_pop_opt(argv, "--stale-after") or 30.0)
+    if metrics:
+        name = "metrics.json" if as_json else "metrics.prom"
+        path = os.path.join(spool, name)
+        try:
+            with open(path) as fh:
+                out.write(fh.read())
+        except FileNotFoundError:
+            out.write(
+                f"no {name} under {spool} (service obs plane not running?)\n"
+            )
+            return 2
+        return 0
     state = _load_state(spool)
     if state is None:
         out.write(f"no state.json under {spool} (service not started?)\n")
         return 2
     if as_json:
-        json.dump(state, out, indent=2, sort_keys=True)
+        payload = dict(state, snapshot_age_s=_snapshot_age(state))
+        json.dump(payload, out, indent=2, sort_keys=True)
         out.write("\n")
         return 0
+    out.write(_age_line(state, stale_after))
     counts = state.get("counts", {})
     out.write(
         "jobs: "
@@ -264,7 +330,118 @@ def cmd_status(argv: List[str], spool: str, out: TextIO) -> int:
             f"  {spec['job_id']}  {job['status']:<8} {spec['tenant']:<12}"
             f" {spec['workload']}{extra}\n"
         )
+    obs = state.get("obs") or {}
+    alerts = obs.get("alerts") or []
+    if alerts:
+        out.write(f"service alerts: {len(alerts)}\n")
+        for alert in alerts[-5:]:
+            out.write(
+                f"  [{alert['kind']}] {alert['subject']}: {alert['message']}\n"
+            )
     return 0
+
+
+# ------------------------------------------------------------------- top
+def _load_metrics(spool: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(os.path.join(spool, "metrics.json")) as fh:
+            return json.load(fh)
+    except (FileNotFoundError, ValueError):
+        return None
+
+
+def _render_top(
+    state: Dict[str, Any],
+    metrics: Optional[Dict[str, Any]],
+    stale_after: float,
+) -> str:
+    """One dashboard frame from the published snapshot + metrics export."""
+    lines: List[str] = ["repro service top", "=" * 64]
+    counts = state.get("counts", {})
+    lines.append(
+        "jobs: "
+        + "  ".join(f"{k}={counts.get(k, 0)}" for k in sorted(counts))
+        + f"    slots {state.get('busy', 0)}/{state.get('slots', '?')}"
+    )
+    lines.append(_age_line(state, stale_after).rstrip("\n"))
+    obs = state.get("obs") or {}
+    fairness = obs.get("fairness") or {}
+    slo = obs.get("slo") or {}
+    shares = state.get("admission_shares", {})
+    lines.append("")
+    lines.append(
+        "tenant        weight  backlog  done  share(achieved/entitled)"
+        "  slo-attained"
+    )
+    for t in state.get("tenants", []):
+        name = t["name"]
+        fair = fairness.get(name)
+        fair_cell = (
+            f"{fair['achieved_share']:.2f}/{fair['entitled_share']:.2f}"
+            if fair
+            else (f"{shares[name]:.2f}/-" if name in shares else "-")
+        )
+        slo_cell = (
+            f"{slo[name]['attained']:.2f}"
+            + ("" if slo[name]["met"] else " BREACH")
+            if name in slo
+            else "-"
+        )
+        lines.append(
+            f"{name:<12}  {t['weight']:>6g}  {t['backlog']:>7}"
+            f"  {t['completed']:>4}  {fair_cell:>24}  {slo_cell:>12}"
+        )
+    if metrics is not None:
+        latency = metrics.get("service_latency_seconds", {}).get("series", [])
+        if latency:
+            lines.append("")
+            lines.append("tenant        workload              n     p50      p99")
+            for entry in latency:
+                labels = entry.get("labels", {})
+                p50, p99 = entry.get("p50"), entry.get("p99")
+                lines.append(
+                    f"{labels.get('tenant', '?'):<12}"
+                    f"  {labels.get('workload', '?'):<18}"
+                    f"  {entry.get('count', 0):>3}"
+                    f"  {p50 if p50 is None else format(p50, '.3f'):>6}s"
+                    f"  {p99 if p99 is None else format(p99, '.3f'):>6}s"
+                )
+    alerts = obs.get("alerts") or []
+    lines.append("")
+    lines.append(f"alerts: {len(alerts)}")
+    for alert in alerts[-5:]:
+        lines.append(f"  [{alert['kind']}] {alert['subject']}: {alert['message']}")
+    return "\n".join(lines) + "\n"
+
+
+def cmd_top(argv: List[str], spool: str, out: TextIO) -> int:
+    interval = float(_pop_opt(argv, "--interval") or 2.0)
+    iterations = int(_pop_opt(argv, "--iterations") or 0)
+    if _pop_flag(argv, "--once"):
+        iterations = 1
+    stale_after = float(_pop_opt(argv, "--stale-after") or 30.0)
+    if argv:
+        out.write(f"unknown top arguments: {argv}\n")
+        return 2
+    rendered = 0
+    while True:
+        state = _load_state(spool)
+        if state is None:
+            out.write(f"no state.json under {spool} (service not started?)\n")
+            return 2
+        frame = _render_top(state, _load_metrics(spool), stale_after)
+        if rendered and getattr(out, "isatty", lambda: False)():
+            out.write("\x1b[2J\x1b[H")  # clear + home between frames
+        elif rendered:
+            out.write("-" * 64 + "\n")
+        out.write(frame)
+        rendered += 1
+        if iterations and rendered >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
 
 
 # ---------------------------------------------------------------- follow
@@ -308,6 +485,7 @@ def main(argv: Optional[List[str]] = None, out: TextIO = sys.stdout) -> int:
         "submit": cmd_submit,
         "status": cmd_status,
         "follow": cmd_follow,
+        "top": cmd_top,
     }
     handler = handlers.get(command)
     if handler is None:

@@ -51,6 +51,10 @@ class JobSpec:
     #: bounded real seconds a store miss waits on another job's in-flight
     #: computation of the same fingerprint before recomputing
     singleflight_wait: float = 5.0
+    #: ship the job's obs-registry snapshot / profile seconds / store
+    #: counters back to the service observability plane; off reproduces
+    #: the plain PR9 worker payload
+    obs: bool = True
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)

@@ -33,7 +33,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 __all__ = ["FairShareQueue", "QueuedJob", "TenantState"]
 
@@ -164,6 +164,28 @@ class FairShareQueue:
         state = self._tenants.get(job.tenant)
         if state is not None:
             state.completed += 1
+
+    # ------------------------------------------------------------- audit
+    @property
+    def vtime(self) -> float:
+        """The SFQ virtual clock (start tag of the last admitted job)."""
+        return self._vtime
+
+    def weights(self) -> Dict[str, float]:
+        return {name: self._tenants[name].weight for name in sorted(self._tenants)}
+
+    def pending_heads(self) -> Dict[str, Tuple[float, float]]:
+        """``{tenant: (head finish tag, head cost)}`` for backlogged tenants.
+
+        A snapshot of exactly the candidates the next :meth:`next_job`
+        call will choose among — the fairness auditor records it at each
+        admission to check the min-finish-tag discipline after the fact.
+        """
+        return {
+            name: (state.queued[0].finish_tag, state.queued[0].cost)
+            for name, state in sorted(self._tenants.items())
+            if state.queued
+        }
 
     def admission_shares(self) -> Dict[str, float]:
         """Fraction of admissions per tenant (empty dict before any)."""

@@ -33,6 +33,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from .jobs import DONE, FAILED, QUEUED, RUNNING, JobRecord, JobSpec
+from .obs import ServiceObs
 from .queue import FairShareQueue, QueuedJob
 from .worker import run_job
 
@@ -53,6 +54,8 @@ class JobService:
         validate: bool = True,
         singleflight_wait: float = 5.0,
         cache: bool = True,
+        obs: bool = True,
+        slos: Optional[Dict[str, Dict[str, Any]]] = None,
     ):
         self.workers = max(1, int(workers))
         self.queue = FairShareQueue(slots=slots or self.workers)
@@ -73,6 +76,15 @@ class JobService:
         self._pool = None
         self._next_id = 0
         self._closed = False
+        #: the service observability plane (None = obs off, PR9 behaviour)
+        self.obs: Optional[ServiceObs] = None
+        if obs:
+            self.obs = ServiceObs(
+                events_path=os.path.join(self.spool, "service_events.ndjson"),
+                slots=self.queue.slots,
+                weights=self.queue.weights(),
+                slos=slos,
+            )
 
     # ----------------------------------------------------------- lifecycle
     def _ensure_pool(self):
@@ -125,6 +137,7 @@ class JobService:
             validate=self.validate,
             cost=cost,
             singleflight_wait=self.singleflight_wait,
+            obs=self.obs is not None,
         )
         for key, value in overrides.items():
             if not hasattr(spec, key):
@@ -132,7 +145,9 @@ class JobService:
             setattr(spec, key, value)
         record = JobRecord(spec=spec)
         self.records[job_id] = record
-        self.queue.put(tenant, record, cost=spec.cost)
+        queued = self.queue.put(tenant, record, cost=spec.cost)
+        if self.obs is not None:
+            self.obs.job_submitted(record, queued, self.queue.vtime)
         self.write_state()
         return job_id
 
@@ -158,18 +173,24 @@ class JobService:
             del self._running[job_id]
             self.queue.release(queued)
             record.finished_at = time.time()
+            snapshot = None
             try:
                 result = async_result.get()
             except Exception as exc:  # noqa: BLE001 - pool-level failure
                 record.status = FAILED
                 record.error = f"{type(exc).__name__}: {exc}"
             else:
+                # the registry snapshot feeds the service obs plane; it
+                # never lands in the record (state.json stays lean)
+                snapshot = result.pop("obs", None)
                 record.result = result
                 if result.get("ok"):
                     record.status = DONE
                 else:
                     record.status = FAILED
                     record.error = result.get("error")
+            if self.obs is not None:
+                self.obs.job_finished(record, snapshot)
             transitions += 1
         return transitions
 
@@ -177,6 +198,9 @@ class JobService:
         transitions = 0
         pool = None
         while self.queue.free_slots and self.queue.backlog:
+            # snapshot the SFQ candidates *before* the pop: the fairness
+            # auditor re-checks the min-finish-tag discipline against them
+            heads = self.queue.pending_heads() if self.obs is not None else {}
             queued = self.queue.next_job()
             if queued is None:  # pragma: no cover - guarded by the while
                 break
@@ -184,6 +208,10 @@ class JobService:
             record: JobRecord = queued.payload
             record.status = RUNNING
             record.started_at = time.time()
+            if self.obs is not None:
+                self.obs.job_admitted(
+                    record, queued, heads, self.queue.weights(), self.queue.vtime
+                )
             async_result = pool.apply_async(run_job, (record.spec.as_dict(),))
             self._running[record.job_id] = (record, queued, async_result)
             transitions += 1
@@ -238,6 +266,7 @@ class JobService:
             ],
             "cache_dir": self.cache_dir,
             "spool": self.spool,
+            "obs": self.obs.summary() if self.obs is not None else None,
             "jobs": [
                 self.records[job_id].as_dict() for job_id in sorted(self.records)
             ],
@@ -251,3 +280,5 @@ class JobService:
         with open(tmp, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         os.replace(tmp, path)
+        if self.obs is not None:
+            self.obs.export(self.spool)

@@ -118,4 +118,19 @@ def _run(spec: JobSpec, started: float) -> Dict[str, Any]:
     if cache is not None:
         # a fresh cache per job makes totals == this run's deltas
         summary["cache"] = cache.stats.as_dict()
+        store = getattr(cache, "store", None)
+        if spec.obs and store is not None and hasattr(store, "obs_counters"):
+            summary["store"] = store.obs_counters()
+    if spec.obs:
+        from .obs import JOB_VIEW_FAMILIES, PROFILE_CATEGORIES
+
+        registry = cluster.obs
+        # only the trace-reconstructible counter families cross the pipe:
+        # that is what the service merges, and what replaying the job's
+        # NDJSON stream through the PR2 bridge can rebuild exactly
+        summary["obs"] = registry.snapshot(names=JOB_VIEW_FAMILIES)
+        summary["profile"] = {
+            category: registry.value(f"profile_{category}_seconds")
+            for category in PROFILE_CATEGORIES
+        }
     return summary

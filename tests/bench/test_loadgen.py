@@ -28,7 +28,7 @@ class TestPercentile:
 
 class TestLoadgen:
     def test_tiny_run_report_and_verdicts(self, tmp_path):
-        out = str(tmp_path / "BENCH_pr9.json")
+        out = str(tmp_path / "BENCH_pr10.json")
         report = run_loadgen(
             out_path=out,
             tenants=(2,),
@@ -60,11 +60,22 @@ class TestLoadgen:
         persisted = json.load(open(out))
         assert persisted["benchmark"] == report["benchmark"]
 
+        # PR10: the obs plane audited every scenario
+        assert report["replay_parity"]
+        assert report["replay_parity_failures"] == []
+        assert report["fairness_alerts"] == 0
+        assert report["slo_alerts"] == 0
+        for name, share in cell["fairness"].items():
+            assert share["within_fair_bound"], (name, share)
+
         rendered = render_loadgen(report)
         assert "outputs identical to solo: yes" in rendered
         assert "validator violations: 0" in rendered
         assert "cross-tenant hits (warm tenant):" in rendered
         assert "warm tenant faster than cold: yes" in rendered
+        assert "service replay parity: yes" in rendered
+        assert "fairness alerts: 0" in rendered
+        assert "slo alerts: 0" in rendered
 
     def test_zero_overlap_has_no_cross_tenant_hits(self, tmp_path):
         report = run_loadgen(

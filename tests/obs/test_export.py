@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.obs import MetricsRegistry, prometheus_text, registry_json, registry_to_dict
+from repro.obs import (
+    MetricsRegistry,
+    lint_prometheus_text,
+    prometheus_text,
+    registry_json,
+    registry_to_dict,
+)
 
 
 @pytest.fixture
@@ -83,3 +89,67 @@ class TestJson:
         reg.histogram("h")  # registered, never observed
         (entry,) = registry_to_dict(reg)["h"]["series"]
         assert entry["p50"] is None and entry["p99"] is None
+
+
+class TestEscapingRegression:
+    """Hostile label values (tenant names are arbitrary strings) must
+    survive the exposition: escaped on the way out, and the strict linter
+    must accept the escaped form while rejecting the raw one."""
+
+    NASTY = 'ten"ant\\with\nnewline'
+
+    def test_each_escape_applied_once(self):
+        reg = MetricsRegistry()
+        reg.counter("c", dataset=self.NASTY).inc()
+        text = prometheus_text(reg)
+        assert 'dataset="ten\\"ant\\\\with\\nnewline"' in text
+        # backslash-first ordering: the escapes never double-escape
+        assert "\\\\\\\\" not in text
+
+    def test_escaped_export_lints_clean(self):
+        reg = MetricsRegistry()
+        reg.counter("c", dataset=self.NASTY).inc(3)
+        reg.histogram("h", buckets=(1.0, 2.0), dataset=self.NASTY).observe(1.5)
+        assert lint_prometheus_text(prometheus_text(reg)) == []
+
+    def test_linter_rejects_raw_quote_and_backslash(self):
+        bad = (
+            "# TYPE m gauge\n"
+            'm{dataset="raw"quote"} 1\n'
+        )
+        assert any("malformed label" in p for p in lint_prometheus_text(bad))
+        bad = (
+            "# TYPE m gauge\n"
+            'm{dataset="trailing\\"} 1\n'
+        )
+        assert any("malformed label" in p for p in lint_prometheus_text(bad))
+
+
+class TestLinter:
+    def test_clean_real_export(self, registry):
+        assert lint_prometheus_text(prometheus_text(registry)) == []
+
+    def test_counter_without_total_suffix(self):
+        text = "# TYPE repro_jobs counter\nrepro_jobs 1\n"
+        assert any("_total suffix" in p for p in lint_prometheus_text(text))
+
+    def test_sample_without_type(self):
+        assert any(
+            "no TYPE" in p for p in lint_prometheus_text("orphan_metric 1\n")
+        )
+
+    def test_bad_sample_value(self):
+        text = "# TYPE m gauge\nm not-a-number\n"
+        assert any("bad sample value" in p for p in lint_prometheus_text(text))
+
+    def test_non_cumulative_buckets(self):
+        text = (
+            "# TYPE m histogram\n"
+            'm_bucket{le="1"} 5\n'
+            'm_bucket{le="+Inf"} 3\n'
+        )
+        assert any("not cumulative" in p for p in lint_prometheus_text(text))
+
+    def test_unknown_type(self):
+        text = "# TYPE m enumeration\nm 1\n"
+        assert any("unknown TYPE" in p for p in lint_prometheus_text(text))

@@ -1,0 +1,163 @@
+"""Cross-process registry transport: snapshot round-trip and merge parity.
+
+The service ships each finished job's registry across the pool pipe as a
+plain-dict snapshot and folds it into the long-lived service registry.
+The load-bearing invariant: a registry merged from N process-local
+shards is *indistinguishable* from the registry one process observing
+everything would have built — counters sum, peak gauges ratchet,
+histogram bucket counts add so quantiles match exactly, and exact
+histograms keep every raw value so nearest-rank percentiles stay exact.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.registry import ExactHistogram, Histogram, MetricsRegistry
+
+
+def percentile_reference(values, q):
+    """The loadgen's nearest-rank percentile (the parity target)."""
+    import math
+
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class TestHistogramMergeParity:
+    def test_bucketed_merge_equals_single_process(self):
+        bounds = (0.1, 1.0, 10.0)
+        values_a = [0.05, 0.5, 2.0, 20.0]
+        values_b = [0.3, 0.7, 5.0]
+        solo = Histogram(bounds)
+        shard_a, shard_b = Histogram(bounds), Histogram(bounds)
+        for v in values_a + values_b:
+            solo.observe(v)
+        for v in values_a:
+            shard_a.observe(v)
+        for v in values_b:
+            shard_b.observe(v)
+        shard_a.merge(shard_b)
+        assert shard_a.counts == solo.counts
+        assert shard_a.sum == pytest.approx(solo.sum)
+        assert shard_a.count == solo.count
+        for q in (0.5, 0.95, 0.99):
+            assert shard_a.quantile(q) == pytest.approx(solo.quantile(q))
+
+    def test_mismatched_bounds_refused(self):
+        a, b = Histogram((1.0, 2.0)), Histogram((1.0, 3.0))
+        with pytest.raises(ValueError, match="different bounds"):
+            a.merge(b)
+
+    def test_exact_merge_nearest_rank_parity(self):
+        """Exact histograms merged across shards give the *same* exact
+        nearest-rank percentiles as one shard observing every value —
+        and both match the load generator's percentile function."""
+        values_a = [0.9, 0.1, 0.5, 0.3]
+        values_b = [0.7, 0.2, 0.8]
+        solo = ExactHistogram()
+        shard_a, shard_b = ExactHistogram(), ExactHistogram()
+        for v in values_a + values_b:
+            solo.observe(v)
+        for v in values_a:
+            shard_a.observe(v)
+        for v in values_b:
+            shard_b.observe(v)
+        shard_a.merge(shard_b)
+        for q in (1, 50, 90, 99, 100):
+            expected = percentile_reference(values_a + values_b, q)
+            assert solo.quantile(q / 100.0) == expected
+            assert shard_a.quantile(q / 100.0) == expected
+
+    def test_exact_refuses_bucket_only_source(self):
+        exact, bucketed = ExactHistogram(), Histogram()
+        bucketed.observe(1.0)
+        with pytest.raises(ValueError, match="bucket-only"):
+            exact.merge(bucketed)
+
+
+class TestSnapshotRoundTrip:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks_executed", node="w0", branch="b#0").inc(4)
+        reg.gauge("peak_memory", node="w0").set(1024)
+        reg.histogram("task_seconds", buckets=(0.1, 1.0), stage="s0").observe(0.5)
+        reg.histogram("wait_seconds", exact=True, node="w0").observe(0.25)
+        reg.histogram("wait_seconds", exact=True, node="w0").observe(0.75)
+        return reg
+
+    def test_snapshot_is_json_serialisable(self):
+        snap = self.build().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_from_snapshot_rebuilds_equivalent_registry(self):
+        reg = self.build()
+        again = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert again.label_names == reg.label_names
+        assert again.names() == reg.names()
+        assert again.value("tasks_executed") == 4.0
+        assert again.max_value("peak_memory") == 1024.0
+        (hist,) = again.series("wait_seconds").values()
+        assert isinstance(hist, ExactHistogram)
+        assert hist.values == [0.25, 0.75]
+        assert again.snapshot() == reg.snapshot()
+
+    def test_snapshot_names_filter(self):
+        snap = self.build().snapshot(names=["tasks_executed"])
+        assert list(snap["families"]) == ["tasks_executed"]
+
+
+class TestRegistryMerge:
+    def test_sharded_merge_equals_single_process(self):
+        """Two worker shards folded in equal one process observing all."""
+        solo = MetricsRegistry()
+        shards = [MetricsRegistry(), MetricsRegistry()]
+        observations = [
+            (0, {"node": "w0"}, 3.0),
+            (1, {"node": "w0"}, 2.0),
+            (1, {"node": "w1"}, 5.0),
+        ]
+        for shard_idx, labels, amount in observations:
+            solo.counter("bytes_spilled", **labels).inc(amount)
+            shards[shard_idx].counter("bytes_spilled", **labels).inc(amount)
+        target = MetricsRegistry()
+        for shard in shards:
+            target.merge(MetricsRegistry.from_snapshot(shard.snapshot()))
+        assert target.aggregate("bytes_spilled", ("node",)) == solo.aggregate(
+            "bytes_spilled", ("node",)
+        )
+
+    def test_collapse_onto_service_labels(self):
+        """A job registry (engine dims) collapses onto one {tenant,
+        workload} label set in a service-dims registry — children
+        differing only in engine dimensions sum into one series."""
+        job = MetricsRegistry()
+        job.counter("tasks_executed", node="w0", stage="s0").inc(2)
+        job.counter("tasks_executed", node="w1", stage="s1").inc(3)
+        service = MetricsRegistry(
+            label_names=("tenant", "workload", "status", "policy")
+        )
+        service.merge(
+            job,
+            labels={"tenant": "acme", "workload": "dl_grid"},
+            names=["tasks_executed"],
+        )
+        assert service.aggregate("tasks_executed", ("tenant", "workload")) == {
+            ("acme", "dl_grid"): 5.0
+        }
+
+    def test_dimension_mismatch_without_collapse_refused(self):
+        service = MetricsRegistry(label_names=("tenant",))
+        with pytest.raises(ValueError, match="label dimensions"):
+            service.merge(MetricsRegistry())
+
+    def test_gauges_ratchet_on_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("peak", node="w0").set(5)
+        b.gauge("peak", node="w0").set(3)
+        a.merge(b)
+        assert a.max_value("peak") == 5.0
+        b.gauge("peak", node="w0").set(9)
+        a.merge(b)
+        assert a.max_value("peak") == 9.0
